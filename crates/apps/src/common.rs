@@ -1,0 +1,152 @@
+//! Shared helpers for the benchmark programs.
+
+use hyperion::{HyperionConfig, NodeId, RunReport};
+
+/// Contiguous block `[start, end)` owned by worker `idx` out of `parts` when
+/// `total` items are split as evenly as possible (the first `total % parts`
+/// workers get one extra item).
+///
+/// # Panics
+/// Panics if `parts` is zero or `idx >= parts`.
+pub fn block_range(total: usize, parts: usize, idx: usize) -> (usize, usize) {
+    assert!(parts > 0, "cannot split work over zero workers");
+    assert!(
+        idx < parts,
+        "worker index {idx} out of range for {parts} workers"
+    );
+    let base = total / parts;
+    let extra = total % parts;
+    let start = idx * base + idx.min(extra);
+    let len = base + usize::from(idx < extra);
+    (start, start + len)
+}
+
+/// Node that worker thread `idx` is placed on in the standard SPMD setup
+/// (one computation thread per node, wrapping round-robin when more threads
+/// than nodes are requested).
+pub fn node_of_thread(idx: usize, nodes: usize) -> NodeId {
+    NodeId((idx % nodes) as u32)
+}
+
+/// Names of the five benchmarks, in the paper's figure order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BenchmarkName {
+    /// Fig. 1 — Riemann-sum estimation of π.
+    Pi,
+    /// Fig. 2 — Jacobi heat diffusion.
+    Jacobi,
+    /// Fig. 3 — Barnes-Hut N-body.
+    Barnes,
+    /// Fig. 4 — branch-and-bound TSP.
+    Tsp,
+    /// Fig. 5 — all-pairs shortest paths.
+    Asp,
+}
+
+impl BenchmarkName {
+    /// All benchmarks in figure order.
+    pub fn all() -> [BenchmarkName; 5] {
+        [
+            BenchmarkName::Pi,
+            BenchmarkName::Jacobi,
+            BenchmarkName::Barnes,
+            BenchmarkName::Tsp,
+            BenchmarkName::Asp,
+        ]
+    }
+
+    /// The paper's figure number for this benchmark.
+    pub fn figure(self) -> usize {
+        match self {
+            BenchmarkName::Pi => 1,
+            BenchmarkName::Jacobi => 2,
+            BenchmarkName::Barnes => 3,
+            BenchmarkName::Tsp => 4,
+            BenchmarkName::Asp => 5,
+        }
+    }
+
+    /// Display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BenchmarkName::Pi => "Pi",
+            BenchmarkName::Jacobi => "Jacobi",
+            BenchmarkName::Barnes => "Barnes-Hut",
+            BenchmarkName::Tsp => "TSP",
+            BenchmarkName::Asp => "ASP",
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A benchmark program parameterisation that the figure harness can run
+/// under an arbitrary cluster / protocol / node-count configuration.
+pub trait Benchmark: Send + Sync {
+    /// Which of the paper's benchmarks this is.
+    fn name(&self) -> BenchmarkName;
+
+    /// Execute the benchmark under `config` and return a scalar digest of the
+    /// computed answer (used for cross-configuration result checking) plus
+    /// the run report.
+    fn execute(&self, config: HyperionConfig) -> (f64, RunReport);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_range_covers_everything_without_overlap() {
+        for total in [0usize, 1, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 7, 12] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for idx in 0..parts {
+                    let (s, e) = block_range(total, parts, idx);
+                    assert!(s <= e);
+                    assert_eq!(s, prev_end, "blocks must be contiguous");
+                    prev_end = e;
+                    covered += e - s;
+                }
+                assert_eq!(covered, total);
+                assert_eq!(prev_end, total);
+            }
+        }
+    }
+
+    #[test]
+    fn block_range_is_balanced() {
+        for idx in 0..5 {
+            let (s, e) = block_range(23, 5, idx);
+            let len = e - s;
+            assert!(len == 4 || len == 5, "unbalanced block {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn block_range_rejects_bad_index() {
+        block_range(10, 2, 2);
+    }
+
+    #[test]
+    fn node_of_thread_wraps() {
+        assert_eq!(node_of_thread(0, 4), NodeId(0));
+        assert_eq!(node_of_thread(3, 4), NodeId(3));
+        assert_eq!(node_of_thread(5, 4), NodeId(1));
+    }
+
+    #[test]
+    fn benchmark_names_enumerate_the_five_figures() {
+        let all = BenchmarkName::all();
+        assert_eq!(all.len(), 5);
+        let figures: Vec<usize> = all.iter().map(|b| b.figure()).collect();
+        assert_eq!(figures, vec![1, 2, 3, 4, 5]);
+        assert_eq!(format!("{}", BenchmarkName::Barnes), "Barnes-Hut");
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 2 (Jacobi): java_pf vs. java_ic on both clusters.
+//!
+//! The Criterion measurement is the wall-clock cost of simulating one data
+//! point; the *virtual* execution times that reproduce the paper's curves
+//! are printed by the `figures` binary (`cargo run -p hyperion-bench --bin
+//! figures -- --fig 2`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperion::prelude::*;
+use hyperion_apps::common::BenchmarkName;
+use hyperion_bench::{run_point, Scale};
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_jacobi");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for protocol in ProtocolKind::all() {
+        for nodes in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(protocol.name(), nodes),
+                &nodes,
+                |b, &nodes| {
+                    b.iter(|| {
+                        run_point(
+                            BenchmarkName::Jacobi,
+                            Scale::Quick,
+                            &myrinet_200(),
+                            protocol,
+                            nodes,
+                        )
+                        .seconds
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 3 (Barnes): java_pf vs. java_ic on both clusters.
+//!
+//! The Criterion measurement is the wall-clock cost of simulating one data
+//! point; the *virtual* execution times that reproduce the paper's curves
+//! are printed by the `figures` binary (`cargo run -p hyperion-bench --bin
+//! figures -- --fig 3`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperion::prelude::*;
+use hyperion_apps::common::BenchmarkName;
+use hyperion_bench::{run_point, Scale};
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_barnes");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for protocol in ProtocolKind::all() {
+        for nodes in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(protocol.name(), nodes),
+                &nodes,
+                |b, &nodes| {
+                    b.iter(|| {
+                        run_point(
+                            BenchmarkName::Barnes,
+                            Scale::Quick,
+                            &myrinet_200(),
+                            protocol,
+                            nodes,
+                        )
+                        .seconds
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

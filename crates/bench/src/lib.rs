@@ -1,0 +1,421 @@
+//! # hyperion-bench
+//!
+//! The figure- and table-regeneration harness of the Hyperion-RS
+//! reproduction.  For every table and figure of *"Remote object detection in
+//! cluster-based Java"* (Antoniu & Hatcher, 2001) this crate provides code
+//! that regenerates the corresponding data:
+//!
+//! * **Figures 1–5** — [`sweep_figure`] runs the matching benchmark program
+//!   over both modelled clusters, both protocols and the paper's node
+//!   counts, producing one [`FigureRow`] per data point (execution time in
+//!   virtual seconds plus the event counts that explain it).
+//! * **Table 1** — [`table1_modules`] maps every Hyperion runtime module to
+//!   the crate/module of this reproduction that implements it.
+//! * **Table 2** — [`table2_primitives`] lists the DSM primitives together
+//!   with their micro-measured virtual cost on a two-node cluster.
+//! * **§4.3 claims** — [`improvement_summary`] derives the
+//!   `java_ic` → `java_pf` improvement percentages the paper discusses.
+//!
+//! The `figures` binary (`src/main.rs`) is the command-line front end; the
+//! Criterion benches under `benches/` wrap the same sweeps.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use hyperion::prelude::*;
+use hyperion::StatsSnapshot;
+use hyperion_apps::common::{Benchmark, BenchmarkName};
+use hyperion_apps::{asp, barnes, jacobi, pi, tsp};
+
+/// Problem-size scale of a sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny instances (seconds for the full sweep; used by CI and benches).
+    Quick,
+    /// Default harness scale: large enough that the paper's qualitative
+    /// behaviour is visible, small enough to run the full sweep on a laptop.
+    Harness,
+    /// The paper's problem sizes (§4.1).  Slow: use for single data points.
+    Paper,
+}
+
+impl Scale {
+    /// Parse from a command-line string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "harness" => Some(Scale::Harness),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// Build the benchmark parameterisation for an app at a scale.
+pub fn benchmark_at(name: BenchmarkName, scale: Scale) -> Box<dyn Benchmark> {
+    match (name, scale) {
+        (BenchmarkName::Pi, Scale::Quick) => Box::new(pi::PiParams::quick()),
+        (BenchmarkName::Pi, Scale::Harness) => Box::new(pi::PiParams::harness()),
+        (BenchmarkName::Pi, Scale::Paper) => Box::new(pi::PiParams::paper()),
+        (BenchmarkName::Jacobi, Scale::Quick) => Box::new(jacobi::JacobiParams::quick()),
+        (BenchmarkName::Jacobi, Scale::Harness) => Box::new(jacobi::JacobiParams::harness()),
+        (BenchmarkName::Jacobi, Scale::Paper) => Box::new(jacobi::JacobiParams::paper()),
+        (BenchmarkName::Barnes, Scale::Quick) => Box::new(barnes::BarnesParams::quick()),
+        (BenchmarkName::Barnes, Scale::Harness) => Box::new(barnes::BarnesParams::harness()),
+        (BenchmarkName::Barnes, Scale::Paper) => Box::new(barnes::BarnesParams::paper()),
+        (BenchmarkName::Tsp, Scale::Quick) => Box::new(tsp::TspParams::quick()),
+        (BenchmarkName::Tsp, Scale::Harness) => Box::new(tsp::TspParams::harness()),
+        (BenchmarkName::Tsp, Scale::Paper) => Box::new(tsp::TspParams::paper()),
+        (BenchmarkName::Asp, Scale::Quick) => Box::new(asp::AspParams::quick()),
+        (BenchmarkName::Asp, Scale::Harness) => Box::new(asp::AspParams::harness()),
+        (BenchmarkName::Asp, Scale::Paper) => Box::new(asp::AspParams::paper()),
+    }
+}
+
+/// The node counts plotted in the paper's figures for a given cluster
+/// (1–12 on the Myrinet cluster, 1–6 on the SCI cluster).
+pub fn paper_node_counts(cluster: &ClusterSpec) -> Vec<usize> {
+    let candidates: &[usize] = if cluster.max_nodes >= 12 {
+        &[1, 2, 4, 6, 8, 10, 12]
+    } else {
+        &[1, 2, 3, 4, 5, 6]
+    };
+    candidates
+        .iter()
+        .copied()
+        .filter(|&n| n <= cluster.max_nodes)
+        .collect()
+}
+
+/// One data point of a figure: a (cluster, protocol, node count) execution.
+#[derive(Clone, Debug)]
+pub struct FigureRow {
+    /// Paper figure number (1–5).
+    pub figure: usize,
+    /// Benchmark name.
+    pub app: BenchmarkName,
+    /// Cluster label ("200MHz/Myrinet" or "450MHz/SCI").
+    pub cluster: String,
+    /// Protocol used.
+    pub protocol: ProtocolKind,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Execution time in virtual seconds.
+    pub seconds: f64,
+    /// Digest of the computed answer (must agree across configurations).
+    pub digest: f64,
+    /// Cluster-wide event statistics.
+    pub stats: StatsSnapshot,
+}
+
+impl FigureRow {
+    /// CSV header matching [`FigureRow::to_csv`].
+    pub fn csv_header() -> &'static str {
+        "figure,app,cluster,protocol,nodes,exec_seconds,digest,locality_checks,page_faults,\
+         mprotect_calls,page_loads,diff_messages,bytes_moved,remote_monitor_acquires,barrier_waits"
+    }
+
+    /// Serialise as one CSV line.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{:.6},{:.6},{},{},{},{},{},{},{},{}",
+            self.figure,
+            self.app,
+            self.cluster,
+            self.protocol,
+            self.nodes,
+            self.seconds,
+            self.digest,
+            self.stats.locality_checks,
+            self.stats.page_faults,
+            self.stats.mprotect_calls,
+            self.stats.page_loads,
+            self.stats.diff_messages,
+            self.stats.bytes_moved(),
+            self.stats.remote_monitor_acquires,
+            self.stats.barrier_waits,
+        )
+    }
+}
+
+/// Run one benchmark under one configuration and wrap the result as a row.
+pub fn run_point(
+    name: BenchmarkName,
+    scale: Scale,
+    cluster: &ClusterSpec,
+    protocol: ProtocolKind,
+    nodes: usize,
+) -> FigureRow {
+    let bench = benchmark_at(name, scale);
+    let config = HyperionConfig::new(cluster.clone(), nodes, protocol);
+    let (digest, report) = bench.execute(config);
+    FigureRow {
+        figure: name.figure(),
+        app: name,
+        cluster: report.cluster_label.clone(),
+        protocol,
+        nodes,
+        seconds: report.seconds(),
+        digest,
+        stats: report.total_stats(),
+    }
+}
+
+/// Regenerate one of the paper's figures: sweep both clusters, both
+/// protocols and the paper's node counts for the benchmark behind `figure`.
+pub fn sweep_figure(name: BenchmarkName, scale: Scale) -> Vec<FigureRow> {
+    let mut rows = Vec::new();
+    for cluster in [myrinet_200(), sci_450()] {
+        for protocol in ProtocolKind::all() {
+            for nodes in paper_node_counts(&cluster) {
+                rows.push(run_point(name, scale, &cluster, protocol, nodes));
+            }
+        }
+    }
+    rows
+}
+
+/// One derived improvement data point: how much faster `java_pf` is than
+/// `java_ic` for a given (app, cluster, node count).
+#[derive(Clone, Debug)]
+pub struct Improvement {
+    /// Benchmark name.
+    pub app: BenchmarkName,
+    /// Cluster label.
+    pub cluster: String,
+    /// Node count.
+    pub nodes: usize,
+    /// `java_ic` execution time (virtual seconds).
+    pub ic_seconds: f64,
+    /// `java_pf` execution time (virtual seconds).
+    pub pf_seconds: f64,
+}
+
+impl Improvement {
+    /// Relative improvement `(ic - pf) / ic`, as a percentage (positive when
+    /// `java_pf` is faster, the paper's convention).
+    pub fn percent(&self) -> f64 {
+        (self.ic_seconds - self.pf_seconds) / self.ic_seconds * 100.0
+    }
+}
+
+/// Pair up the `java_ic`/`java_pf` rows of a sweep into improvements.
+pub fn improvement_summary(rows: &[FigureRow]) -> Vec<Improvement> {
+    let mut out = Vec::new();
+    for ic_row in rows.iter().filter(|r| r.protocol == ProtocolKind::JavaIc) {
+        if let Some(pf_row) = rows.iter().find(|r| {
+            r.protocol == ProtocolKind::JavaPf
+                && r.app == ic_row.app
+                && r.cluster == ic_row.cluster
+                && r.nodes == ic_row.nodes
+        }) {
+            out.push(Improvement {
+                app: ic_row.app,
+                cluster: ic_row.cluster.clone(),
+                nodes: ic_row.nodes,
+                ic_seconds: ic_row.seconds,
+                pf_seconds: pf_row.seconds,
+            });
+        }
+    }
+    out
+}
+
+/// Table 1 of the paper: Hyperion's runtime modules, with the part of this
+/// reproduction that implements each one.
+pub fn table1_modules() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        (
+            "Threads subsystem",
+            "Java thread creation/synchronisation mapped onto PM2 operations",
+            "hyperion::runtime::ThreadCtx::{spawn,join} + hyperion-pm2::threads",
+        ),
+        (
+            "Communication subsystem",
+            "Message handlers asynchronously invoked on the receiving node (RPCs)",
+            "hyperion-pm2::comm + hyperion-pm2::cluster::Cluster::rpc",
+        ),
+        (
+            "Memory subsystem",
+            "Single shared address space under the Java Memory Model, two protocols",
+            "hyperion-dsm::protocol::DsmSystem + hyperion::memory",
+        ),
+        (
+            "Load balancer",
+            "Round-robin distribution of newly created threads over the nodes",
+            "hyperion::thread::LoadBalancer",
+        ),
+        (
+            "Java API subsystem",
+            "Subset of the class library used by the benchmarks",
+            "hyperion::api::{JBarrier, SharedCounter, arraycopy}",
+        ),
+    ]
+}
+
+/// A measured row of Table 2: primitive name, description and the virtual
+/// cost observed in a two-node micro-benchmark on the given cluster.
+#[derive(Clone, Debug)]
+pub struct PrimitiveCost {
+    /// Primitive name as in the paper's Table 2.
+    pub name: &'static str,
+    /// Paper description.
+    pub description: &'static str,
+    /// Virtual time of one invocation in the micro-benchmark (microseconds).
+    pub micros: f64,
+}
+
+/// Micro-measure the Table 2 primitives on a two-node cluster.
+pub fn table2_primitives(cluster: &ClusterSpec, protocol: ProtocolKind) -> Vec<PrimitiveCost> {
+    let runtime = HyperionRuntime::new(HyperionConfig::new(cluster.clone(), 2, protocol))
+        .expect("two-node configuration");
+    let out = runtime.run(|ctx| {
+        let remote = ctx.alloc_array::<u64>(64, NodeId(1));
+        let mut costs = Vec::new();
+
+        // loadIntoCache: fetch a page that is not yet cached.
+        let t0 = ctx.now();
+        ctx.load_into_cache(remote.base());
+        costs.push(("loadIntoCache", ctx.now() - t0));
+
+        // get on a cached page.
+        let t0 = ctx.now();
+        let _: u64 = remote.get(ctx, 0);
+        costs.push(("get", ctx.now() - t0));
+
+        // put on a cached page.
+        let t0 = ctx.now();
+        remote.put(ctx, 1, 42);
+        costs.push(("put", ctx.now() - t0));
+
+        // updateMainMemory with one dirty slot.
+        let t0 = ctx.now();
+        hyperion::memory::update_main_memory(ctx);
+        costs.push(("updateMainMemory", ctx.now() - t0));
+
+        // invalidateCache with one cached page.
+        let t0 = ctx.now();
+        hyperion::memory::invalidate_cache(ctx);
+        costs.push(("invalidateCache", ctx.now() - t0));
+
+        costs
+    });
+
+    let descriptions = [
+        ("loadIntoCache", "Load an object into the cache"),
+        ("invalidateCache", "Invalidate all entries in the cache"),
+        (
+            "updateMainMemory",
+            "Update memory with modifications made to objects in the cache",
+        ),
+        (
+            "get",
+            "Retrieve a field from an object previously loaded into the cache",
+        ),
+        (
+            "put",
+            "Modify a field in an object previously loaded into the cache",
+        ),
+    ];
+
+    descriptions
+        .iter()
+        .map(|(name, description)| {
+            let measured = out
+                .result
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, t)| t.as_ps() as f64 / 1e6)
+                .unwrap_or(0.0);
+            PrimitiveCost {
+                name,
+                description,
+                micros: measured,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("harness"), Some(Scale::Harness));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn node_counts_match_the_paper_axes() {
+        assert_eq!(
+            paper_node_counts(&myrinet_200()),
+            vec![1, 2, 4, 6, 8, 10, 12]
+        );
+        assert_eq!(paper_node_counts(&sci_450()), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn table1_covers_all_five_modules() {
+        let rows = table1_modules();
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().any(|(m, _, _)| *m == "Load balancer"));
+    }
+
+    #[test]
+    fn table2_micro_costs_are_sane() {
+        let rows = table2_primitives(&myrinet_200(), ProtocolKind::JavaIc);
+        assert_eq!(rows.len(), 5);
+        let get = rows.iter().find(|r| r.name == "get").unwrap();
+        let load = rows.iter().find(|r| r.name == "loadIntoCache").unwrap();
+        // A cached get is orders of magnitude cheaper than a page fetch.
+        assert!(get.micros < load.micros);
+        assert!(load.micros > 10.0, "page fetch should cost tens of µs");
+    }
+
+    #[test]
+    fn run_point_produces_consistent_rows() {
+        let row = run_point(
+            BenchmarkName::Pi,
+            Scale::Quick,
+            &sci_450(),
+            ProtocolKind::JavaPf,
+            2,
+        );
+        assert_eq!(row.figure, 1);
+        assert_eq!(row.nodes, 2);
+        assert_eq!(row.cluster, "450MHz/SCI");
+        assert!(row.seconds > 0.0);
+        assert!((row.digest - std::f64::consts::PI).abs() < 1e-3);
+        assert!(row.to_csv().starts_with("1,Pi,450MHz/SCI,java_pf,2,"));
+        assert!(FigureRow::csv_header().starts_with("figure,app,cluster"));
+    }
+
+    #[test]
+    fn improvement_summary_pairs_protocols() {
+        let rows = vec![
+            run_point(
+                BenchmarkName::Pi,
+                Scale::Quick,
+                &sci_450(),
+                ProtocolKind::JavaIc,
+                1,
+            ),
+            run_point(
+                BenchmarkName::Pi,
+                Scale::Quick,
+                &sci_450(),
+                ProtocolKind::JavaPf,
+                1,
+            ),
+        ];
+        let imps = improvement_summary(&rows);
+        assert_eq!(imps.len(), 1);
+        let imp = &imps[0];
+        assert_eq!(imp.nodes, 1);
+        // Pi is nearly identical under both protocols.
+        assert!(imp.percent().abs() < 5.0);
+    }
+}

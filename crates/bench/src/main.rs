@@ -1,0 +1,230 @@
+//! `figures` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! figures [--fig N]... [--tables] [--claims] [--scale quick|harness|paper] [--out DIR]
+//! ```
+//!
+//! * `--fig N`     regenerate figure N (1–5); may be repeated.  Default: all.
+//! * `--tables`    print Table 1 (module inventory) and Table 2 (primitives).
+//! * `--claims`    print the derived `java_ic` → `java_pf` improvements that
+//!   correspond to the quantitative claims of §4.3.
+//! * `--scale`     problem-size scale (default `harness`).
+//! * `--out DIR`   additionally write one CSV per figure into DIR.
+
+use std::io::Write;
+
+use hyperion::prelude::*;
+use hyperion_apps::common::BenchmarkName;
+use hyperion_bench::{
+    improvement_summary, sweep_figure, table1_modules, table2_primitives, FigureRow, Scale,
+};
+
+struct Options {
+    figures: Vec<usize>,
+    tables: bool,
+    claims: bool,
+    scale: Scale,
+    out_dir: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        figures: Vec::new(),
+        tables: false,
+        claims: false,
+        scale: Scale::Harness,
+        out_dir: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let mut any_selector = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fig" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--fig needs a number between 1 and 5"));
+                if !(1..=5).contains(&n) {
+                    die("--fig needs a number between 1 and 5");
+                }
+                opts.figures.push(n);
+                any_selector = true;
+            }
+            "--tables" => {
+                opts.tables = true;
+                any_selector = true;
+            }
+            "--claims" => {
+                opts.claims = true;
+                any_selector = true;
+            }
+            "--scale" => {
+                let s = args.next().unwrap_or_default();
+                opts.scale = Scale::parse(&s)
+                    .unwrap_or_else(|| die("--scale must be quick, harness or paper"));
+            }
+            "--out" => {
+                opts.out_dir = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--out needs a directory")),
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "figures [--fig N]... [--tables] [--claims] [--scale quick|harness|paper] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument '{other}'")),
+        }
+    }
+    if !any_selector {
+        opts.figures = vec![1, 2, 3, 4, 5];
+        opts.tables = true;
+        opts.claims = true;
+    }
+    opts
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("figures: {msg}");
+    std::process::exit(2);
+}
+
+fn figure_name(n: usize) -> BenchmarkName {
+    BenchmarkName::all()
+        .into_iter()
+        .find(|b| b.figure() == n)
+        .expect("figure number in 1..=5")
+}
+
+fn print_tables() {
+    println!("== Table 1: Hyperion runtime modules and their Hyperion-RS implementations ==");
+    println!(
+        "{:<26} {:<66} {}",
+        "Module", "Role (paper)", "Implemented by"
+    );
+    for (module, role, implementation) in table1_modules() {
+        println!("{module:<26} {role:<66} {implementation}");
+    }
+    println!();
+    println!("== Table 2: key DSM primitives (micro-measured, 2 nodes) ==");
+    println!(
+        "{:<20} {:<64} {:>16} {:>16}",
+        "Primitive", "Description", "java_ic (us)", "java_pf (us)"
+    );
+    let ic = table2_primitives(&myrinet_200(), ProtocolKind::JavaIc);
+    let pf = table2_primitives(&myrinet_200(), ProtocolKind::JavaPf);
+    for (row_ic, row_pf) in ic.iter().zip(pf.iter()) {
+        println!(
+            "{:<20} {:<64} {:>16.2} {:>16.2}",
+            row_ic.name, row_ic.description, row_ic.micros, row_pf.micros
+        );
+    }
+    println!();
+}
+
+fn print_figure(rows: &[FigureRow]) {
+    let fig = rows.first().map(|r| r.figure).unwrap_or(0);
+    let app = rows.first().map(|r| r.app.to_string()).unwrap_or_default();
+    println!("== Figure {fig}: {app} — execution time (virtual seconds) vs number of nodes ==");
+    // Series layout mirroring the paper's plots: one line per
+    // (cluster, protocol), node counts across the columns.
+    let mut series: Vec<(String, ProtocolKind)> = Vec::new();
+    for r in rows {
+        let key = (r.cluster.clone(), r.protocol);
+        if !series.contains(&key) {
+            series.push(key);
+        }
+    }
+    for (cluster, protocol) in series {
+        let mut line = format!("{cluster:<16} {:<8}", protocol.to_string());
+        let mut points: Vec<&FigureRow> = rows
+            .iter()
+            .filter(|r| r.cluster == cluster && r.protocol == protocol)
+            .collect();
+        points.sort_by_key(|r| r.nodes);
+        for p in points {
+            line.push_str(&format!("  {:>2}n:{:>9.3}s", p.nodes, p.seconds));
+        }
+        println!("{line}");
+    }
+    println!();
+}
+
+fn print_claims(all_rows: &[FigureRow]) {
+    println!("== Derived §4.3 claims: java_ic -> java_pf improvement, (ic-pf)/ic ==");
+    println!(
+        "{:<12} {:<16} {:>6} {:>12} {:>12} {:>12}",
+        "App", "Cluster", "Nodes", "ic (s)", "pf (s)", "improvement"
+    );
+    let improvements = improvement_summary(all_rows);
+    for imp in &improvements {
+        println!(
+            "{:<12} {:<16} {:>6} {:>12.3} {:>12.3} {:>11.1}%",
+            imp.app.to_string(),
+            imp.cluster,
+            imp.nodes,
+            imp.ic_seconds,
+            imp.pf_seconds,
+            imp.percent()
+        );
+    }
+    // Aggregate per cluster (the paper quotes a 21% average on SCI).
+    for cluster in ["200MHz/Myrinet", "450MHz/SCI"] {
+        let subset: Vec<f64> = improvements
+            .iter()
+            .filter(|i| i.cluster == cluster && i.app != BenchmarkName::Pi)
+            .map(|i| i.percent())
+            .collect();
+        if !subset.is_empty() {
+            let avg = subset.iter().sum::<f64>() / subset.len() as f64;
+            println!(
+                "average improvement on {cluster} (excluding Pi, all apps and node counts): {avg:.1}%"
+            );
+        }
+    }
+    println!();
+}
+
+fn write_csv(dir: &str, rows: &[FigureRow]) {
+    let fig = rows.first().map(|r| r.figure).unwrap_or(0);
+    let app = rows
+        .first()
+        .map(|r| r.app.to_string().to_lowercase().replace('-', "_"))
+        .unwrap_or_default();
+    std::fs::create_dir_all(dir).expect("create output directory");
+    let path = format!("{dir}/fig{fig}_{app}.csv");
+    let mut file = std::fs::File::create(&path).expect("create CSV file");
+    writeln!(file, "{}", FigureRow::csv_header()).expect("write CSV header");
+    for row in rows {
+        writeln!(file, "{}", row.to_csv()).expect("write CSV row");
+    }
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let opts = parse_args();
+    println!(
+        "# Hyperion-RS figure harness — scale: {:?}; times are virtual seconds on the modelled clusters\n",
+        opts.scale
+    );
+
+    if opts.tables {
+        print_tables();
+    }
+
+    let mut all_rows = Vec::new();
+    for &fig in &opts.figures {
+        let rows = sweep_figure(figure_name(fig), opts.scale);
+        print_figure(&rows);
+        if let Some(dir) = &opts.out_dir {
+            write_csv(dir, &rows);
+        }
+        all_rows.extend(rows);
+    }
+
+    if opts.claims && !all_rows.is_empty() {
+        print_claims(&all_rows);
+    }
+}

@@ -1,0 +1,112 @@
+//! Wire encoding of page-fetch requests and field-granularity diffs.
+//!
+//! `updateMainMemory` ships only the modified 8-byte slots of each cached
+//! page back to the page's home node (the paper's "object-field granularity",
+//! §3.1), so two nodes writing different fields of the same page never
+//! overwrite each other's updates (no false sharing at flush time).
+
+use hyperion_pm2::PageId;
+
+/// One modified slot: `(slot index within the page, new value)`.
+pub type DiffEntry = (u16, u64);
+
+/// Encode a page-fetch request.
+pub fn encode_page_request(page: PageId) -> Vec<u8> {
+    page.0.to_le_bytes().to_vec()
+}
+
+/// Decode a page-fetch request.
+///
+/// # Panics
+/// Panics if the payload is malformed.
+pub fn decode_page_request(payload: &[u8]) -> PageId {
+    assert_eq!(payload.len(), 8, "malformed page request");
+    PageId(u64::from_le_bytes(payload.try_into().expect("8 bytes")))
+}
+
+/// Encode a diff message: page id followed by `(slot, value)` pairs.
+pub fn encode_diff(page: PageId, entries: &[DiffEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + entries.len() * 10);
+    out.extend_from_slice(&page.0.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (slot, value) in entries {
+        out.extend_from_slice(&slot.to_le_bytes());
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a diff message produced by [`encode_diff`].
+///
+/// # Panics
+/// Panics if the payload is malformed.
+pub fn decode_diff(payload: &[u8]) -> (PageId, Vec<DiffEntry>) {
+    assert!(payload.len() >= 12, "diff payload too short");
+    let page = PageId(u64::from_le_bytes(payload[0..8].try_into().expect("8")));
+    let count = u32::from_le_bytes(payload[8..12].try_into().expect("4")) as usize;
+    let body = &payload[12..];
+    assert_eq!(body.len(), count * 10, "diff payload length mismatch");
+    let mut entries = Vec::with_capacity(count);
+    for i in 0..count {
+        let off = i * 10;
+        let slot = u16::from_le_bytes(body[off..off + 2].try_into().expect("2"));
+        let value = u64::from_le_bytes(body[off + 2..off + 10].try_into().expect("8"));
+        entries.push((slot, value));
+    }
+    (page, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_request_round_trip() {
+        for p in [0u64, 1, 12345, u64::MAX / 2] {
+            let enc = encode_page_request(PageId(p));
+            assert_eq!(decode_page_request(&enc), PageId(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed page request")]
+    fn short_page_request_rejected() {
+        decode_page_request(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn diff_round_trip_preserves_entries_and_order() {
+        let entries = vec![(0u16, 7u64), (511, u64::MAX), (42, 0)];
+        let enc = encode_diff(PageId(9), &entries);
+        let (page, dec) = decode_diff(&enc);
+        assert_eq!(page, PageId(9));
+        assert_eq!(dec, entries);
+    }
+
+    #[test]
+    fn empty_diff_round_trip() {
+        let enc = encode_diff(PageId(3), &[]);
+        let (page, dec) = decode_diff(&enc);
+        assert_eq!(page, PageId(3));
+        assert!(dec.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn truncated_diff_rejected() {
+        let mut enc = encode_diff(PageId(1), &[(1, 2), (3, 4)]);
+        enc.pop();
+        decode_diff(&enc);
+    }
+
+    #[test]
+    fn diff_size_is_proportional_to_entry_count() {
+        let small = encode_diff(PageId(1), &[(1, 1)]);
+        let large = encode_diff(
+            PageId(1),
+            &(0..100u16).map(|i| (i, i as u64)).collect::<Vec<_>>(),
+        );
+        assert_eq!(small.len(), 12 + 10);
+        assert_eq!(large.len(), 12 + 1000);
+    }
+}

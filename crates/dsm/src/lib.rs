@@ -1,0 +1,34 @@
+//! # hyperion-dsm
+//!
+//! A Rust re-implementation of the **DSM-PM2** layer used by Hyperion in
+//! *"Remote object detection in cluster-based Java"* (Antoniu & Hatcher,
+//! JavaPDC/IPDPS 2001): a page-based, home-based distributed shared memory
+//! with pluggable access-detection, providing the five primitives of the
+//! paper's Table 2 (`loadIntoCache`, `invalidateCache`, `updateMainMemory`,
+//! `get`, `put`).
+//!
+//! Two protocols implement Java consistency:
+//!
+//! * [`ProtocolKind::JavaIc`] — access detection by explicit in-line
+//!   locality checks (§3.2);
+//! * [`ProtocolKind::JavaPf`] — access detection by page faults on protected
+//!   pages (§3.3).
+//!
+//! Module map:
+//!
+//! * [`page`] — page frames, presence/protection bits, dirty-slot bitmaps;
+//! * [`table`] — per-node frame tables and the cluster-wide [`DsmStore`];
+//! * [`diff`] — wire encoding of page fetches and field-granularity diffs;
+//! * [`protocol`] — the [`DsmSystem`] protocol engine and its RPC services.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod diff;
+pub mod page;
+pub mod protocol;
+pub mod table;
+
+pub use page::{PageData, PageFrame};
+pub use protocol::{DsmSystem, ProtocolKind};
+pub use table::DsmStore;

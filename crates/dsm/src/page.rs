@@ -1,0 +1,306 @@
+//! Page frames: the unit of replication and access detection.
+//!
+//! Objects are implemented on top of pages (§3.1): `loadIntoCache` always
+//! retrieves the whole page an object lives on, so neighbouring objects are
+//! pre-fetched for free.  Each node holds at most one copy of a page; the
+//! copy is shared by every thread running on that node.
+//!
+//! A frame's 8-byte slots are `AtomicU64`s accessed with relaxed ordering —
+//! on the modelled x86 machines these are plain loads and stores, and using
+//! atomics keeps the reproduction free of undefined behaviour even when an
+//! application contains a (Java-level) data race.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use hyperion_pm2::SLOTS_PER_PAGE;
+use parking_lot::Mutex;
+
+/// Number of 64-bit words in the per-page dirty bitmap.
+pub const DIRTY_WORDS: usize = SLOTS_PER_PAGE / 64;
+
+/// The backing store of one page on one node: 512 atomic 8-byte slots.
+#[derive(Debug)]
+pub struct PageData {
+    slots: Box<[AtomicU64]>,
+}
+
+impl PageData {
+    /// A zero-filled page.
+    pub fn zeroed() -> Self {
+        PageData {
+            slots: (0..SLOTS_PER_PAGE).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Read one slot.
+    #[inline]
+    pub fn load(&self, slot: usize) -> u64 {
+        self.slots[slot].load(Ordering::Relaxed)
+    }
+
+    /// Write one slot.
+    #[inline]
+    pub fn store(&self, slot: usize, value: u64) {
+        self.slots[slot].store(value, Ordering::Relaxed);
+    }
+
+    /// Copy the whole page into a plain byte vector (little-endian), used to
+    /// ship pages over the communication subsystem.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(SLOTS_PER_PAGE * 8);
+        for s in self.slots.iter() {
+            out.extend_from_slice(&s.load(Ordering::Relaxed).to_le_bytes());
+        }
+        out
+    }
+
+    /// Overwrite the whole page from a byte snapshot produced by
+    /// [`PageData::snapshot_bytes`].
+    ///
+    /// # Panics
+    /// Panics if `bytes` is not exactly one page long.
+    pub fn fill_from_bytes(&self, bytes: &[u8]) {
+        assert_eq!(
+            bytes.len(),
+            SLOTS_PER_PAGE * 8,
+            "page snapshot has the wrong length"
+        );
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            let v = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+            self.slots[i].store(v, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The per-(node, page) replication state used by both protocols.
+#[derive(Debug)]
+pub struct PageFrame {
+    /// True if this node is the page's home (the reference copy).
+    home: bool,
+    /// True if the node currently holds a valid copy of the page.
+    present: AtomicBool,
+    /// True if the page is access-protected on this node (`java_pf` only:
+    /// an access while protected takes a simulated page fault).
+    protected: AtomicBool,
+    /// Lazily allocated backing store.
+    data: OnceLock<PageData>,
+    /// Dirty bitmap: one bit per slot modified since the last flush.
+    dirty: [AtomicU64; DIRTY_WORDS],
+    /// Serialises page fetches for this frame so concurrent faulting threads
+    /// on one node perform a single load.
+    fetch_lock: Mutex<()>,
+}
+
+impl PageFrame {
+    /// Create the frame for a page on its home node: present, unprotected.
+    pub fn new_home() -> Self {
+        PageFrame {
+            home: true,
+            present: AtomicBool::new(true),
+            protected: AtomicBool::new(false),
+            data: OnceLock::new(),
+            dirty: std::array::from_fn(|_| AtomicU64::new(0)),
+            fetch_lock: Mutex::new(()),
+        }
+    }
+
+    /// Create the frame for a page on a non-home node: absent and (for
+    /// `java_pf`) access-protected, exactly as §3.3 describes the initial
+    /// state.
+    pub fn new_remote() -> Self {
+        PageFrame {
+            home: false,
+            present: AtomicBool::new(false),
+            protected: AtomicBool::new(true),
+            data: OnceLock::new(),
+            dirty: std::array::from_fn(|_| AtomicU64::new(0)),
+            fetch_lock: Mutex::new(()),
+        }
+    }
+
+    /// True if this node is the page's home.
+    #[inline]
+    pub fn is_home(&self) -> bool {
+        self.home
+    }
+
+    /// True if the node holds a valid copy.
+    #[inline]
+    pub fn is_present(&self) -> bool {
+        self.present.load(Ordering::Acquire)
+    }
+
+    /// True if the page is access-protected on this node.
+    #[inline]
+    pub fn is_protected(&self) -> bool {
+        self.protected.load(Ordering::Acquire)
+    }
+
+    /// Backing store (allocated on first use).
+    #[inline]
+    pub fn data(&self) -> &PageData {
+        self.data.get_or_init(PageData::zeroed)
+    }
+
+    /// Lock guarding page fetches for this frame.
+    pub fn fetch_lock(&self) -> &Mutex<()> {
+        &self.fetch_lock
+    }
+
+    /// Install a fresh copy of the page (after a fetch from the home node)
+    /// and mark it present and unprotected.
+    pub fn install_copy(&self, bytes: &[u8]) {
+        self.data().fill_from_bytes(bytes);
+        self.protected.store(false, Ordering::Release);
+        self.present.store(true, Ordering::Release);
+    }
+
+    /// Drop the cached copy: `invalidateCache` for this frame.  For the
+    /// page-fault protocol the frame is also re-protected so the next access
+    /// faults.  Home frames are never invalidated.
+    pub fn invalidate(&self, reprotect: bool) {
+        debug_assert!(!self.home, "home frames are never invalidated");
+        self.present.store(false, Ordering::Release);
+        if reprotect {
+            self.protected.store(true, Ordering::Release);
+        }
+    }
+
+    /// Read a slot of this frame.
+    #[inline]
+    pub fn load_slot(&self, slot: usize) -> u64 {
+        self.data().load(slot)
+    }
+
+    /// Write a slot of this frame and, on non-home frames, remember it in the
+    /// dirty bitmap so `updateMainMemory` can flush it (object-field
+    /// granularity, §3.1).
+    #[inline]
+    pub fn store_slot(&self, slot: usize, value: u64) {
+        self.data().store(slot, value);
+        if !self.home {
+            self.dirty[slot / 64].fetch_or(1u64 << (slot % 64), Ordering::Relaxed);
+        }
+    }
+
+    /// True if any slot has been modified since the last flush.
+    pub fn has_dirty_slots(&self) -> bool {
+        self.dirty.iter().any(|w| w.load(Ordering::Relaxed) != 0)
+    }
+
+    /// Collect and clear the dirty slots, returning `(slot, value)` pairs.
+    pub fn take_dirty(&self) -> Vec<(u16, u64)> {
+        let mut out = Vec::new();
+        for (w, word) in self.dirty.iter().enumerate() {
+            let bits = word.swap(0, Ordering::Relaxed);
+            if bits == 0 {
+                continue;
+            }
+            let mut b = bits;
+            while b != 0 {
+                let bit = b.trailing_zeros() as usize;
+                let slot = w * 64 + bit;
+                out.push((slot as u16, self.data().load(slot)));
+                b &= b - 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_data_round_trips_through_bytes() {
+        let p = PageData::zeroed();
+        p.store(0, 0xDEAD_BEEF);
+        p.store(511, u64::MAX);
+        p.store(17, 42);
+        let bytes = p.snapshot_bytes();
+        assert_eq!(bytes.len(), 4096);
+
+        let q = PageData::zeroed();
+        q.fill_from_bytes(&bytes);
+        assert_eq!(q.load(0), 0xDEAD_BEEF);
+        assert_eq!(q.load(511), u64::MAX);
+        assert_eq!(q.load(17), 42);
+        assert_eq!(q.load(100), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn short_snapshot_is_rejected() {
+        PageData::zeroed().fill_from_bytes(&[0u8; 100]);
+    }
+
+    #[test]
+    fn home_and_remote_frames_start_in_paper_initial_state() {
+        let home = PageFrame::new_home();
+        assert!(home.is_home());
+        assert!(home.is_present());
+        assert!(!home.is_protected());
+
+        let remote = PageFrame::new_remote();
+        assert!(!remote.is_home());
+        assert!(!remote.is_present());
+        assert!(remote.is_protected());
+    }
+
+    #[test]
+    fn install_copy_makes_frame_accessible() {
+        let remote = PageFrame::new_remote();
+        let src = PageData::zeroed();
+        src.store(3, 77);
+        remote.install_copy(&src.snapshot_bytes());
+        assert!(remote.is_present());
+        assert!(!remote.is_protected());
+        assert_eq!(remote.load_slot(3), 77);
+    }
+
+    #[test]
+    fn invalidate_with_and_without_reprotection() {
+        let remote = PageFrame::new_remote();
+        remote.install_copy(&PageData::zeroed().snapshot_bytes());
+
+        remote.invalidate(false); // java_ic style
+        assert!(!remote.is_present());
+        assert!(!remote.is_protected());
+
+        remote.install_copy(&PageData::zeroed().snapshot_bytes());
+        remote.invalidate(true); // java_pf style
+        assert!(!remote.is_present());
+        assert!(remote.is_protected());
+    }
+
+    #[test]
+    fn dirty_tracking_only_on_non_home_frames() {
+        let home = PageFrame::new_home();
+        home.store_slot(5, 123);
+        assert!(!home.has_dirty_slots());
+        assert!(home.take_dirty().is_empty());
+
+        let remote = PageFrame::new_remote();
+        remote.store_slot(5, 123);
+        remote.store_slot(64, 456);
+        remote.store_slot(511, 789);
+        assert!(remote.has_dirty_slots());
+        let mut dirty = remote.take_dirty();
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![(5, 123), (64, 456), (511, 789)]);
+        // The bitmap is cleared by take_dirty.
+        assert!(!remote.has_dirty_slots());
+        assert!(remote.take_dirty().is_empty());
+    }
+
+    #[test]
+    fn take_dirty_reports_latest_value_per_slot() {
+        let remote = PageFrame::new_remote();
+        remote.store_slot(9, 1);
+        remote.store_slot(9, 2);
+        remote.store_slot(9, 3);
+        assert_eq!(remote.take_dirty(), vec![(9, 3)]);
+    }
+}

@@ -1,0 +1,673 @@
+//! The consistency-protocol engine: `java_ic` and `java_pf`.
+//!
+//! Both protocols implement the Java Memory Model the same way (home-based
+//! caching, invalidate on monitor entry, flush field-granularity diffs on
+//! monitor exit — §3.1) and differ *only* in how accesses to remote objects
+//! are detected (§3.2, §3.3):
+//!
+//! * **`java_ic`** — every `get`/`put` performs an explicit in-line locality
+//!   check; a miss triggers a page fetch.  No page protection, no faults, no
+//!   `mprotect`.
+//! * **`java_pf`** — `get`/`put` on a present, unprotected page cost nothing
+//!   beyond the raw access.  Pages of remote objects are access-protected,
+//!   so the first access after initialisation or after a cache invalidation
+//!   takes a (simulated) page fault, fetches the page, and pays an `mprotect`
+//!   to open it; monitor-entry invalidation pays an `mprotect` to re-protect
+//!   the cached region.
+//!
+//! The engine exposes exactly the primitives of the paper's Table 2:
+//! [`DsmSystem::load_into_cache`], [`DsmSystem::invalidate_cache`],
+//! [`DsmSystem::update_main_memory`], [`DsmSystem::get`] and
+//! [`DsmSystem::put`].
+
+use std::sync::Arc;
+
+use hyperion_model::{CpuModel, DsmCostModel, NodeStats, ThreadClock};
+use hyperion_pm2::{
+    Cluster, GlobalAddr, Node, NodeId, PageId, RpcHandler, RpcReply, ServiceId, SLOTS_PER_PAGE,
+};
+
+use crate::diff::{decode_diff, decode_page_request, encode_diff, encode_page_request};
+use crate::page::PageFrame;
+use crate::table::DsmStore;
+
+/// Which access-detection technique a run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Explicit in-line locality checks on every access (§3.2).
+    JavaIc,
+    /// Page-fault-based detection with page protection (§3.3).
+    JavaPf,
+}
+
+impl ProtocolKind {
+    /// The name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::JavaIc => "java_ic",
+            ProtocolKind::JavaPf => "java_pf",
+        }
+    }
+
+    /// Both protocols, in the order the paper lists them.
+    pub fn all() -> [ProtocolKind; 2] {
+        [ProtocolKind::JavaIc, ProtocolKind::JavaPf]
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// RPC service: ship a copy of a home page to a requesting node.
+struct PageFetchService {
+    store: Arc<DsmStore>,
+    cpu: CpuModel,
+    dsm: DsmCostModel,
+}
+
+impl RpcHandler for PageFetchService {
+    fn handle(&self, target: &Node, _caller: NodeId, payload: &[u8]) -> RpcReply {
+        let page = decode_page_request(payload);
+        debug_assert_eq!(
+            self.store.home_of(page),
+            target.id(),
+            "page fetch sent to a node that is not the page's home"
+        );
+        let bytes = self
+            .store
+            .with_frame(target.id(), page, |f| f.data().snapshot_bytes());
+        let service = self
+            .cpu
+            .cycles(self.dsm.page_copy_cycles_per_slot * SLOTS_PER_PAGE as f64);
+        RpcReply::with_data(bytes, service)
+    }
+
+    fn name(&self) -> &'static str {
+        "dsm.page_fetch"
+    }
+}
+
+/// RPC service: apply a field-granularity diff to a home page.
+struct DiffApplyService {
+    store: Arc<DsmStore>,
+    cpu: CpuModel,
+    dsm: DsmCostModel,
+}
+
+impl RpcHandler for DiffApplyService {
+    fn handle(&self, target: &Node, _caller: NodeId, payload: &[u8]) -> RpcReply {
+        let (page, entries) = decode_diff(payload);
+        debug_assert_eq!(
+            self.store.home_of(page),
+            target.id(),
+            "diff sent to a node that is not the page's home"
+        );
+        self.store.with_frame(target.id(), page, |f| {
+            debug_assert!(f.is_home());
+            for &(slot, value) in &entries {
+                f.store_slot(slot as usize, value);
+            }
+        });
+        let service = self
+            .cpu
+            .cycles(self.dsm.diff_apply_cycles_per_slot * entries.len() as f64);
+        RpcReply::ack(service)
+    }
+
+    fn name(&self) -> &'static str {
+        "dsm.diff_apply"
+    }
+}
+
+/// The DSM system of one cluster run: the protocol engine plus its services.
+pub struct DsmSystem {
+    cluster: Arc<Cluster>,
+    store: Arc<DsmStore>,
+    kind: ProtocolKind,
+    page_fetch: ServiceId,
+    diff_apply: ServiceId,
+}
+
+impl DsmSystem {
+    /// Build a DSM system over an existing cluster and store, registering the
+    /// page-fetch and diff-apply services with the communication subsystem.
+    pub fn new(cluster: Arc<Cluster>, store: Arc<DsmStore>, kind: ProtocolKind) -> Arc<Self> {
+        let cpu = cluster.machine().cpu.clone();
+        let dsm = cluster.machine().dsm.clone();
+        let page_fetch = cluster.register_service(Arc::new(PageFetchService {
+            store: Arc::clone(&store),
+            cpu: cpu.clone(),
+            dsm: dsm.clone(),
+        }));
+        let diff_apply = cluster.register_service(Arc::new(DiffApplyService {
+            store: Arc::clone(&store),
+            cpu,
+            dsm,
+        }));
+        Arc::new(DsmSystem {
+            cluster,
+            store,
+            kind,
+            page_fetch,
+            diff_apply,
+        })
+    }
+
+    /// The protocol this system runs.
+    #[inline]
+    pub fn kind(&self) -> ProtocolKind {
+        self.kind
+    }
+
+    /// The cluster this system runs on.
+    #[inline]
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// The shared page store.
+    #[inline]
+    pub fn store(&self) -> &Arc<DsmStore> {
+        &self.store
+    }
+
+    /// Retrieve a field (an 8-byte slot): the `get` primitive of Table 2.
+    ///
+    /// Charges the protocol-dependent access-detection cost to `clock` and
+    /// fetches the containing page if it is not available locally.
+    pub fn get(&self, node: NodeId, clock: &mut ThreadClock, addr: GlobalAddr) -> u64 {
+        let node_ref = self.cluster.node(node);
+        NodeStats::bump(&node_ref.stats.field_reads);
+        let page = addr.page();
+        let frame = self.store.frame(node, page);
+        self.ensure_access(node, node_ref, clock, page, &frame);
+        frame.load_slot(addr.slot())
+    }
+
+    /// Modify a field: the `put` primitive of Table 2.
+    ///
+    /// The modification is recorded with field granularity (dirty-slot
+    /// bitmap) so `updateMainMemory` can flush exactly the modified fields.
+    pub fn put(&self, node: NodeId, clock: &mut ThreadClock, addr: GlobalAddr, value: u64) {
+        let node_ref = self.cluster.node(node);
+        NodeStats::bump(&node_ref.stats.field_writes);
+        let page = addr.page();
+        let frame = self.store.frame(node, page);
+        self.ensure_access(node, node_ref, clock, page, &frame);
+        frame.store_slot(addr.slot(), value);
+    }
+
+    /// Explicitly load a page into the local cache (the `loadIntoCache`
+    /// primitive of Table 2).  A no-op for home pages and pages already
+    /// cached.
+    pub fn load_into_cache(&self, node: NodeId, clock: &mut ThreadClock, page: PageId) {
+        let node_ref = self.cluster.node(node);
+        let frame = self.store.frame(node, page);
+        if frame.is_home() || (frame.is_present() && !frame.is_protected()) {
+            return;
+        }
+        self.fetch_page(
+            node,
+            node_ref,
+            clock,
+            page,
+            &frame,
+            self.kind == ProtocolKind::JavaPf,
+        );
+    }
+
+    /// Invalidate all cached (non-home) pages on `node`: the
+    /// `invalidateCache` primitive of Table 2, executed on monitor entry.
+    ///
+    /// Pages holding unflushed modifications are flushed first so that no
+    /// update can be lost by an acquire that precedes the matching release.
+    /// Under `java_pf` the cached region is re-protected, which costs one
+    /// `mprotect` call (§3.3).
+    pub fn invalidate_cache(&self, node: NodeId, clock: &mut ThreadClock) {
+        let node_ref = self.cluster.node(node);
+        NodeStats::bump(&node_ref.stats.cache_invalidations);
+
+        let mut cached: Vec<(PageId, Arc<PageFrame>)> = Vec::new();
+        self.store.for_each_frame(node, |page, frame| {
+            if !frame.is_home() && frame.is_present() {
+                cached.push((page, self.store.frame(node, page)));
+            }
+        });
+        if cached.is_empty() {
+            return;
+        }
+
+        // Flush any pending modifications before dropping the copies.
+        for (page, frame) in &cached {
+            if frame.has_dirty_slots() {
+                self.flush_frame(node, node_ref, clock, *page, frame);
+            }
+        }
+
+        let reprotect = self.kind == ProtocolKind::JavaPf;
+        for (_, frame) in &cached {
+            frame.invalidate(reprotect);
+        }
+
+        let machine = self.cluster.machine();
+        let n = cached.len() as u64;
+        NodeStats::bump_by(&node_ref.stats.pages_invalidated, n);
+        clock.advance(
+            machine
+                .cpu
+                .cycles(machine.dsm.invalidate_cycles_per_page * n as f64),
+        );
+        if reprotect {
+            // One mprotect call covers the (iso-address, hence contiguous-ish)
+            // cached region that is being re-protected.
+            NodeStats::bump(&node_ref.stats.mprotect_calls);
+            clock.advance(machine.dsm.mprotect_call);
+        }
+    }
+
+    /// Flush all locally recorded modifications to the corresponding home
+    /// nodes: the `updateMainMemory` primitive of Table 2, executed on
+    /// monitor exit.
+    pub fn update_main_memory(&self, node: NodeId, clock: &mut ThreadClock) {
+        let node_ref = self.cluster.node(node);
+        let mut dirty: Vec<(PageId, Arc<PageFrame>)> = Vec::new();
+        self.store.for_each_frame(node, |page, frame| {
+            if !frame.is_home() && frame.has_dirty_slots() {
+                dirty.push((page, self.store.frame(node, page)));
+            }
+        });
+        for (page, frame) in dirty {
+            self.flush_frame(node, node_ref, clock, page, &frame);
+        }
+    }
+
+    /// True if `node` currently holds an accessible copy of `page`.
+    pub fn is_cached(&self, node: NodeId, page: PageId) -> bool {
+        self.store.with_frame(node, page, |f| {
+            f.is_home() || (f.is_present() && !f.is_protected())
+        })
+    }
+
+    /// Number of non-home pages currently cached (present) on `node`.
+    pub fn pages_cached_on(&self, node: NodeId) -> usize {
+        let mut n = 0;
+        self.store.for_each_frame(node, |_, f| {
+            if !f.is_home() && f.is_present() {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    // ----- internal helpers ------------------------------------------------
+
+    /// Apply the protocol's access-detection policy for one access.
+    fn ensure_access(
+        &self,
+        node: NodeId,
+        node_ref: &Node,
+        clock: &mut ThreadClock,
+        page: PageId,
+        frame: &PageFrame,
+    ) {
+        match self.kind {
+            ProtocolKind::JavaIc => {
+                // Every access pays the in-line locality check, local or not.
+                NodeStats::bump(&node_ref.stats.locality_checks);
+                clock.advance(self.cluster.machine().cpu.locality_check());
+                if !frame.is_home() && !frame.is_present() {
+                    self.fetch_page(node, node_ref, clock, page, frame, false);
+                }
+            }
+            ProtocolKind::JavaPf => {
+                if frame.is_home() || (frame.is_present() && !frame.is_protected()) {
+                    // Raw memory access: zero protocol overhead.
+                    return;
+                }
+                // Simulated SIGSEGV: fault cost, fetch, then mprotect to open
+                // the page for subsequent accesses.
+                NodeStats::bump(&node_ref.stats.page_faults);
+                clock.advance(self.cluster.machine().dsm.page_fault);
+                self.fetch_page(node, node_ref, clock, page, frame, true);
+            }
+        }
+    }
+
+    /// Bring a page into the local cache from its home node.
+    fn fetch_page(
+        &self,
+        node: NodeId,
+        node_ref: &Node,
+        clock: &mut ThreadClock,
+        page: PageId,
+        frame: &PageFrame,
+        unprotect_after: bool,
+    ) {
+        let guard = frame.fetch_lock().lock();
+        if frame.is_present() && !frame.is_protected() {
+            // Another thread on this node completed the load while we were
+            // waiting on the fetch lock.
+            drop(guard);
+            return;
+        }
+        NodeStats::bump(&node_ref.stats.page_loads);
+        let home = self.store.home_of(page);
+        let payload = encode_page_request(page);
+        let bytes = self
+            .cluster
+            .rpc(clock, node, home, self.page_fetch, &payload);
+        frame.install_copy(&bytes);
+        drop(guard);
+
+        if unprotect_after {
+            NodeStats::bump(&node_ref.stats.mprotect_calls);
+            clock.advance(self.cluster.machine().dsm.mprotect_call);
+        }
+    }
+
+    /// Send one page's dirty slots to its home node and clear the bitmap.
+    fn flush_frame(
+        &self,
+        node: NodeId,
+        node_ref: &Node,
+        clock: &mut ThreadClock,
+        page: PageId,
+        frame: &PageFrame,
+    ) {
+        let entries = frame.take_dirty();
+        if entries.is_empty() {
+            return;
+        }
+        let machine = self.cluster.machine();
+        NodeStats::bump(&node_ref.stats.diff_messages);
+        NodeStats::bump_by(&node_ref.stats.diff_slots_flushed, entries.len() as u64);
+        clock.advance(
+            machine
+                .cpu
+                .cycles(machine.dsm.diff_record_cycles_per_slot * entries.len() as f64),
+        );
+        let home = self.store.home_of(page);
+        let payload = encode_diff(page, &entries);
+        let _ = self
+            .cluster
+            .rpc(clock, node, home, self.diff_apply, &payload);
+    }
+}
+
+impl std::fmt::Debug for DsmSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DsmSystem")
+            .field("protocol", &self.kind.name())
+            .field("nodes", &self.cluster.num_nodes())
+            .field("pages", &self.store.allocator().num_pages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperion_model::{myrinet_200, VTime};
+    use hyperion_pm2::IsoAllocator;
+
+    struct Fixture {
+        cluster: Arc<Cluster>,
+        alloc: Arc<IsoAllocator>,
+        dsm: Arc<DsmSystem>,
+    }
+
+    fn fixture(nodes: usize, kind: ProtocolKind) -> Fixture {
+        let cluster = Cluster::new(myrinet_200().machine, nodes);
+        let alloc = Arc::new(IsoAllocator::new(nodes));
+        let store = DsmStore::new(Arc::clone(&alloc), nodes);
+        let dsm = DsmSystem::new(Arc::clone(&cluster), store, kind);
+        Fixture {
+            cluster,
+            alloc,
+            dsm,
+        }
+    }
+
+    #[test]
+    fn protocol_kind_names_match_paper() {
+        assert_eq!(ProtocolKind::JavaIc.name(), "java_ic");
+        assert_eq!(ProtocolKind::JavaPf.name(), "java_pf");
+        assert_eq!(ProtocolKind::all().len(), 2);
+        assert_eq!(format!("{}", ProtocolKind::JavaPf), "java_pf");
+    }
+
+    #[test]
+    fn home_access_round_trips_values() {
+        for kind in ProtocolKind::all() {
+            let f = fixture(1, kind);
+            let addr = f.alloc.alloc(8, NodeId(0));
+            let mut clock = ThreadClock::new();
+            f.dsm.put(NodeId(0), &mut clock, addr.offset(3), 42);
+            assert_eq!(f.dsm.get(NodeId(0), &mut clock, addr.offset(3)), 42);
+            assert_eq!(f.dsm.get(NodeId(0), &mut clock, addr.offset(4)), 0);
+        }
+    }
+
+    #[test]
+    fn ic_charges_checks_even_on_home_pages_pf_does_not() {
+        let ic = fixture(1, ProtocolKind::JavaIc);
+        let pf = fixture(1, ProtocolKind::JavaPf);
+        let a_ic = ic.alloc.alloc(4, NodeId(0));
+        let a_pf = pf.alloc.alloc(4, NodeId(0));
+
+        let mut c_ic = ThreadClock::new();
+        let mut c_pf = ThreadClock::new();
+        for i in 0..100 {
+            ic.dsm.put(NodeId(0), &mut c_ic, a_ic, i);
+            pf.dsm.put(NodeId(0), &mut c_pf, a_pf, i);
+        }
+        assert_eq!(ic.cluster.node_stats(NodeId(0)).locality_checks, 100);
+        assert_eq!(pf.cluster.node_stats(NodeId(0)).locality_checks, 0);
+        assert_eq!(pf.cluster.node_stats(NodeId(0)).page_faults, 0);
+        // The in-line check protocol is strictly slower on an all-local run.
+        assert!(c_ic.now() > c_pf.now());
+        assert_eq!(c_pf.now(), VTime::ZERO);
+    }
+
+    #[test]
+    fn remote_read_fetches_page_and_sees_home_values() {
+        for kind in ProtocolKind::all() {
+            let f = fixture(2, kind);
+            let addr = f.alloc.alloc(8, NodeId(1));
+            // The home node writes a value directly.
+            let mut home_clock = ThreadClock::new();
+            f.dsm.put(NodeId(1), &mut home_clock, addr, 1234);
+
+            // Node 0 reads it remotely.
+            let mut clock = ThreadClock::new();
+            let v = f.dsm.get(NodeId(0), &mut clock, addr);
+            assert_eq!(v, 1234, "{kind:?}");
+
+            let s0 = f.cluster.node_stats(NodeId(0));
+            assert_eq!(s0.page_loads, 1);
+            match kind {
+                ProtocolKind::JavaIc => {
+                    assert_eq!(s0.page_faults, 0);
+                    assert_eq!(s0.mprotect_calls, 0);
+                    assert_eq!(s0.locality_checks, 1);
+                }
+                ProtocolKind::JavaPf => {
+                    assert_eq!(s0.page_faults, 1);
+                    assert_eq!(s0.mprotect_calls, 1);
+                    assert_eq!(s0.locality_checks, 0);
+                }
+            }
+            // Second read hits the cache: no further page loads.
+            let before = clock.now();
+            let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+            assert_eq!(f.cluster.node_stats(NodeId(0)).page_loads, 1);
+            match kind {
+                ProtocolKind::JavaIc => assert!(clock.now() > before),
+                ProtocolKind::JavaPf => assert_eq!(clock.now(), before),
+            }
+        }
+    }
+
+    #[test]
+    fn remote_miss_is_more_expensive_under_pf_but_hits_are_free() {
+        let ic = fixture(2, ProtocolKind::JavaIc);
+        let pf = fixture(2, ProtocolKind::JavaPf);
+        let a_ic = ic.alloc.alloc(4, NodeId(1));
+        let a_pf = pf.alloc.alloc(4, NodeId(1));
+
+        let mut c_ic = ThreadClock::new();
+        let mut c_pf = ThreadClock::new();
+        let _ = ic.dsm.get(NodeId(0), &mut c_ic, a_ic);
+        let _ = pf.dsm.get(NodeId(0), &mut c_pf, a_pf);
+        // The pf miss pays the fault and the mprotect on top of the fetch.
+        assert!(c_pf.now() > c_ic.now());
+        let machine = pf.cluster.machine();
+        assert!(c_pf.now() >= c_ic.now() + machine.dsm.page_fault);
+    }
+
+    #[test]
+    fn prefetch_effect_neighbouring_object_on_same_page_is_free() {
+        let f = fixture(2, ProtocolKind::JavaIc);
+        // Two small objects allocated back to back share a page.
+        let a = f.alloc.alloc(4, NodeId(1));
+        let b = f.alloc.alloc(4, NodeId(1));
+        assert_eq!(a.page(), b.page());
+        let mut clock = ThreadClock::new();
+        let _ = f.dsm.get(NodeId(0), &mut clock, a);
+        let _ = f.dsm.get(NodeId(0), &mut clock, b);
+        assert_eq!(f.cluster.node_stats(NodeId(0)).page_loads, 1);
+    }
+
+    #[test]
+    fn diff_flush_propagates_writes_to_home() {
+        for kind in ProtocolKind::all() {
+            let f = fixture(2, kind);
+            let addr = f.alloc.alloc(8, NodeId(1));
+            let mut w = ThreadClock::new();
+            f.dsm.put(NodeId(0), &mut w, addr.offset(2), 99);
+            // Before the flush the home still sees the old value.
+            let mut h = ThreadClock::new();
+            assert_eq!(f.dsm.get(NodeId(1), &mut h, addr.offset(2)), 0);
+            // Flush.
+            f.dsm.update_main_memory(NodeId(0), &mut w);
+            assert_eq!(f.dsm.get(NodeId(1), &mut h, addr.offset(2)), 99);
+            let s0 = f.cluster.node_stats(NodeId(0));
+            assert_eq!(s0.diff_messages, 1);
+            assert_eq!(s0.diff_slots_flushed, 1);
+            // A second flush with nothing dirty sends nothing.
+            f.dsm.update_main_memory(NodeId(0), &mut w);
+            assert_eq!(f.cluster.node_stats(NodeId(0)).diff_messages, 1);
+        }
+    }
+
+    #[test]
+    fn invalidate_forces_refetch_and_charges_mprotect_only_under_pf() {
+        for kind in ProtocolKind::all() {
+            let f = fixture(2, kind);
+            let addr = f.alloc.alloc(8, NodeId(1));
+            let mut clock = ThreadClock::new();
+            let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+            assert!(f.dsm.is_cached(NodeId(0), addr.page()));
+            assert_eq!(f.dsm.pages_cached_on(NodeId(0)), 1);
+
+            let mprotect_before = f.cluster.node_stats(NodeId(0)).mprotect_calls;
+            f.dsm.invalidate_cache(NodeId(0), &mut clock);
+            assert!(!f.dsm.is_cached(NodeId(0), addr.page()));
+            assert_eq!(f.dsm.pages_cached_on(NodeId(0)), 0);
+            let s = f.cluster.node_stats(NodeId(0));
+            assert_eq!(s.cache_invalidations, 1);
+            assert_eq!(s.pages_invalidated, 1);
+            match kind {
+                ProtocolKind::JavaIc => assert_eq!(s.mprotect_calls, mprotect_before),
+                ProtocolKind::JavaPf => assert_eq!(s.mprotect_calls, mprotect_before + 1),
+            }
+
+            // The next access loads the page again.
+            let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+            assert_eq!(f.cluster.node_stats(NodeId(0)).page_loads, 2);
+        }
+    }
+
+    #[test]
+    fn invalidate_flushes_pending_writes_first() {
+        let f = fixture(2, ProtocolKind::JavaPf);
+        let addr = f.alloc.alloc(8, NodeId(1));
+        let mut clock = ThreadClock::new();
+        f.dsm.put(NodeId(0), &mut clock, addr, 7);
+        f.dsm.invalidate_cache(NodeId(0), &mut clock);
+        // The home must have received the value even though the cache copy
+        // was dropped.
+        let mut h = ThreadClock::new();
+        assert_eq!(f.dsm.get(NodeId(1), &mut h, addr), 7);
+    }
+
+    #[test]
+    fn invalidate_on_clean_cacheless_node_is_cheap() {
+        let f = fixture(2, ProtocolKind::JavaPf);
+        let _ = f.alloc.alloc(8, NodeId(1));
+        let mut clock = ThreadClock::new();
+        f.dsm.invalidate_cache(NodeId(0), &mut clock);
+        assert_eq!(clock.now(), VTime::ZERO);
+        assert_eq!(f.cluster.node_stats(NodeId(0)).mprotect_calls, 0);
+    }
+
+    #[test]
+    fn explicit_load_into_cache_prefetches() {
+        for kind in ProtocolKind::all() {
+            let f = fixture(2, kind);
+            let addr = f.alloc.alloc(8, NodeId(1));
+            let mut clock = ThreadClock::new();
+            f.dsm.load_into_cache(NodeId(0), &mut clock, addr.page());
+            assert!(f.dsm.is_cached(NodeId(0), addr.page()));
+            let loads_before = f.cluster.node_stats(NodeId(0)).page_loads;
+            let faults_before = f.cluster.node_stats(NodeId(0)).page_faults;
+            let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+            let s = f.cluster.node_stats(NodeId(0));
+            assert_eq!(
+                s.page_loads, loads_before,
+                "{kind:?}: access after prefetch reloaded"
+            );
+            assert_eq!(s.page_faults, faults_before);
+            // Loading an already-cached or home page is a no-op.
+            f.dsm.load_into_cache(NodeId(0), &mut clock, addr.page());
+            f.dsm.load_into_cache(NodeId(1), &mut clock, addr.page());
+            assert_eq!(f.cluster.node_stats(NodeId(0)).page_loads, loads_before);
+            assert_eq!(f.cluster.node_stats(NodeId(1)).page_loads, 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_threads_on_one_node_fetch_a_page_once() {
+        let f = fixture(2, ProtocolKind::JavaIc);
+        let addr = f.alloc.alloc(8, NodeId(1));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let dsm = &f.dsm;
+                s.spawn(move || {
+                    let mut clock = ThreadClock::new();
+                    assert_eq!(dsm.get(NodeId(0), &mut clock, addr), 0);
+                });
+            }
+        });
+        assert_eq!(f.cluster.node_stats(NodeId(0)).page_loads, 1);
+    }
+
+    #[test]
+    fn field_granularity_flush_does_not_clobber_concurrent_home_writes() {
+        // Node 0 writes slot 0, the home writes slot 1; after node 0 flushes,
+        // both values must survive at the home (no false sharing).
+        let f = fixture(2, ProtocolKind::JavaIc);
+        let addr = f.alloc.alloc(8, NodeId(1));
+        let mut c0 = ThreadClock::new();
+        let mut c1 = ThreadClock::new();
+        let _ = f.dsm.get(NodeId(0), &mut c0, addr); // cache the page
+        f.dsm.put(NodeId(1), &mut c1, addr.offset(1), 111); // home writes slot 1
+        f.dsm.put(NodeId(0), &mut c0, addr.offset(0), 222); // cached write slot 0
+        f.dsm.update_main_memory(NodeId(0), &mut c0);
+        assert_eq!(f.dsm.get(NodeId(1), &mut c1, addr.offset(0)), 222);
+        assert_eq!(f.dsm.get(NodeId(1), &mut c1, addr.offset(1)), 111);
+    }
+}

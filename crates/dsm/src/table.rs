@@ -1,0 +1,240 @@
+//! Per-node page tables and the cluster-wide DSM store.
+//!
+//! Every node keeps one [`PageFrame`](crate::page::PageFrame) per page of the
+//! global address space.  The home node's frame *is* the main-memory copy of
+//! the page; the other nodes' frames are caches.  Frame tables grow lazily as
+//! pages are allocated.
+
+use std::sync::Arc;
+
+use hyperion_pm2::{IsoAllocator, NodeId, PageId};
+use parking_lot::RwLock;
+
+use crate::page::PageFrame;
+
+/// The frame table of a single node.
+#[derive(Debug, Default)]
+pub struct NodeFrames {
+    frames: RwLock<Vec<Arc<PageFrame>>>,
+}
+
+impl NodeFrames {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pages this node currently has frames for.
+    pub fn len(&self) -> usize {
+        self.frames.read().len()
+    }
+
+    /// True if no frames exist yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The cluster-wide DSM store: one frame table per node plus the allocator
+/// that knows each page's home.
+///
+/// This is the piece of state shared between the protocol engine and the RPC
+/// handlers registered with the communication subsystem (the handlers read
+/// home frames and apply diffs to them).
+pub struct DsmStore {
+    allocator: Arc<IsoAllocator>,
+    nodes: Vec<NodeFrames>,
+}
+
+impl DsmStore {
+    /// Create a store for `num_nodes` nodes sharing `allocator`'s address
+    /// space.
+    pub fn new(allocator: Arc<IsoAllocator>, num_nodes: usize) -> Arc<Self> {
+        assert!(num_nodes > 0, "DSM store needs at least one node");
+        Arc::new(DsmStore {
+            allocator,
+            nodes: (0..num_nodes).map(|_| NodeFrames::new()).collect(),
+        })
+    }
+
+    /// The iso-address allocator behind this store.
+    pub fn allocator(&self) -> &IsoAllocator {
+        &self.allocator
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Home node of `page` (delegates to the allocator).
+    #[inline]
+    pub fn home_of(&self, page: PageId) -> NodeId {
+        self.allocator.home_of(page)
+    }
+
+    /// Run `f` on node `node`'s frame for `page`, creating the frame (and any
+    /// missing lower-numbered frames) on first touch.
+    ///
+    /// # Panics
+    /// Panics if `page` has not been allocated or `node` is out of range.
+    pub fn with_frame<R>(&self, node: NodeId, page: PageId, f: impl FnOnce(&PageFrame) -> R) -> R {
+        let table = &self.nodes[node.index()];
+        {
+            let frames = table.frames.read();
+            if let Some(frame) = frames.get(page.index()) {
+                return f(frame);
+            }
+        }
+        self.grow_table(node, page);
+        let frames = table.frames.read();
+        f(&frames[page.index()])
+    }
+
+    /// Clone the `Arc` of node `node`'s frame for `page`, creating it on
+    /// first touch.  Used by the access fast path so that no table lock is
+    /// held while the protocol engine performs RPCs.
+    pub fn frame(&self, node: NodeId, page: PageId) -> Arc<PageFrame> {
+        {
+            let frames = self.nodes[node.index()].frames.read();
+            if let Some(frame) = frames.get(page.index()) {
+                return Arc::clone(frame);
+            }
+        }
+        self.grow_table(node, page);
+        let frames = self.nodes[node.index()].frames.read();
+        Arc::clone(&frames[page.index()])
+    }
+
+    /// Visit every currently materialised frame of `node` together with its
+    /// page id (used by `invalidateCache` and `updateMainMemory`).
+    pub fn for_each_frame(&self, node: NodeId, mut f: impl FnMut(PageId, &PageFrame)) {
+        let frames = self.nodes[node.index()].frames.read();
+        for (i, frame) in frames.iter().enumerate() {
+            f(PageId(i as u64), frame);
+        }
+    }
+
+    /// Number of frames currently materialised on `node`.
+    pub fn frames_on(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].len()
+    }
+
+    fn grow_table(&self, node: NodeId, page: PageId) {
+        let allocated = self.allocator.num_pages();
+        assert!(
+            page.index() < allocated,
+            "page {page:?} accessed before being allocated ({allocated} pages exist)"
+        );
+        let homes = self.allocator.page_homes();
+        let mut frames = self.nodes[node.index()].frames.write();
+        while frames.len() <= page.index() {
+            let pid = frames.len();
+            let frame = if homes[pid] == node {
+                PageFrame::new_home()
+            } else {
+                PageFrame::new_remote()
+            };
+            frames.push(Arc::new(frame));
+        }
+    }
+}
+
+impl std::fmt::Debug for DsmStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DsmStore")
+            .field("num_nodes", &self.nodes.len())
+            .field("pages_allocated", &self.allocator.num_pages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(nodes: usize) -> (Arc<IsoAllocator>, Arc<DsmStore>) {
+        let alloc = Arc::new(IsoAllocator::new(nodes));
+        let store = DsmStore::new(Arc::clone(&alloc), nodes);
+        (alloc, store)
+    }
+
+    #[test]
+    fn frames_materialise_with_correct_home_flag() {
+        let (alloc, store) = store(3);
+        let a = alloc.alloc(4, NodeId(1));
+        let page = a.page();
+
+        assert!(store.with_frame(NodeId(1), page, |f| f.is_home()));
+        assert!(!store.with_frame(NodeId(0), page, |f| f.is_home()));
+        assert!(!store.with_frame(NodeId(2), page, |f| f.is_home()));
+        assert_eq!(store.home_of(page), NodeId(1));
+    }
+
+    #[test]
+    fn growth_fills_all_lower_pages() {
+        let (alloc, store) = store(2);
+        let _ = alloc.alloc(600, NodeId(0)); // spans two fresh pages
+        let b = alloc.alloc(600, NodeId(1));
+        // Touch only the last page; earlier frames must exist afterwards.
+        let last = b.offset(599).page();
+        store.with_frame(NodeId(0), last, |_| ());
+        assert_eq!(store.frames_on(NodeId(0)), last.index() + 1);
+        // Other nodes are independent.
+        assert_eq!(store.frames_on(NodeId(1)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before being allocated")]
+    fn touching_unallocated_page_panics() {
+        let (_alloc, store) = store(1);
+        store.with_frame(NodeId(0), PageId(99), |_| ());
+    }
+
+    #[test]
+    fn frame_arc_is_shared_with_table() {
+        let (alloc, store) = store(2);
+        let a = alloc.alloc(4, NodeId(0));
+        let frame = store.frame(NodeId(1), a.page());
+        frame.install_copy(&crate::page::PageData::zeroed().snapshot_bytes());
+        assert!(store.with_frame(NodeId(1), a.page(), |f| f.is_present()));
+    }
+
+    #[test]
+    fn for_each_frame_visits_every_materialised_frame() {
+        let (alloc, store) = store(2);
+        let a = alloc.alloc(4, NodeId(0));
+        let b = alloc.alloc(4, NodeId(1));
+        store.with_frame(NodeId(0), a.page(), |_| ());
+        store.with_frame(NodeId(0), b.page(), |_| ());
+        let mut seen = Vec::new();
+        store.for_each_frame(NodeId(0), |pid, f| seen.push((pid, f.is_home())));
+        assert!(seen.len() >= 2);
+        assert!(seen.iter().any(|(pid, home)| *pid == a.page() && *home));
+        assert!(seen.iter().any(|(pid, home)| *pid == b.page() && !*home));
+    }
+
+    #[test]
+    fn concurrent_growth_is_safe() {
+        let (alloc, store) = store(4);
+        let addr = alloc.alloc(hyperion_pm2::SLOTS_PER_PAGE * 8, NodeId(0));
+        let last = addr
+            .offset(hyperion_pm2::SLOTS_PER_PAGE as u64 * 8 - 1)
+            .page();
+        std::thread::scope(|s| {
+            for n in 0..4u32 {
+                let store = &store;
+                s.spawn(move || {
+                    for p in 0..=last.index() {
+                        store.with_frame(NodeId(n), PageId(p as u64), |f| {
+                            assert_eq!(f.is_home(), n == 0);
+                        });
+                    }
+                });
+            }
+        });
+        for n in 0..4u32 {
+            assert_eq!(store.frames_on(NodeId(n)), last.index() + 1);
+        }
+    }
+}

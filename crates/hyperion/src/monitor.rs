@@ -1,0 +1,365 @@
+//! Java monitors with Java-Memory-Model semantics.
+//!
+//! Every `synchronized` block of the original Java benchmarks becomes an
+//! [`HMonitor::enter`] / [`HMonitor::exit`] pair (or the scoped
+//! [`HMonitor::synchronized`] helper); `Object.wait` / `Object.notifyAll`
+//! map to [`HMonitor::wait_monitor`] / [`HMonitor::notify_all`].
+//!
+//! Two pieces of accounting make the monitors faithful to the paper:
+//!
+//! * **Consistency actions** — entry performs the acquire action
+//!   (invalidate the node's object cache), exit performs the release action
+//!   (flush field-granularity diffs), as described in §3.1.  Under `java_pf`
+//!   the entry-side invalidation additionally re-protects the cached pages,
+//!   which is where the protocol's `mprotect` traffic comes from.
+//! * **Virtual-time ordering** — the monitor carries the virtual release
+//!   time of its previous holder; a thread entering the monitor can never be
+//!   earlier than that, so critical sections are serialised in virtual time
+//!   just as they are in real time.
+//!
+//! A monitor lives on a home node (the home of the Java object it guards);
+//! acquiring it from another node pays a control-message round trip.
+
+use std::sync::Arc;
+
+use hyperion_model::{NodeStats, VTime};
+use hyperion_pm2::NodeId;
+use parking_lot::{Condvar, Mutex};
+
+use crate::jmm;
+use crate::runtime::ThreadCtx;
+
+#[derive(Debug)]
+struct MonitorState {
+    held: bool,
+    last_release: VTime,
+    notify_epoch: u64,
+    notify_time: VTime,
+}
+
+#[derive(Debug)]
+struct MonitorInner {
+    home: NodeId,
+    state: Mutex<MonitorState>,
+    cv: Condvar,
+}
+
+/// A Java monitor (the lock + wait-set associated with a Java object).
+#[derive(Clone, Debug)]
+pub struct HMonitor {
+    inner: Arc<MonitorInner>,
+}
+
+impl HMonitor {
+    /// Create a monitor homed on `home`.  Prefer
+    /// [`ThreadCtx::new_monitor`](crate::runtime::ThreadCtx) in application
+    /// code.
+    pub fn new(home: NodeId) -> Self {
+        HMonitor {
+            inner: Arc::new(MonitorInner {
+                home,
+                state: Mutex::new(MonitorState {
+                    held: false,
+                    last_release: VTime::ZERO,
+                    notify_epoch: 0,
+                    notify_time: VTime::ZERO,
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The node this monitor lives on.
+    pub fn home(&self) -> NodeId {
+        self.inner.home
+    }
+
+    /// Enter the monitor (`monitorenter`): acquire the lock, then perform the
+    /// JMM acquire action.
+    pub fn enter(&self, ctx: &mut ThreadCtx) {
+        // Conservative pacing: do not let this thread race (in host time)
+        // past the slowest active thread, otherwise the host scheduler — not
+        // virtual time — would decide who wins contended acquisitions such
+        // as the TSP work queue or the Barnes-Hut chunk counter.
+        ctx.pace();
+        let machine = ctx.machine().clone();
+        let node_ref = ctx.shared.cluster.node(ctx.node());
+        NodeStats::bump(&node_ref.stats.monitor_enters);
+
+        if self.inner.home != ctx.node() {
+            // Lock acquisition request travels to the monitor's home node and
+            // the grant travels back.
+            NodeStats::bump(&node_ref.stats.remote_monitor_acquires);
+            let round_trip = ctx.shared.cluster.control_message_cost().times(2)
+                + machine.cpu.cycles(machine.dsm.protocol_server_cycles);
+            ctx.charge(round_trip);
+        }
+
+        {
+            let mut st = self.inner.state.lock();
+            while st.held {
+                self.inner.cv.wait(&mut st);
+            }
+            st.held = true;
+            let release = st.last_release;
+            drop(st);
+            ctx.clock_mut().merge(release);
+        }
+        ctx.charge(machine.cpu.cycles(machine.dsm.monitor_local_cycles));
+
+        jmm::acquire(ctx);
+    }
+
+    /// Exit the monitor (`monitorexit`): perform the JMM release action, then
+    /// release the lock.
+    pub fn exit(&self, ctx: &mut ThreadCtx) {
+        jmm::release(ctx);
+        let machine = ctx.machine().clone();
+        ctx.charge(machine.cpu.cycles(machine.dsm.monitor_local_cycles));
+
+        let node_ref = ctx.shared.cluster.node(ctx.node());
+        NodeStats::bump(&node_ref.stats.monitor_exits);
+
+        let mut st = self.inner.state.lock();
+        assert!(st.held, "exit of a monitor that is not held");
+        st.held = false;
+        st.last_release = st.last_release.max(ctx.now());
+        drop(st);
+        self.inner.cv.notify_all();
+    }
+
+    /// Execute `body` inside the monitor (a `synchronized` block).
+    pub fn synchronized<R>(
+        &self,
+        ctx: &mut ThreadCtx,
+        body: impl FnOnce(&mut ThreadCtx) -> R,
+    ) -> R {
+        self.enter(ctx);
+        let r = body(ctx);
+        self.exit(ctx);
+        r
+    }
+
+    /// `Object.wait()`: atomically release the monitor and wait for a
+    /// notification, then re-acquire it.  The caller must hold the monitor.
+    pub fn wait_monitor(&self, ctx: &mut ThreadCtx) {
+        // Release actions first: our writes must be visible to whoever will
+        // notify us.
+        jmm::release(ctx);
+        let machine = ctx.machine().clone();
+        // Waiting on a notification places no pacing constraint on others.
+        ctx.mark_blocked();
+
+        let (release_seen, notify_seen) = {
+            let mut st = self.inner.state.lock();
+            assert!(st.held, "wait on a monitor that is not held");
+            st.held = false;
+            st.last_release = st.last_release.max(ctx.now());
+            let my_epoch = st.notify_epoch;
+            self.inner.cv.notify_all();
+
+            // Wait for a notification...
+            while st.notify_epoch == my_epoch {
+                self.inner.cv.wait(&mut st);
+            }
+            let notify_seen = st.notify_time;
+            // ...then re-acquire the lock.
+            while st.held {
+                self.inner.cv.wait(&mut st);
+            }
+            st.held = true;
+            (st.last_release, notify_seen)
+        };
+        ctx.clock_mut().merge(release_seen);
+        ctx.clock_mut().merge(notify_seen);
+        ctx.charge(machine.cpu.cycles(machine.dsm.monitor_local_cycles));
+        ctx.publish_progress();
+
+        // Re-acquisition is an acquire action.
+        jmm::acquire(ctx);
+    }
+
+    /// `Object.notifyAll()`: wake every thread waiting on this monitor.  The
+    /// caller must hold the monitor.
+    pub fn notify_all(&self, ctx: &mut ThreadCtx) {
+        let machine = ctx.machine().clone();
+        ctx.charge(machine.cpu.cycles(machine.dsm.monitor_local_cycles));
+        let mut st = self.inner.state.lock();
+        assert!(st.held, "notify on a monitor that is not held");
+        st.notify_epoch += 1;
+        st.notify_time = st.notify_time.max(ctx.now());
+        drop(st);
+        self.inner.cv.notify_all();
+    }
+
+    /// Virtual time of the most recent release (diagnostics / tests).
+    pub fn last_release(&self) -> VTime {
+        self.inner.state.lock().last_release
+    }
+}
+
+impl ThreadCtx {
+    /// Create a monitor homed on `home`.
+    pub fn new_monitor(&mut self, home: NodeId) -> HMonitor {
+        assert!(
+            home.index() < self.num_nodes(),
+            "monitor home {home} out of range"
+        );
+        HMonitor::new(home)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{HyperionConfig, HyperionRuntime};
+    use hyperion_dsm::ProtocolKind;
+    use hyperion_model::myrinet_200;
+
+    fn runtime(nodes: usize, protocol: ProtocolKind) -> HyperionRuntime {
+        HyperionRuntime::new(HyperionConfig::new(myrinet_200(), nodes, protocol)).unwrap()
+    }
+
+    #[test]
+    fn synchronized_counter_is_exact_across_threads() {
+        for protocol in ProtocolKind::all() {
+            let rt = runtime(4, protocol);
+            let out = rt.run(|ctx| {
+                let cell = ctx.alloc_object(1, NodeId(0));
+                let monitor = ctx.new_monitor(NodeId(0));
+                let mut handles = Vec::new();
+                for i in 0..4u32 {
+                    let m = monitor.clone();
+                    handles.push(ctx.spawn_on(NodeId(i), move |t| {
+                        for _ in 0..50 {
+                            m.synchronized(t, |t| {
+                                let v: u64 = cell.get(t, 0);
+                                cell.put(t, 0, v + 1);
+                            });
+                        }
+                    }));
+                }
+                for h in handles {
+                    ctx.join(h);
+                }
+                monitor.synchronized(ctx, |ctx| cell.get::<u64>(ctx, 0))
+            });
+            assert_eq!(out.result, 200, "{protocol:?}");
+            let total = out.report.total_stats();
+            assert_eq!(total.monitor_enters, total.monitor_exits);
+            assert!(total.monitor_enters >= 201);
+            // Three of the four workers acquired the monitor remotely.
+            assert!(total.remote_monitor_acquires >= 150);
+        }
+    }
+
+    #[test]
+    fn monitor_serialises_critical_sections_in_virtual_time() {
+        let rt = runtime(2, ProtocolKind::JavaPf);
+        let out = rt.run(|ctx| {
+            let monitor = ctx.new_monitor(NodeId(0));
+            let m1 = monitor.clone();
+            let m2 = monitor.clone();
+            let h1 = ctx.spawn_on(NodeId(0), move |t| {
+                m1.synchronized(t, |t| t.charge(VTime::from_ms(10)));
+            });
+            let h2 = ctx.spawn_on(NodeId(1), move |t| {
+                m2.synchronized(t, |t| t.charge(VTime::from_ms(10)));
+            });
+            ctx.join(h1);
+            ctx.join(h2);
+            monitor.last_release()
+        });
+        // Two 10ms critical sections cannot overlap: the last release is at
+        // least 20ms.
+        assert!(out.result >= VTime::from_ms(20));
+        assert!(out.report.execution_time >= VTime::from_ms(20));
+    }
+
+    #[test]
+    fn monitor_entry_invalidates_and_exit_flushes() {
+        let rt = runtime(2, ProtocolKind::JavaPf);
+        let out = rt.run(|ctx| {
+            let arr = ctx.alloc_array::<u64>(8, NodeId(1));
+            let monitor = ctx.new_monitor(NodeId(0));
+            let _ = arr.get(ctx, 0); // cache the remote page
+            monitor.enter(ctx); // acquire: invalidation + mprotect
+            arr.put(ctx, 1, 7); // fault again, write through cache
+            monitor.exit(ctx); // release: diff flush
+        });
+        let s = out.report.node_stats[0];
+        assert_eq!(s.cache_invalidations, 1);
+        assert_eq!(s.pages_invalidated, 1);
+        assert_eq!(s.page_faults, 2);
+        assert_eq!(s.diff_messages, 1);
+        assert_eq!(s.diff_slots_flushed, 1);
+    }
+
+    #[test]
+    fn remote_monitor_acquisition_costs_a_round_trip() {
+        let rt = runtime(2, ProtocolKind::JavaIc);
+        let out = rt.run(|ctx| {
+            let local = ctx.new_monitor(NodeId(0));
+            let remote = ctx.new_monitor(NodeId(1));
+            let t0 = ctx.now();
+            local.synchronized(ctx, |_| {});
+            let t1 = ctx.now();
+            remote.synchronized(ctx, |_| {});
+            let t2 = ctx.now();
+            (t1 - t0, t2 - t1)
+        });
+        let (local_cost, remote_cost) = out.result;
+        assert!(remote_cost > local_cost);
+        let total = out.report.total_stats();
+        assert_eq!(total.remote_monitor_acquires, 1);
+    }
+
+    #[test]
+    fn wait_and_notify_hand_off_virtual_time() {
+        let rt = runtime(2, ProtocolKind::JavaIc);
+        let out = rt.run(|ctx| {
+            let flag = ctx.alloc_object(1, NodeId(0));
+            let monitor = ctx.new_monitor(NodeId(0));
+            let m_waiter = monitor.clone();
+            let m_notifier = monitor.clone();
+
+            let waiter = ctx.spawn_on(NodeId(1), move |t| {
+                m_waiter.enter(t);
+                while flag.get::<u64>(t, 0) == 0 {
+                    m_waiter.wait_monitor(t);
+                }
+                m_waiter.exit(t);
+            });
+            let notifier = ctx.spawn_on(NodeId(0), move |t| {
+                t.charge(VTime::from_ms(50));
+                m_notifier.synchronized(t, |t| {
+                    flag.put(t, 0, 1u64);
+                    m_notifier.notify_all(t);
+                });
+            });
+            ctx.join(waiter);
+            ctx.join(notifier);
+        });
+        // The waiter cannot finish before the notifier's 50ms of work.
+        assert!(out.report.execution_time >= VTime::from_ms(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "not held")]
+    fn exiting_an_unheld_monitor_panics() {
+        let rt = runtime(1, ProtocolKind::JavaIc);
+        rt.run(|ctx| {
+            let monitor = ctx.new_monitor(NodeId(0));
+            monitor.exit(ctx);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn monitor_home_must_exist() {
+        let rt = runtime(1, ProtocolKind::JavaIc);
+        rt.run(|ctx| {
+            let _ = ctx.new_monitor(NodeId(3));
+        });
+    }
+}

@@ -1,0 +1,453 @@
+//! The object model: typed views over the DSM's 8-byte slots.
+//!
+//! The 2001 system compiled Java classes to C structs whose field accesses
+//! were rewritten into the runtime's `get`/`put` primitives.  The
+//! reproduction plays the role of that generated code with a small set of
+//! typed handles:
+//!
+//! * [`HObject`] — a fixed number of named-by-index fields (a Java object);
+//! * [`HArray<T>`] — a one-dimensional array of slot-sized elements;
+//! * [`Array2<T>`] — a Java-style two-dimensional array: an array of row
+//!   references whose row objects can each live on a different home node
+//!   (this is how the benchmarks express their block distributions).
+//!
+//! Every accessor takes the calling thread's [`ThreadCtx`] so the protocol's
+//! access-detection cost lands on the right virtual clock.
+
+use std::marker::PhantomData;
+
+use hyperion_pm2::{GlobalAddr, NodeId};
+
+use crate::runtime::ThreadCtx;
+
+/// A value that fits in one 8-byte DSM slot.
+pub trait SlotValue: Copy + Send + Sync + 'static {
+    /// Encode into a raw slot.
+    fn to_slot(self) -> u64;
+    /// Decode from a raw slot.
+    fn from_slot(raw: u64) -> Self;
+}
+
+impl SlotValue for u64 {
+    fn to_slot(self) -> u64 {
+        self
+    }
+    fn from_slot(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl SlotValue for i64 {
+    fn to_slot(self) -> u64 {
+        self as u64
+    }
+    fn from_slot(raw: u64) -> Self {
+        raw as i64
+    }
+}
+
+impl SlotValue for i32 {
+    fn to_slot(self) -> u64 {
+        self as i64 as u64
+    }
+    fn from_slot(raw: u64) -> Self {
+        raw as i64 as i32
+    }
+}
+
+impl SlotValue for f64 {
+    fn to_slot(self) -> u64 {
+        self.to_bits()
+    }
+    fn from_slot(raw: u64) -> Self {
+        f64::from_bits(raw)
+    }
+}
+
+impl SlotValue for bool {
+    fn to_slot(self) -> u64 {
+        self as u64
+    }
+    fn from_slot(raw: u64) -> Self {
+        raw != 0
+    }
+}
+
+impl SlotValue for GlobalAddr {
+    fn to_slot(self) -> u64 {
+        self.0
+    }
+    fn from_slot(raw: u64) -> Self {
+        GlobalAddr(raw)
+    }
+}
+
+/// A shared object with `fields` slot-sized fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HObject {
+    base: GlobalAddr,
+    fields: usize,
+}
+
+impl HObject {
+    /// View an existing allocation as an object (used when object references
+    /// are stored in other objects' fields).
+    pub fn from_raw(base: GlobalAddr, fields: usize) -> Self {
+        HObject { base, fields }
+    }
+
+    /// Base address of the object.
+    pub fn base(&self) -> GlobalAddr {
+        self.base
+    }
+
+    /// Number of fields.
+    pub fn num_fields(&self) -> usize {
+        self.fields
+    }
+
+    /// Address of field `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    pub fn field_addr(&self, idx: usize) -> GlobalAddr {
+        assert!(
+            idx < self.fields,
+            "field {idx} out of bounds for object with {} fields",
+            self.fields
+        );
+        self.base.offset(idx as u64)
+    }
+
+    /// Read field `idx`.
+    pub fn get<T: SlotValue>(&self, ctx: &mut ThreadCtx, idx: usize) -> T {
+        T::from_slot(ctx.get_slot(self.field_addr(idx)))
+    }
+
+    /// Write field `idx`.
+    pub fn put<T: SlotValue>(&self, ctx: &mut ThreadCtx, idx: usize, value: T) {
+        ctx.put_slot(self.field_addr(idx), value.to_slot());
+    }
+}
+
+/// A shared one-dimensional array of slot-sized elements.
+pub struct HArray<T: SlotValue> {
+    base: GlobalAddr,
+    len: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: SlotValue> Clone for HArray<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: SlotValue> Copy for HArray<T> {}
+
+impl<T: SlotValue> std::fmt::Debug for HArray<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HArray")
+            .field("base", &self.base)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl<T: SlotValue> HArray<T> {
+    /// View an existing allocation as an array.
+    pub fn from_raw(base: GlobalAddr, len: usize) -> Self {
+        HArray {
+            base,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base address of the array.
+    pub fn base(&self) -> GlobalAddr {
+        self.base
+    }
+
+    /// Address of element `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn addr_of(&self, i: usize) -> GlobalAddr {
+        assert!(
+            i < self.len,
+            "index {i} out of bounds for array of length {}",
+            self.len
+        );
+        self.base.offset(i as u64)
+    }
+
+    /// Read element `i`.
+    #[inline]
+    pub fn get(&self, ctx: &mut ThreadCtx, i: usize) -> T {
+        T::from_slot(ctx.get_slot(self.addr_of(i)))
+    }
+
+    /// Write element `i`.
+    #[inline]
+    pub fn put(&self, ctx: &mut ThreadCtx, i: usize, value: T) {
+        ctx.put_slot(self.addr_of(i), value.to_slot());
+    }
+
+    /// Write `value` into every element.
+    pub fn fill(&self, ctx: &mut ThreadCtx, value: T) {
+        for i in 0..self.len {
+            self.put(ctx, i, value);
+        }
+    }
+
+    /// Read the whole array into a local `Vec` (test / verification helper).
+    pub fn to_vec(&self, ctx: &mut ThreadCtx) -> Vec<T> {
+        (0..self.len).map(|i| self.get(ctx, i)).collect()
+    }
+}
+
+/// A Java-style two-dimensional array: a (shared) vector of row references,
+/// each row being its own object with its own home node.
+pub struct Array2<T: SlotValue> {
+    rows: HArray<GlobalAddr>,
+    cols: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: SlotValue> Clone for Array2<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: SlotValue> Copy for Array2<T> {}
+
+impl<T: SlotValue> std::fmt::Debug for Array2<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Array2")
+            .field("rows", &self.rows.len())
+            .field("cols", &self.cols)
+            .finish()
+    }
+}
+
+impl<T: SlotValue> Array2<T> {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Fetch the reference to row `r` (a DSM access, exactly like the row
+    /// indirection of a Java `double[][]`) and return a handle to the row.
+    pub fn row(&self, ctx: &mut ThreadCtx, r: usize) -> HArray<T> {
+        let base = self.rows.get(ctx, r);
+        HArray::from_raw(base, self.cols)
+    }
+
+    /// Read element `(r, c)` through the row indirection.
+    pub fn get(&self, ctx: &mut ThreadCtx, r: usize, c: usize) -> T {
+        self.row(ctx, r).get(ctx, c)
+    }
+
+    /// Write element `(r, c)` through the row indirection.
+    pub fn put(&self, ctx: &mut ThreadCtx, r: usize, c: usize, value: T) {
+        self.row(ctx, r).put(ctx, c, value);
+    }
+}
+
+impl ThreadCtx {
+    /// Allocate a shared object with `fields` fields, homed on `home`.
+    pub fn alloc_object(&mut self, fields: usize, home: NodeId) -> HObject {
+        let base = self.alloc_slots(fields.max(1), home);
+        HObject {
+            base,
+            fields: fields.max(1),
+        }
+    }
+
+    /// Allocate a shared array of `len` elements homed on `home`.
+    pub fn alloc_array<T: SlotValue>(&mut self, len: usize, home: NodeId) -> HArray<T> {
+        assert!(len > 0, "cannot allocate an empty array");
+        HArray {
+            base: self.alloc_slots(len, home),
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Allocate a shared array on fresh pages (no packing with neighbouring
+    /// allocations), homed on `home`.
+    pub fn alloc_array_page_aligned<T: SlotValue>(
+        &mut self,
+        len: usize,
+        home: NodeId,
+    ) -> HArray<T> {
+        assert!(len > 0, "cannot allocate an empty array");
+        HArray {
+            base: self.alloc_slots_page_aligned(len, home),
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Allocate a two-dimensional array with `rows` rows of `cols` elements.
+    ///
+    /// The row-reference vector is homed on the calling thread's node; each
+    /// row object is homed on `home_of_row(r)`, which is how the benchmarks
+    /// express their block-of-rows data distributions (Jacobi, ASP).
+    pub fn alloc_matrix<T: SlotValue>(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        mut home_of_row: impl FnMut(usize) -> NodeId,
+    ) -> Array2<T> {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        let row_refs: HArray<GlobalAddr> = self.alloc_array(rows, self.node());
+        for r in 0..rows {
+            let home = home_of_row(r);
+            let base = self.alloc_slots(cols, home);
+            row_refs.put(self, r, base);
+        }
+        Array2 {
+            rows: row_refs,
+            cols,
+            _marker: PhantomData,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{HyperionConfig, HyperionRuntime};
+    use hyperion_dsm::ProtocolKind;
+    use hyperion_model::myrinet_200;
+
+    fn runtime(nodes: usize) -> HyperionRuntime {
+        HyperionRuntime::new(HyperionConfig::new(
+            myrinet_200(),
+            nodes,
+            ProtocolKind::JavaIc,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn slot_value_round_trips() {
+        assert_eq!(u64::from_slot(42u64.to_slot()), 42);
+        assert_eq!(i64::from_slot((-7i64).to_slot()), -7);
+        assert_eq!(i32::from_slot((-123i32).to_slot()), -123);
+        assert_eq!(i32::from_slot(i32::MIN.to_slot()), i32::MIN);
+        assert_eq!(f64::from_slot(3.25f64.to_slot()), 3.25);
+        assert!(f64::from_slot(f64::NAN.to_slot()).is_nan());
+        assert!(bool::from_slot(true.to_slot()));
+        assert!(!bool::from_slot(false.to_slot()));
+        assert_eq!(
+            GlobalAddr::from_slot(GlobalAddr(99).to_slot()),
+            GlobalAddr(99)
+        );
+    }
+
+    #[test]
+    fn object_fields_are_independent() {
+        let rt = runtime(2);
+        rt.run(|ctx| {
+            let obj = ctx.alloc_object(4, NodeId(1));
+            assert_eq!(obj.num_fields(), 4);
+            obj.put(ctx, 0, 1.5f64);
+            obj.put(ctx, 1, -9i64);
+            obj.put(ctx, 2, true);
+            assert_eq!(obj.get::<f64>(ctx, 0), 1.5);
+            assert_eq!(obj.get::<i64>(ctx, 1), -9);
+            assert!(obj.get::<bool>(ctx, 2));
+            assert_eq!(obj.get::<i64>(ctx, 3), 0);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn object_field_bounds_are_checked() {
+        let rt = runtime(1);
+        rt.run(|ctx| {
+            let obj = ctx.alloc_object(2, NodeId(0));
+            obj.put(ctx, 2, 1u64);
+        });
+    }
+
+    #[test]
+    fn array_round_trip_and_fill() {
+        let rt = runtime(2);
+        rt.run(|ctx| {
+            let arr: HArray<f64> = ctx.alloc_array(10, NodeId(1));
+            assert_eq!(arr.len(), 10);
+            assert!(!arr.is_empty());
+            arr.fill(ctx, 2.5);
+            arr.put(ctx, 3, -1.0);
+            let v = arr.to_vec(ctx);
+            assert_eq!(v.len(), 10);
+            assert_eq!(v[3], -1.0);
+            assert!(v
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != 3)
+                .all(|(_, x)| *x == 2.5));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn array_bounds_are_checked() {
+        let rt = runtime(1);
+        rt.run(|ctx| {
+            let arr: HArray<u64> = ctx.alloc_array(3, NodeId(0));
+            let _ = arr.get(ctx, 3);
+        });
+    }
+
+    #[test]
+    fn matrix_rows_live_on_their_assigned_homes() {
+        let rt = runtime(3);
+        rt.run(|ctx| {
+            let m: Array2<i64> = ctx.alloc_matrix(6, 8, |r| NodeId((r % 3) as u32));
+            for r in 0..6 {
+                for c in 0..8 {
+                    m.put(ctx, r, c, (r * 8 + c) as i64);
+                }
+            }
+            for r in 0..6 {
+                let row = m.row(ctx, r);
+                assert_eq!(ctx.home_of(row.base()), NodeId((r % 3) as u32));
+                for c in 0..8 {
+                    assert_eq!(m.get(ctx, r, c), (r * 8 + c) as i64);
+                }
+            }
+            assert_eq!(m.rows(), 6);
+            assert_eq!(m.cols(), 8);
+        });
+    }
+
+    #[test]
+    fn page_aligned_array_starts_a_fresh_page() {
+        let rt = runtime(1);
+        rt.run(|ctx| {
+            let a: HArray<u64> = ctx.alloc_array(4, NodeId(0));
+            let b: HArray<u64> = ctx.alloc_array_page_aligned(4, NodeId(0));
+            assert_ne!(a.base().page(), b.base().page());
+            assert_eq!(b.base().slot(), 0);
+        });
+    }
+}

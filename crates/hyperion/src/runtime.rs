@@ -1,0 +1,926 @@
+//! The Hyperion runtime: configuration, the shared cluster image, thread
+//! contexts and the run harness.
+//!
+//! A [`HyperionRuntime`] is the Rust analogue of "one distributed JVM over
+//! the cluster": it owns the cluster model, the iso-address allocator, the
+//! DSM system configured with one of the two access-detection protocols, the
+//! thread registry and the load balancer.  [`HyperionRuntime::run`] executes
+//! a program — a closure playing the role of `main` — on node 0 and returns
+//! both the program's result and a [`RunReport`] with the virtual execution
+//! time and the per-node event statistics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use hyperion_dsm::{DsmStore, DsmSystem, ProtocolKind};
+use hyperion_model::vtime::TimeWatermark;
+use hyperion_model::{
+    ClusterSpec, CpuModel, MachineModel, NodeStats, OpCounts, StatsSnapshot, ThreadClock, VTime,
+    WorkEstimate,
+};
+use hyperion_pm2::{Cluster, GlobalAddr, IsoAllocator, NodeId, ThreadId, ThreadRegistry};
+
+use crate::thread::{HThreadHandle, LoadBalancer};
+
+/// Configuration of a Hyperion execution.
+#[derive(Clone, Debug)]
+pub struct HyperionConfig {
+    /// Which of the paper's clusters (or a custom one) to model.
+    pub cluster: ClusterSpec,
+    /// How many of the cluster's nodes to use for this run.
+    pub nodes: usize,
+    /// Access-detection protocol (`java_ic` or `java_pf`).
+    pub protocol: ProtocolKind,
+    /// Application threads per node.  The paper uses one ("we used only one
+    /// application thread per node", §4.3); larger values exercise the
+    /// computation/communication-overlap extension.
+    pub threads_per_node: usize,
+    /// Conservative virtual-time pacing window.
+    ///
+    /// Threads are real OS threads but time is virtual, so without pacing the
+    /// host scheduler — not the modelled cluster — would decide how work from
+    /// dynamically balanced queues (TSP, Barnes-Hut) is divided.  At every
+    /// monitor acquisition a thread whose virtual clock is more than this
+    /// window ahead of the slowest runnable thread yields the host CPU until
+    /// the laggards catch up.  `None` disables pacing (fine for programs with
+    /// static work division).
+    pub pacing_window: Option<VTime>,
+}
+
+impl HyperionConfig {
+    /// A configuration with one application thread per node and the default
+    /// pacing window.
+    pub fn new(cluster: ClusterSpec, nodes: usize, protocol: ProtocolKind) -> Self {
+        HyperionConfig {
+            cluster,
+            nodes,
+            protocol,
+            threads_per_node: 1,
+            pacing_window: Some(VTime::from_us(500)),
+        }
+    }
+
+    /// Builder-style override of [`HyperionConfig::threads_per_node`].
+    pub fn with_threads_per_node(mut self, threads: usize) -> Self {
+        self.threads_per_node = threads;
+        self
+    }
+
+    /// Builder-style override of [`HyperionConfig::pacing_window`].
+    pub fn with_pacing_window(mut self, window: Option<VTime>) -> Self {
+        self.pacing_window = window;
+        self
+    }
+
+    /// Total number of application (computation) threads the standard SPMD
+    /// benchmarks create.
+    pub fn total_app_threads(&self) -> usize {
+        self.nodes * self.threads_per_node
+    }
+
+    /// Check the configuration for obvious mistakes.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.nodes == 0 {
+            return Err(ConfigError::ZeroNodes);
+        }
+        if self.threads_per_node == 0 {
+            return Err(ConfigError::ZeroThreadsPerNode);
+        }
+        if self.nodes > self.cluster.max_nodes {
+            return Err(ConfigError::ExceedsCluster {
+                requested: self.nodes,
+                available: self.cluster.max_nodes,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Errors produced by [`HyperionConfig::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `nodes` was zero.
+    ZeroNodes,
+    /// `threads_per_node` was zero.
+    ZeroThreadsPerNode,
+    /// More nodes were requested than the modelled cluster has.
+    ExceedsCluster {
+        /// Nodes requested by the configuration.
+        requested: usize,
+        /// Nodes available in the cluster model.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroNodes => write!(f, "a run needs at least one node"),
+            ConfigError::ZeroThreadsPerNode => {
+                write!(f, "a run needs at least one application thread per node")
+            }
+            ConfigError::ExceedsCluster {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested {requested} nodes but the modelled cluster has only {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Published virtual-time progress of every thread, used by the conservative
+/// pacing scheme (see [`HyperionConfig::pacing_window`]).  A slot holding
+/// [`ProgressTable::INACTIVE`] means the thread is terminated or blocked on
+/// another thread and therefore places no constraint on the others.
+#[derive(Default)]
+pub(crate) struct ProgressTable {
+    slots: parking_lot::RwLock<Vec<Arc<std::sync::atomic::AtomicU64>>>,
+}
+
+impl ProgressTable {
+    pub(crate) const INACTIVE: u64 = u64::MAX;
+
+    fn slot(&self, thread: ThreadId) -> Arc<std::sync::atomic::AtomicU64> {
+        let idx = thread.0 as usize;
+        {
+            let slots = self.slots.read();
+            if let Some(s) = slots.get(idx) {
+                return Arc::clone(s);
+            }
+        }
+        let mut slots = self.slots.write();
+        while slots.len() <= idx {
+            slots.push(Arc::new(std::sync::atomic::AtomicU64::new(Self::INACTIVE)));
+        }
+        Arc::clone(&slots[idx])
+    }
+
+    pub(crate) fn publish(&self, thread: ThreadId, now_ps: u64) {
+        self.slot(thread).store(now_ps, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_inactive(&self, thread: ThreadId) {
+        self.slot(thread).store(Self::INACTIVE, Ordering::Relaxed);
+    }
+
+    /// Smallest published time over all active threads, if any.
+    pub(crate) fn min_active(&self) -> Option<u64> {
+        let slots = self.slots.read();
+        slots
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .filter(|&v| v != Self::INACTIVE)
+            .min()
+    }
+}
+
+/// The state shared by every thread of a run (the "single JVM image").
+pub(crate) struct RuntimeShared {
+    pub(crate) config: HyperionConfig,
+    pub(crate) cluster: Arc<Cluster>,
+    pub(crate) allocator: Arc<IsoAllocator>,
+    pub(crate) dsm: Arc<DsmSystem>,
+    pub(crate) registry: ThreadRegistry,
+    pub(crate) balancer: LoadBalancer,
+    pub(crate) finish: TimeWatermark,
+    pub(crate) active_children: AtomicUsize,
+    pub(crate) progress: ProgressTable,
+}
+
+/// The distributed JVM image for one experiment run.
+pub struct HyperionRuntime {
+    shared: Arc<RuntimeShared>,
+}
+
+impl HyperionRuntime {
+    /// Build a runtime from a validated configuration.
+    pub fn new(config: HyperionConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let cluster = Cluster::new(config.cluster.machine.clone(), config.nodes);
+        let allocator = Arc::new(IsoAllocator::new(config.nodes));
+        let store = DsmStore::new(Arc::clone(&allocator), config.nodes);
+        let dsm = DsmSystem::new(Arc::clone(&cluster), store, config.protocol);
+        let balancer = LoadBalancer::new(config.nodes);
+        Ok(HyperionRuntime {
+            shared: Arc::new(RuntimeShared {
+                config,
+                cluster,
+                allocator,
+                dsm,
+                registry: ThreadRegistry::new(),
+                balancer,
+                finish: TimeWatermark::new(),
+                active_children: AtomicUsize::new(0),
+                progress: ProgressTable::default(),
+            }),
+        })
+    }
+
+    /// The run's configuration.
+    pub fn config(&self) -> &HyperionConfig {
+        &self.shared.config
+    }
+
+    /// Number of nodes in this run.
+    pub fn nodes(&self) -> usize {
+        self.shared.config.nodes
+    }
+
+    /// The access-detection protocol of this run.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.shared.config.protocol
+    }
+
+    /// The underlying cluster (for inspection in tests and tools).
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.shared.cluster
+    }
+
+    /// The underlying DSM system (for inspection in tests and tools).
+    pub fn dsm(&self) -> &Arc<DsmSystem> {
+        &self.shared.dsm
+    }
+
+    /// Execute a program.
+    ///
+    /// `main` runs on node 0 with a fresh virtual clock.  It may allocate
+    /// shared objects, spawn Hyperion threads (which the load balancer places
+    /// round-robin across the nodes, §2.1 Table 1) and join them.  When
+    /// `main` returns, the harness waits for any threads that were not
+    /// explicitly joined, then assembles the [`RunReport`].
+    ///
+    /// Each `HyperionRuntime` is intended to measure a single run; build a
+    /// fresh runtime per data point.
+    pub fn run<R>(&self, main: impl FnOnce(&mut ThreadCtx) -> R) -> RunOutcome<R> {
+        let shared = &self.shared;
+        let main_node = NodeId(0);
+        let tid = shared.registry.register(main_node);
+        NodeStats::bump(&shared.cluster.node(main_node).stats.threads_spawned);
+        shared.progress.publish(tid, 0);
+        let mut ctx = ThreadCtx {
+            shared: Arc::clone(shared),
+            thread: tid,
+            node: main_node,
+            clock: ThreadClock::new(),
+        };
+
+        let result = main(&mut ctx);
+        // Program termination is a release point.
+        shared.dsm.update_main_memory(main_node, &mut ctx.clock);
+
+        // Wait (in real time) for threads the program did not join; their
+        // final virtual times are already folded into the finish watermark.
+        shared.progress.set_inactive(tid);
+        while shared.active_children.load(Ordering::Acquire) > 0 {
+            std::thread::yield_now();
+        }
+        shared.registry.mark_terminated(tid);
+        shared.finish.record(ctx.clock.now());
+
+        let node_stats = shared.cluster.all_stats();
+        let report = RunReport {
+            protocol: shared.config.protocol,
+            cluster_label: shared.config.cluster.label().to_string(),
+            nodes: shared.config.nodes,
+            threads: shared.registry.total(),
+            execution_time: shared.finish.max(),
+            main_thread_time: ctx.clock.now(),
+            node_stats,
+        };
+        RunOutcome { result, report }
+    }
+}
+
+impl std::fmt::Debug for HyperionRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HyperionRuntime")
+            .field("cluster", &self.shared.config.cluster.label())
+            .field("nodes", &self.shared.config.nodes)
+            .field("protocol", &self.shared.config.protocol.name())
+            .finish()
+    }
+}
+
+/// The result of a run: the program's return value plus the report.
+#[derive(Debug)]
+pub struct RunOutcome<R> {
+    /// Whatever the program's `main` closure returned.
+    pub result: R,
+    /// Execution time and statistics.
+    pub report: RunReport,
+}
+
+/// Virtual execution time and event statistics of one run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Protocol used.
+    pub protocol: ProtocolKind,
+    /// Cluster label ("200MHz/Myrinet" or "450MHz/SCI").
+    pub cluster_label: String,
+    /// Number of nodes used.
+    pub nodes: usize,
+    /// Number of threads created (including `main`).
+    pub threads: usize,
+    /// Virtual execution time: the latest finishing time over all threads.
+    pub execution_time: VTime,
+    /// Virtual finishing time of the `main` thread.
+    pub main_thread_time: VTime,
+    /// Per-node statistics, indexed by node id.
+    pub node_stats: Vec<StatsSnapshot>,
+}
+
+impl RunReport {
+    /// Cluster-wide statistics total.
+    pub fn total_stats(&self) -> StatsSnapshot {
+        StatsSnapshot::total(self.node_stats.iter())
+    }
+
+    /// Execution time in virtual seconds (the unit of the paper's figures).
+    pub fn seconds(&self) -> f64 {
+        self.execution_time.as_secs_f64()
+    }
+
+    /// A short multi-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let t = self.total_stats();
+        format!(
+            "{} on {} × {} nodes: {}\n  checks={} faults={} mprotect={} page_loads={} diffs={} \
+             bytes={} monitors={}/{}",
+            self.protocol.name(),
+            self.cluster_label,
+            self.nodes,
+            self.execution_time,
+            t.locality_checks,
+            t.page_faults,
+            t.mprotect_calls,
+            t.page_loads,
+            t.diff_messages,
+            t.bytes_moved(),
+            t.monitor_enters,
+            t.monitor_exits,
+        )
+    }
+}
+
+/// The per-thread execution context: the thread's placement, its virtual
+/// clock and its view of the shared runtime.
+///
+/// Every Hyperion API call an application kernel makes — field accesses,
+/// monitor operations, thread creation, explicit compute charging — goes
+/// through a `ThreadCtx`, which is how the virtual-time accounting reaches
+/// the right clock.
+pub struct ThreadCtx {
+    pub(crate) shared: Arc<RuntimeShared>,
+    pub(crate) thread: ThreadId,
+    pub(crate) node: NodeId,
+    pub(crate) clock: ThreadClock,
+}
+
+impl ThreadCtx {
+    /// The node this thread runs on.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// This thread's id.
+    #[inline]
+    pub fn thread_id(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// Current virtual time of this thread.
+    #[inline]
+    pub fn now(&self) -> VTime {
+        self.clock.now()
+    }
+
+    /// Virtual time explicitly charged to this thread (excludes waiting).
+    #[inline]
+    pub fn charged(&self) -> VTime {
+        self.clock.charged()
+    }
+
+    /// The access-detection protocol of this run.
+    #[inline]
+    pub fn protocol(&self) -> ProtocolKind {
+        self.shared.config.protocol
+    }
+
+    /// Number of nodes in this run.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.shared.config.nodes
+    }
+
+    /// Application threads per node configured for this run.
+    #[inline]
+    pub fn threads_per_node(&self) -> usize {
+        self.shared.config.threads_per_node
+    }
+
+    /// The machine model of the cluster.
+    #[inline]
+    pub fn machine(&self) -> &MachineModel {
+        self.shared.cluster.machine()
+    }
+
+    /// The CPU model of the cluster's nodes.
+    #[inline]
+    pub fn cpu(&self) -> &CpuModel {
+        &self.shared.cluster.machine().cpu
+    }
+
+    /// Mutable access to the thread clock (used by the runtime layers).
+    #[inline]
+    pub(crate) fn clock_mut(&mut self) -> &mut ThreadClock {
+        &mut self.clock
+    }
+
+    /// Synchronise this thread's clock with an externally observed virtual
+    /// instant (the clock only ever moves forward).
+    ///
+    /// This is how synchronisation constructs propagate ordering: a thread
+    /// that logically waits for an event occurring at time `t` can never
+    /// proceed before `t`.  Application kernels rarely need it directly.
+    #[inline]
+    pub fn observe(&mut self, t: VTime) {
+        self.clock.merge(t);
+    }
+
+    /// Publish this thread's current virtual time to the pacing table.
+    pub(crate) fn publish_progress(&self) {
+        self.shared
+            .progress
+            .publish(self.thread, self.clock.now().as_ps());
+    }
+
+    /// Mark this thread as blocked (it places no pacing constraint on the
+    /// other threads until it publishes progress again).
+    pub(crate) fn mark_blocked(&self) {
+        self.shared.progress.set_inactive(self.thread);
+    }
+
+    /// Conservative virtual-time pacing (see
+    /// [`HyperionConfig::pacing_window`]): if this thread has run more than
+    /// the pacing window ahead of the slowest active thread, yield the host
+    /// CPU until the laggards catch up.  Called by the monitor on every
+    /// acquisition — the points where real-time scheduling would otherwise
+    /// decide how dynamically balanced work is divided.
+    ///
+    /// The wait is bounded (≈100 ms of host time) so a mis-used nested
+    /// monitor can degrade pacing but never deadlock the run.
+    pub(crate) fn pace(&mut self) {
+        let Some(window) = self.shared.config.pacing_window else {
+            return;
+        };
+        self.publish_progress();
+        let my = self.clock.now().as_ps();
+        let limit = window.as_ps();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(100);
+        let mut spins = 0u32;
+        loop {
+            match self.shared.progress.min_active() {
+                None => break,
+                Some(min) if my <= min.saturating_add(limit) => break,
+                Some(_) => {}
+            }
+            if std::time::Instant::now() >= deadline {
+                break;
+            }
+            spins += 1;
+            if spins % 64 == 0 {
+                // Give the host CPU to the laggards outright now and then.
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    // ----- compute charging -------------------------------------------------
+
+    /// Charge an explicit duration of local computation.
+    #[inline]
+    pub fn charge(&mut self, d: VTime) {
+        self.clock.advance(d);
+    }
+
+    /// Charge `cycles` of local computation on this node's CPU.
+    #[inline]
+    pub fn charge_cycles(&mut self, cycles: f64) {
+        let d = self.shared.cluster.machine().cpu.cycles(cycles);
+        self.clock.advance(d);
+    }
+
+    /// Charge one execution of a pre-estimated kernel body.
+    #[inline]
+    pub fn charge_work(&mut self, work: &WorkEstimate) {
+        self.clock.advance(work.per_iteration());
+    }
+
+    /// Charge `n` executions of a pre-estimated kernel body.
+    #[inline]
+    pub fn charge_iters(&mut self, work: &WorkEstimate, n: u64) {
+        self.clock.advance(work.for_iterations(n));
+    }
+
+    /// Charge one execution of an instruction mix.
+    pub fn charge_mix(&mut self, mix: &OpCounts) {
+        let d = self.shared.cluster.machine().cpu.duration_for(mix);
+        self.clock.advance(d);
+    }
+
+    /// Pre-compute the per-iteration duration of an instruction mix on this
+    /// cluster's CPU.
+    pub fn estimate(&self, mix: &OpCounts) -> WorkEstimate {
+        self.shared.cluster.machine().cpu.estimate(mix)
+    }
+
+    // ----- raw DSM access (Table 2 primitives) ------------------------------
+
+    /// Read an 8-byte slot through the DSM (`get` of Table 2).
+    #[inline]
+    pub fn get_slot(&mut self, addr: GlobalAddr) -> u64 {
+        self.shared.dsm.get(self.node, &mut self.clock, addr)
+    }
+
+    /// Write an 8-byte slot through the DSM (`put` of Table 2).
+    #[inline]
+    pub fn put_slot(&mut self, addr: GlobalAddr, value: u64) {
+        self.shared.dsm.put(self.node, &mut self.clock, addr, value);
+    }
+
+    /// Explicitly prefetch the page containing `addr` (`loadIntoCache`).
+    pub fn load_into_cache(&mut self, addr: GlobalAddr) {
+        self.shared
+            .dsm
+            .load_into_cache(self.node, &mut self.clock, addr.page());
+    }
+
+    /// Allocate `slots` contiguous 8-byte slots homed on `home`.
+    pub fn alloc_slots(&mut self, slots: usize, home: NodeId) -> GlobalAddr {
+        self.shared.allocator.alloc(slots, home)
+    }
+
+    /// Allocate `slots` slots on fresh pages homed on `home` (never shares a
+    /// page with other allocations).
+    pub fn alloc_slots_page_aligned(&mut self, slots: usize, home: NodeId) -> GlobalAddr {
+        self.shared.allocator.alloc_page_aligned(slots, home)
+    }
+
+    /// Home node of the page containing `addr`.
+    pub fn home_of(&self, addr: GlobalAddr) -> NodeId {
+        self.shared.allocator.home_of_addr(addr)
+    }
+
+    // ----- thread management -------------------------------------------------
+
+    /// Create a Hyperion thread, letting the load balancer pick its node
+    /// (round-robin, as in the paper's Table 1).
+    pub fn spawn(&mut self, body: impl FnOnce(&mut ThreadCtx) + Send + 'static) -> HThreadHandle {
+        let node = self.shared.balancer.assign();
+        self.spawn_on(node, body)
+    }
+
+    /// Create a Hyperion thread on a specific node.
+    pub fn spawn_on(
+        &mut self,
+        node: NodeId,
+        body: impl FnOnce(&mut ThreadCtx) + Send + 'static,
+    ) -> HThreadHandle {
+        assert!(
+            node.index() < self.shared.config.nodes,
+            "cannot place a thread on {node}: the run uses {} nodes",
+            self.shared.config.nodes
+        );
+        // `Thread.start()` establishes a happens-before edge from the parent
+        // to the child: flush the parent's pending modifications so the child
+        // (running on another node's cache) observes them.
+        self.shared
+            .dsm
+            .update_main_memory(self.node, &mut self.clock);
+
+        let machine = self.shared.cluster.machine();
+        let create_cost = machine.cpu.cycles(machine.dsm.thread_create_cycles);
+
+        // Parent-side cost of the creation request.
+        self.clock.advance(create_cost);
+        let mut start = self.clock.now();
+        if node != self.node {
+            // The creation request travels to the target node.
+            start = start + self.shared.cluster.control_message_cost();
+        }
+        // Child-side initialisation before user code runs.
+        start = start + create_cost;
+
+        let tid = self.shared.registry.register(node);
+        NodeStats::bump(&self.shared.cluster.node(node).stats.threads_spawned);
+        self.shared.active_children.fetch_add(1, Ordering::AcqRel);
+        // Publish the child's starting time before the OS thread exists so
+        // threads that are already running cannot race past it unpaced.
+        self.shared.progress.publish(tid, start.as_ps());
+
+        let shared = Arc::clone(&self.shared);
+        let os_handle = std::thread::Builder::new()
+            .name(format!("hyperion-{}", tid))
+            .spawn(move || {
+                let mut ctx = ThreadCtx {
+                    shared: Arc::clone(&shared),
+                    thread: tid,
+                    node,
+                    clock: ThreadClock::starting_at(start),
+                };
+                body(&mut ctx);
+                // Thread termination is a release point: the child's writes
+                // must reach main memory so a joining thread can observe them.
+                shared.dsm.update_main_memory(node, &mut ctx.clock);
+                let end = ctx.clock.now();
+                shared.registry.mark_terminated(tid);
+                shared.finish.record(end);
+                shared.progress.set_inactive(tid);
+                shared.active_children.fetch_sub(1, Ordering::AcqRel);
+                end
+            })
+            .expect("failed to spawn OS thread for Hyperion thread");
+
+        HThreadHandle::new(tid, node, os_handle)
+    }
+
+    /// Join a Hyperion thread: blocks (in real time) until the thread has
+    /// finished and merges its final virtual time into this thread's clock.
+    pub fn join(&mut self, handle: HThreadHandle) -> VTime {
+        let machine = self.shared.cluster.machine();
+        // While blocked on the child this thread places no pacing constraint
+        // on the others.
+        self.shared.progress.set_inactive(self.thread);
+        let end = handle.into_end_time();
+        self.shared
+            .progress
+            .publish(self.thread, self.clock.now().as_ps());
+        self.clock.merge(end);
+        self.clock
+            .advance(machine.cpu.cycles(machine.dsm.monitor_local_cycles));
+        // `Thread.join()` is an acquire point: invalidate this node's cache
+        // so reads after the join observe everything the joined thread wrote.
+        self.shared.dsm.invalidate_cache(self.node, &mut self.clock);
+        end
+    }
+
+    /// Migrate this thread to another node (PM2 thread-migration extension).
+    ///
+    /// Subsequent accesses are performed from the new node; the move pays a
+    /// control-message round trip plus a thread-creation-sized cost on the
+    /// destination.
+    pub fn migrate_to(&mut self, node: NodeId) {
+        assert!(
+            node.index() < self.shared.config.nodes,
+            "cannot migrate to {node}: the run uses {} nodes",
+            self.shared.config.nodes
+        );
+        if node == self.node {
+            return;
+        }
+        // Leaving a node is a release point (pending writes must not be
+        // stranded in the old node's cache) and arriving on a node is an
+        // acquire point (the thread must not read values staler than what it
+        // could already observe).
+        self.shared
+            .dsm
+            .update_main_memory(self.node, &mut self.clock);
+        let machine = self.shared.cluster.machine();
+        let cost = self.shared.cluster.control_message_cost().times(2)
+            + machine.cpu.cycles(machine.dsm.thread_create_cycles);
+        self.clock.advance(cost);
+        NodeStats::bump(&self.shared.cluster.node(self.node).stats.threads_migrated);
+        self.shared.registry.migrate(self.thread, node);
+        self.node = node;
+        self.shared.dsm.invalidate_cache(self.node, &mut self.clock);
+    }
+}
+
+impl std::fmt::Debug for ThreadCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadCtx")
+            .field("thread", &self.thread)
+            .field("node", &self.node)
+            .field("now", &self.clock.now())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperion_model::myrinet_200;
+
+    fn config(nodes: usize, protocol: ProtocolKind) -> HyperionConfig {
+        HyperionConfig::new(myrinet_200(), nodes, protocol)
+    }
+
+    #[test]
+    fn config_validation_catches_mistakes() {
+        assert_eq!(
+            config(0, ProtocolKind::JavaIc).validate(),
+            Err(ConfigError::ZeroNodes)
+        );
+        assert_eq!(
+            config(13, ProtocolKind::JavaIc).validate(),
+            Err(ConfigError::ExceedsCluster {
+                requested: 13,
+                available: 12
+            })
+        );
+        let mut c = config(2, ProtocolKind::JavaPf);
+        c.threads_per_node = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroThreadsPerNode));
+        assert!(config(12, ProtocolKind::JavaPf).validate().is_ok());
+        assert_eq!(
+            config(4, ProtocolKind::JavaIc)
+                .with_threads_per_node(2)
+                .total_app_threads(),
+            8
+        );
+        // Errors render.
+        assert!(format!("{}", ConfigError::ZeroNodes).contains("at least one node"));
+    }
+
+    #[test]
+    fn runtime_rejects_invalid_config() {
+        assert!(HyperionRuntime::new(config(0, ProtocolKind::JavaIc)).is_err());
+        let rt = HyperionRuntime::new(config(3, ProtocolKind::JavaPf)).unwrap();
+        assert_eq!(rt.nodes(), 3);
+        assert_eq!(rt.protocol(), ProtocolKind::JavaPf);
+        assert_eq!(rt.cluster().num_nodes(), 3);
+    }
+
+    #[test]
+    fn run_reports_main_thread_time_and_stats() {
+        let rt = HyperionRuntime::new(config(2, ProtocolKind::JavaIc)).unwrap();
+        let out = rt.run(|ctx| {
+            ctx.charge(VTime::from_ms(5));
+            let a = ctx.alloc_slots(4, NodeId(1));
+            ctx.put_slot(a, 99);
+            ctx.get_slot(a)
+        });
+        assert_eq!(out.result, 99);
+        assert_eq!(out.report.nodes, 2);
+        assert_eq!(out.report.threads, 1);
+        assert!(out.report.execution_time >= VTime::from_ms(5));
+        assert_eq!(out.report.execution_time, out.report.main_thread_time);
+        let total = out.report.total_stats();
+        assert_eq!(total.field_writes, 1);
+        assert_eq!(total.field_reads, 1);
+        assert_eq!(total.locality_checks, 2);
+        assert!(out.report.summary().contains("java_ic"));
+        assert!(out.report.seconds() >= 0.005);
+    }
+
+    #[test]
+    fn spawned_threads_extend_execution_time_beyond_main() {
+        let rt = HyperionRuntime::new(config(4, ProtocolKind::JavaPf)).unwrap();
+        let out = rt.run(|ctx| {
+            let mut handles = Vec::new();
+            for i in 0..4u32 {
+                handles.push(ctx.spawn_on(NodeId(i), move |worker| {
+                    worker.charge(VTime::from_ms(10 * (i as u64 + 1)));
+                }));
+            }
+            for h in handles {
+                ctx.join(h);
+            }
+        });
+        // The slowest worker charged 40 ms; everything else is overhead on
+        // top of that.
+        assert!(out.report.execution_time >= VTime::from_ms(40));
+        assert_eq!(out.report.threads, 5);
+        // Main joined everyone, so its clock includes the slowest worker.
+        assert_eq!(out.report.main_thread_time, out.report.execution_time);
+        // One thread was spawned on each node (plus main on node 0).
+        let spawned: Vec<u64> = out
+            .report
+            .node_stats
+            .iter()
+            .map(|s| s.threads_spawned)
+            .collect();
+        assert_eq!(spawned, vec![2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn unjoined_threads_are_still_waited_for_and_counted() {
+        let rt = HyperionRuntime::new(config(2, ProtocolKind::JavaIc)).unwrap();
+        let out = rt.run(|ctx| {
+            let _ = ctx.spawn(|worker| {
+                worker.charge(VTime::from_ms(25));
+            });
+            // Dropped handle: main does not join.
+            ctx.charge(VTime::from_ms(1));
+        });
+        assert!(out.report.execution_time >= VTime::from_ms(25));
+        // Main's own time does not include the worker.
+        assert!(out.report.main_thread_time < out.report.execution_time);
+    }
+
+    #[test]
+    fn load_balancer_places_spawned_threads_round_robin() {
+        let rt = HyperionRuntime::new(config(3, ProtocolKind::JavaIc)).unwrap();
+        let out = rt.run(|ctx| {
+            let handles: Vec<_> = (0..6).map(|_| ctx.spawn(|_| {})).collect();
+            let nodes: Vec<u32> = handles.iter().map(|h| h.node().0).collect();
+            for h in handles {
+                ctx.join(h);
+            }
+            nodes
+        });
+        assert_eq!(out.result, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn remote_spawn_costs_more_than_local_spawn() {
+        let rt = HyperionRuntime::new(config(2, ProtocolKind::JavaPf)).unwrap();
+        let out = rt.run(|ctx| {
+            let before = ctx.now();
+            let h_local = ctx.spawn_on(NodeId(0), |_| {});
+            let after_local = ctx.now();
+            let h_remote = ctx.spawn_on(NodeId(1), |_| {});
+            let after_remote = ctx.now();
+            ctx.join(h_local);
+            ctx.join(h_remote);
+            (after_local - before, after_remote - after_local)
+        });
+        let (local_cost, remote_cost) = out.result;
+        // Parent-side charge is identical; the difference is in the child's
+        // start time, so here both should be equal...
+        assert_eq!(local_cost, remote_cost);
+        // ...but the remote child starts later than a local child would.
+        assert!(out.report.execution_time >= remote_cost);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place a thread")]
+    fn spawning_on_nonexistent_node_panics() {
+        let rt = HyperionRuntime::new(config(2, ProtocolKind::JavaIc)).unwrap();
+        rt.run(|ctx| {
+            let _ = ctx.spawn_on(NodeId(5), |_| {});
+        });
+    }
+
+    #[test]
+    fn migration_changes_the_accessing_node() {
+        let rt = HyperionRuntime::new(config(2, ProtocolKind::JavaPf)).unwrap();
+        let out = rt.run(|ctx| {
+            let a = ctx.alloc_slots(4, NodeId(1));
+            ctx.put_slot(a, 5); // remote access from node 0: one fault
+            let faults_before = ctx.shared.cluster.node_stats(NodeId(0)).page_faults;
+            ctx.migrate_to(NodeId(1));
+            assert_eq!(ctx.node(), NodeId(1));
+            let v = ctx.get_slot(a); // now local to the home: no new fault
+            (faults_before, v)
+        });
+        let (faults_before, v) = out.result;
+        assert_eq!(faults_before, 1);
+        assert_eq!(v, 5);
+        let s = out.report.node_stats[0];
+        assert_eq!(s.page_faults, 1);
+        assert_eq!(s.threads_migrated, 1);
+    }
+
+    #[test]
+    fn migrating_to_the_same_node_is_free() {
+        let rt = HyperionRuntime::new(config(2, ProtocolKind::JavaIc)).unwrap();
+        let out = rt.run(|ctx| {
+            let before = ctx.now();
+            ctx.migrate_to(NodeId(0));
+            ctx.now() - before
+        });
+        assert_eq!(out.result, VTime::ZERO);
+    }
+
+    #[test]
+    fn charge_helpers_agree_with_the_cpu_model() {
+        let rt = HyperionRuntime::new(config(1, ProtocolKind::JavaIc)).unwrap();
+        let out = rt.run(|ctx| {
+            let mix = OpCounts::new().with(hyperion_model::Op::FpAdd, 4.0);
+            let est = ctx.estimate(&mix);
+            let t0 = ctx.now();
+            ctx.charge_mix(&mix);
+            let t1 = ctx.now();
+            ctx.charge_work(&est);
+            let t2 = ctx.now();
+            ctx.charge_iters(&est, 10);
+            let t3 = ctx.now();
+            ctx.charge_cycles(200.0);
+            let t4 = ctx.now();
+            (t1 - t0, t2 - t1, t3 - t2, t4 - t3)
+        });
+        let (a, b, c, d) = out.result;
+        assert_eq!(a, b);
+        assert_eq!(c, b.times(10));
+        // 200 cycles at 200 MHz is exactly 1 us.
+        assert_eq!(d, VTime::from_us(1));
+    }
+}

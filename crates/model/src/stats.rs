@@ -1,0 +1,226 @@
+//! Event statistics.
+//!
+//! Every node of the simulated cluster owns a [`NodeStats`] block of atomic
+//! counters.  The DSM layer, the monitor implementation and the RPC layer
+//! increment them as events happen; the benchmark harness snapshots them to
+//! explain *why* one protocol beats the other (number of locality checks vs
+//! number of page faults and `mprotect` calls — the quantities §4.3 of the
+//! paper reasons about).
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! define_stats {
+    ($(#[$meta:meta] $field:ident),+ $(,)?) => {
+        /// Atomic per-node event counters (see module docs).
+        #[derive(Debug, Default)]
+        pub struct NodeStats {
+            $(#[$meta] pub $field: AtomicU64,)+
+        }
+
+        /// A plain-old-data snapshot of [`NodeStats`], safe to aggregate,
+        /// serialise and compare.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+        pub struct StatsSnapshot {
+            $(#[$meta] pub $field: u64,)+
+        }
+
+        impl NodeStats {
+            /// Take a consistent-enough snapshot of all counters (individual
+            /// counters are read atomically; cross-counter skew is acceptable
+            /// because snapshots are taken when the cluster is quiescent).
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($field: self.$field.load(Ordering::Relaxed),)+
+                }
+            }
+
+            /// Reset every counter to zero.
+            pub fn reset(&self) {
+                $(self.$field.store(0, Ordering::Relaxed);)+
+            }
+        }
+
+        impl StatsSnapshot {
+            /// Field-wise sum of two snapshots (for cluster-wide totals).
+            pub fn merged(&self, other: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($field: self.$field + other.$field,)+
+                }
+            }
+
+            /// Iterate over `(name, value)` pairs, in declaration order.
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($field), self.$field),)+]
+            }
+        }
+    };
+}
+
+define_stats! {
+    /// In-line locality checks performed (`java_ic` only).
+    locality_checks,
+    /// Page faults taken (`java_pf` only).
+    page_faults,
+    /// `mprotect` system calls performed (`java_pf` only).
+    mprotect_calls,
+    /// Pages fetched from a remote home node (`loadIntoCache` misses).
+    page_loads,
+    /// Pages whose cached copy was discarded by `invalidateCache`.
+    pages_invalidated,
+    /// Cache invalidation episodes (monitor acquisitions that flushed the cache).
+    cache_invalidations,
+    /// Diff messages sent to home nodes by `updateMainMemory`.
+    diff_messages,
+    /// Modified 8-byte slots flushed to home nodes.
+    diff_slots_flushed,
+    /// RPC requests issued by this node.
+    rpc_requests,
+    /// RPC requests served by this node (as home / target).
+    rpc_served,
+    /// Payload bytes sent by this node (requests + diffs).
+    bytes_sent,
+    /// Payload bytes received by this node (replies + fetched pages).
+    bytes_received,
+    /// Monitor entries executed by threads of this node.
+    monitor_enters,
+    /// Monitor exits executed by threads of this node.
+    monitor_exits,
+    /// Monitor acquisitions whose monitor object lives on another node.
+    remote_monitor_acquires,
+    /// Barrier episodes completed by threads of this node.
+    barrier_waits,
+    /// Threads created on this node.
+    threads_spawned,
+    /// Threads migrated away from this node (extension feature).
+    threads_migrated,
+    /// Object-field reads performed through the DSM (`get`).
+    field_reads,
+    /// Object-field writes performed through the DSM (`put`).
+    field_writes,
+}
+
+impl NodeStats {
+    /// Increment a counter by one.
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment a counter by `n`.
+    #[inline]
+    pub fn bump_by(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl StatsSnapshot {
+    /// Sum a collection of snapshots into a cluster-wide total.
+    pub fn total<'a, I: IntoIterator<Item = &'a StatsSnapshot>>(snapshots: I) -> StatsSnapshot {
+        snapshots
+            .into_iter()
+            .fold(StatsSnapshot::default(), |acc, s| acc.merged(s))
+    }
+
+    /// Total DSM accesses (reads + writes).
+    pub fn field_accesses(&self) -> u64 {
+        self.field_reads + self.field_writes
+    }
+
+    /// Total payload bytes moved (sent + received).
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = NodeStats::default();
+        NodeStats::bump(&s.locality_checks);
+        NodeStats::bump(&s.locality_checks);
+        NodeStats::bump_by(&s.bytes_sent, 4096);
+        NodeStats::bump(&s.page_faults);
+        let snap = s.snapshot();
+        assert_eq!(snap.locality_checks, 2);
+        assert_eq!(snap.bytes_sent, 4096);
+        assert_eq!(snap.page_faults, 1);
+        assert_eq!(snap.mprotect_calls, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = NodeStats::default();
+        NodeStats::bump_by(&s.field_reads, 10);
+        NodeStats::bump_by(&s.field_writes, 5);
+        s.reset();
+        let snap = s.snapshot();
+        assert_eq!(snap.field_reads, 0);
+        assert_eq!(snap.field_writes, 0);
+        assert_eq!(snap.field_accesses(), 0);
+    }
+
+    #[test]
+    fn merged_and_total_sum_fieldwise() {
+        let a = StatsSnapshot {
+            page_loads: 3,
+            bytes_sent: 100,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            page_loads: 4,
+            bytes_received: 50,
+            ..Default::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.page_loads, 7);
+        assert_eq!(m.bytes_sent, 100);
+        assert_eq!(m.bytes_received, 50);
+        assert_eq!(m.bytes_moved(), 150);
+
+        let t = StatsSnapshot::total([&a, &b, &m]);
+        assert_eq!(t.page_loads, 14);
+    }
+
+    #[test]
+    fn fields_enumeration_contains_every_counter() {
+        let snap = StatsSnapshot::default();
+        let names: Vec<&str> = snap.fields().iter().map(|(n, _)| *n).collect();
+        for expected in [
+            "locality_checks",
+            "page_faults",
+            "mprotect_calls",
+            "page_loads",
+            "diff_messages",
+            "monitor_enters",
+            "field_reads",
+            "field_writes",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        assert_eq!(names.len(), 20);
+    }
+
+    #[test]
+    fn concurrent_bumps_are_not_lost() {
+        use std::sync::Arc;
+        let s = Arc::new(NodeStats::default());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        NodeStats::bump(&s.field_reads);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().field_reads, 40_000);
+    }
+}

@@ -1,0 +1,489 @@
+//! Virtual time: the clocks that replace the 2001 clusters' wall clocks.
+//!
+//! The reproduction executes Java-style threads as real OS threads, but all
+//! *reported* time is virtual.  Three pieces cooperate:
+//!
+//! * [`VTime`] — a picosecond-resolution instant/duration (one type serves as
+//!   both, like `std::time::Duration`).
+//! * [`ThreadClock`] — a thread-private Lamport-style clock.  Compute work,
+//!   locality checks, page faults and message latencies all advance it.
+//! * [`ServerClock`] — a shared, monotonically advancing "next free" time for
+//!   a node's protocol-service processor.  Remote page requests are
+//!   serialised through it, which is how home-node contention shows up in the
+//!   execution times (essential for the Barnes-Hut flattening in Fig. 3).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A point in (or span of) virtual time, stored in integer picoseconds.
+///
+/// Picoseconds keep sub-cycle costs exact (a 450 MHz cycle is 2222 ps) while
+/// still allowing more than five virtual hours in a `u64`, far beyond the
+/// longest run in the paper (~3000 s for ASP on one node).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VTime(u64);
+
+impl VTime {
+    /// The zero instant / empty duration.
+    pub const ZERO: VTime = VTime(0);
+    /// Largest representable time.
+    pub const MAX: VTime = VTime(u64::MAX);
+
+    /// Construct from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        VTime(ps)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        VTime(ns * 1_000)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        VTime(us * 1_000_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        VTime(ms * 1_000_000_000)
+    }
+
+    /// Construct from a floating-point number of seconds (saturating, never
+    /// negative).
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs <= 0.0 {
+            return VTime::ZERO;
+        }
+        let ps = secs * 1e12;
+        if ps >= u64::MAX as f64 {
+            VTime::MAX
+        } else {
+            VTime(ps as u64)
+        }
+    }
+
+    /// Construct from a floating-point number of nanoseconds (saturating,
+    /// never negative).
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Self {
+        if ns <= 0.0 {
+            return VTime::ZERO;
+        }
+        let ps = ns * 1e3;
+        if ps >= u64::MAX as f64 {
+            VTime::MAX
+        } else {
+            VTime(ps as u64)
+        }
+    }
+
+    /// Raw picoseconds.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Whole nanoseconds (truncating).
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole microseconds (truncating).
+    #[inline]
+    pub const fn as_us(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds as a float.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Milliseconds as a float.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: VTime) -> VTime {
+        VTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[inline]
+    pub fn saturating_sub(self, rhs: VTime) -> VTime {
+        VTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Pointwise maximum.
+    #[inline]
+    pub fn max(self, rhs: VTime) -> VTime {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Multiply a duration by an integer count (saturating).
+    #[inline]
+    pub fn times(self, n: u64) -> VTime {
+        VTime(self.0.saturating_mul(n))
+    }
+
+    /// True if this is the zero instant.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::ops::Add for VTime {
+    type Output = VTime;
+    #[inline]
+    fn add(self, rhs: VTime) -> VTime {
+        self.saturating_add(rhs)
+    }
+}
+
+impl std::ops::AddAssign for VTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: VTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::Sub for VTime {
+    type Output = VTime;
+    #[inline]
+    fn sub(self, rhs: VTime) -> VTime {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl std::iter::Sum for VTime {
+    fn sum<I: Iterator<Item = VTime>>(iter: I) -> VTime {
+        iter.fold(VTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::fmt::Debug for VTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl std::fmt::Display for VTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.as_secs_f64();
+        if s >= 1.0 {
+            write!(f, "{s:.3} s")
+        } else if s >= 1e-3 {
+            write!(f, "{:.3} ms", s * 1e3)
+        } else if s >= 1e-6 {
+            write!(f, "{:.3} us", s * 1e6)
+        } else {
+            write!(f, "{} ns", self.as_ns())
+        }
+    }
+}
+
+/// A thread-private virtual clock.
+///
+/// The clock only ever moves forward.  It is advanced by charging durations
+/// (compute work, protocol costs) and by merging with timestamps received
+/// from other threads or nodes (RPC replies, monitor hand-offs, barrier
+/// releases), exactly like a Lamport clock over the events of the simulated
+/// execution.
+#[derive(Clone, Debug)]
+pub struct ThreadClock {
+    now: VTime,
+    charged: VTime,
+}
+
+impl ThreadClock {
+    /// A clock starting at virtual time zero.
+    pub fn new() -> Self {
+        Self::starting_at(VTime::ZERO)
+    }
+
+    /// A clock starting at the given instant (used when a thread is created
+    /// by another thread part-way through a run).
+    pub fn starting_at(start: VTime) -> Self {
+        ThreadClock {
+            now: start,
+            charged: VTime::ZERO,
+        }
+    }
+
+    /// Current virtual time of this thread.
+    #[inline]
+    pub fn now(&self) -> VTime {
+        self.now
+    }
+
+    /// Total duration explicitly charged to this clock (excludes idle time
+    /// introduced by `merge`, i.e. time spent waiting on other threads).
+    #[inline]
+    pub fn charged(&self) -> VTime {
+        self.charged
+    }
+
+    /// Advance the clock by `d` units of local work.
+    #[inline]
+    pub fn advance(&mut self, d: VTime) {
+        self.now += d;
+        self.charged += d;
+    }
+
+    /// Merge with an externally observed timestamp: the clock jumps forward
+    /// to `t` if `t` is later than the current time (it never moves back).
+    #[inline]
+    pub fn merge(&mut self, t: VTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Merge with `t` and then advance by `d`; convenience for the common
+    /// "wait for an event, then pay a local cost" pattern.
+    #[inline]
+    pub fn merge_then_advance(&mut self, t: VTime, d: VTime) {
+        self.merge(t);
+        self.advance(d);
+    }
+}
+
+impl Default for ThreadClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The service clock of a node's protocol processor.
+///
+/// Incoming DSM requests (page fetches, diff applications, remote monitor
+/// acquisitions) are serialised: each request begins service no earlier than
+/// both its arrival time and the completion of the previously accepted
+/// request.  This models the home node's handler occupancy and is the source
+/// of the contention-driven flattening the paper observes for Barnes-Hut at
+/// large node counts.
+#[derive(Debug, Default)]
+pub struct ServerClock {
+    free_at: AtomicU64,
+}
+
+impl ServerClock {
+    /// A server that is free from virtual time zero.
+    pub fn new() -> Self {
+        ServerClock {
+            free_at: AtomicU64::new(0),
+        }
+    }
+
+    /// Time at which the server becomes free, as last recorded.
+    pub fn free_at(&self) -> VTime {
+        VTime::from_ps(self.free_at.load(Ordering::Acquire))
+    }
+
+    /// Reserve `service` time starting no earlier than `arrival`.
+    ///
+    /// Returns the completion time of the request.  Linearisable: concurrent
+    /// callers each obtain a disjoint service interval.
+    pub fn serve(&self, arrival: VTime, service: VTime) -> VTime {
+        let mut cur = self.free_at.load(Ordering::Acquire);
+        loop {
+            let start = arrival.as_ps().max(cur);
+            let end = start.saturating_add(service.as_ps());
+            match self
+                .free_at
+                .compare_exchange_weak(cur, end, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return VTime::from_ps(end),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Reset the server to idle at time zero (between experiment runs).
+    pub fn reset(&self) {
+        self.free_at.store(0, Ordering::Release);
+    }
+}
+
+/// A shared monotone watermark of virtual time, used to compute the maximum
+/// finishing time over a set of threads (e.g. barrier release times and the
+/// final execution time of a run).
+#[derive(Debug, Default)]
+pub struct TimeWatermark {
+    max_ps: AtomicU64,
+}
+
+impl TimeWatermark {
+    /// New watermark at time zero.
+    pub fn new() -> Self {
+        TimeWatermark {
+            max_ps: AtomicU64::new(0),
+        }
+    }
+
+    /// Record an observed time; keeps the maximum.
+    pub fn record(&self, t: VTime) {
+        self.max_ps.fetch_max(t.as_ps(), Ordering::AcqRel);
+    }
+
+    /// The maximum time recorded so far.
+    pub fn max(&self) -> VTime {
+        VTime::from_ps(self.max_ps.load(Ordering::Acquire))
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.max_ps.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vtime_conversions_round_trip() {
+        assert_eq!(VTime::from_ns(1).as_ps(), 1_000);
+        assert_eq!(VTime::from_us(3).as_ns(), 3_000);
+        assert_eq!(VTime::from_ms(2).as_us(), 2_000);
+        assert!((VTime::from_secs_f64(1.5).as_secs_f64() - 1.5).abs() < 1e-9);
+        assert_eq!(VTime::from_secs_f64(-1.0), VTime::ZERO);
+        assert_eq!(VTime::from_ns_f64(-5.0), VTime::ZERO);
+        assert!((VTime::from_ns_f64(2.5).as_ps()) == 2_500);
+    }
+
+    #[test]
+    fn vtime_saturates_instead_of_overflowing() {
+        let max = VTime::MAX;
+        assert_eq!(max + VTime::from_ns(1), VTime::MAX);
+        assert_eq!(VTime::ZERO - VTime::from_ns(1), VTime::ZERO);
+        assert_eq!(VTime::MAX.times(3), VTime::MAX);
+        assert_eq!(VTime::from_secs_f64(1e20), VTime::MAX);
+    }
+
+    #[test]
+    fn vtime_ordering_and_max() {
+        let a = VTime::from_us(5);
+        let b = VTime::from_us(7);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+        assert_eq!(a.times(3), VTime::from_us(15));
+    }
+
+    #[test]
+    fn vtime_display_picks_sensible_units() {
+        assert_eq!(format!("{}", VTime::from_ns(120)), "120 ns");
+        assert_eq!(format!("{}", VTime::from_us(12)), "12.000 us");
+        assert_eq!(format!("{}", VTime::from_ms(12)), "12.000 ms");
+        assert_eq!(format!("{}", VTime::from_secs_f64(2.0)), "2.000 s");
+    }
+
+    #[test]
+    fn vtime_sum_over_iterator() {
+        let total: VTime = (1..=4u64).map(VTime::from_us).sum();
+        assert_eq!(total, VTime::from_us(10));
+    }
+
+    #[test]
+    fn thread_clock_advances_and_merges() {
+        let mut c = ThreadClock::new();
+        c.advance(VTime::from_us(10));
+        assert_eq!(c.now(), VTime::from_us(10));
+        assert_eq!(c.charged(), VTime::from_us(10));
+
+        // Merging with an earlier timestamp is a no-op.
+        c.merge(VTime::from_us(5));
+        assert_eq!(c.now(), VTime::from_us(10));
+
+        // Merging with a later timestamp jumps forward but does not count as
+        // charged (it is time spent waiting).
+        c.merge(VTime::from_us(25));
+        assert_eq!(c.now(), VTime::from_us(25));
+        assert_eq!(c.charged(), VTime::from_us(10));
+
+        c.merge_then_advance(VTime::from_us(30), VTime::from_us(1));
+        assert_eq!(c.now(), VTime::from_us(31));
+        assert_eq!(c.charged(), VTime::from_us(11));
+    }
+
+    #[test]
+    fn thread_clock_starting_at_offset() {
+        let mut c = ThreadClock::starting_at(VTime::from_ms(1));
+        assert_eq!(c.now(), VTime::from_ms(1));
+        c.advance(VTime::from_ms(1));
+        assert_eq!(c.now(), VTime::from_ms(2));
+        assert_eq!(c.charged(), VTime::from_ms(1));
+    }
+
+    #[test]
+    fn server_clock_serialises_requests() {
+        let s = ServerClock::new();
+        // First request arrives at t=10us and takes 5us.
+        let end1 = s.serve(VTime::from_us(10), VTime::from_us(5));
+        assert_eq!(end1, VTime::from_us(15));
+        // Second request arrives earlier but the server is busy until 15us.
+        let end2 = s.serve(VTime::from_us(12), VTime::from_us(5));
+        assert_eq!(end2, VTime::from_us(20));
+        // Third request arrives long after the server is idle.
+        let end3 = s.serve(VTime::from_us(100), VTime::from_us(1));
+        assert_eq!(end3, VTime::from_us(101));
+        assert_eq!(s.free_at(), VTime::from_us(101));
+        s.reset();
+        assert_eq!(s.free_at(), VTime::ZERO);
+    }
+
+    #[test]
+    fn server_clock_concurrent_reservations_do_not_overlap() {
+        use std::sync::Arc;
+        let s = Arc::new(ServerClock::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let mut ends = Vec::new();
+                for _ in 0..1000 {
+                    ends.push(s.serve(VTime::ZERO, VTime::from_ns(10)));
+                }
+                ends
+            }));
+        }
+        let mut all: Vec<VTime> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        // Each of the 8000 reservations is 10ns; because they never overlap,
+        // all completion times are distinct multiples of 10ns and the last
+        // one is exactly 8000 * 10ns.
+        all.dedup();
+        assert_eq!(all.len(), 8000);
+        assert_eq!(*all.last().unwrap(), VTime::from_ns(80_000));
+    }
+
+    #[test]
+    fn watermark_tracks_maximum() {
+        let w = TimeWatermark::new();
+        w.record(VTime::from_us(3));
+        w.record(VTime::from_us(1));
+        w.record(VTime::from_us(9));
+        assert_eq!(w.max(), VTime::from_us(9));
+        w.reset();
+        assert_eq!(w.max(), VTime::ZERO);
+    }
+}

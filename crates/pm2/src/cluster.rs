@@ -1,0 +1,325 @@
+//! The cluster: a fixed set of homogeneous nodes plus the RPC service table.
+
+use std::sync::Arc;
+
+use hyperion_model::{MachineModel, NodeStats, StatsSnapshot, ThreadClock, VTime};
+use parking_lot::RwLock;
+
+use crate::comm::{RpcHandler, ServiceId, MSG_HEADER_BYTES};
+use crate::node::{Node, NodeId};
+
+/// A simulated cluster executing a single distributed JVM image.
+///
+/// The cluster owns the machine model (both of the paper's clusters are
+/// homogeneous), one [`Node`] per cluster node, and the table of registered
+/// RPC services.
+pub struct Cluster {
+    machine: MachineModel,
+    nodes: Vec<Arc<Node>>,
+    services: RwLock<Vec<Arc<dyn RpcHandler>>>,
+}
+
+impl Cluster {
+    /// Build a cluster of `num_nodes` identical nodes.
+    ///
+    /// # Panics
+    /// Panics if `num_nodes` is zero.
+    pub fn new(machine: MachineModel, num_nodes: usize) -> Arc<Self> {
+        assert!(num_nodes > 0, "a cluster needs at least one node");
+        let nodes = (0..num_nodes)
+            .map(|i| Arc::new(Node::new(NodeId(i as u32))))
+            .collect();
+        Arc::new(Cluster {
+            machine,
+            nodes,
+            services: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// The machine model shared by every node.
+    #[inline]
+    pub fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    /// Number of nodes in this cluster.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Access a node by id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterate over all nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().map(|n| n.as_ref())
+    }
+
+    /// All node ids, in order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId).collect()
+    }
+
+    /// Register an RPC service; the returned [`ServiceId`] is what callers
+    /// pass to [`Cluster::rpc`].
+    pub fn register_service(&self, handler: Arc<dyn RpcHandler>) -> ServiceId {
+        let mut services = self.services.write();
+        services.push(handler);
+        ServiceId(services.len() - 1)
+    }
+
+    /// Number of registered services.
+    pub fn num_services(&self) -> usize {
+        self.services.read().len()
+    }
+
+    /// Invoke service `service` on node `to` on behalf of a thread running on
+    /// node `from`, charging the full virtual-time cost of the round trip to
+    /// `clock`.
+    ///
+    /// Timing model (for `from != to`):
+    ///
+    /// 1. requester: marshalling + protocol software + NIC send overhead;
+    /// 2. wire: one-way latency + header/payload transfer;
+    /// 3. target node: the request is serialised through the node's service
+    ///    clock; service time = fixed protocol handler cost + the handler's
+    ///    own reported [`RpcReply::service`];
+    /// 4. wire back: latency + reply transfer;
+    /// 5. requester: NIC receive overhead.
+    ///
+    /// A local invocation (`from == to`) only pays the protocol software
+    /// costs — no wire, no NIC overheads, no service-clock occupancy.
+    pub fn rpc(
+        &self,
+        clock: &mut ThreadClock,
+        from: NodeId,
+        to: NodeId,
+        service: ServiceId,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let handler = {
+            let services = self.services.read();
+            Arc::clone(
+                services
+                    .get(service.0)
+                    .unwrap_or_else(|| panic!("unknown RPC service {:?}", service)),
+            )
+        };
+
+        let cpu = &self.machine.cpu;
+        let net = &self.machine.net;
+        let dsm = &self.machine.dsm;
+        let from_node = self.node(from);
+        let to_node = self.node(to);
+
+        NodeStats::bump(&from_node.stats.rpc_requests);
+        NodeStats::bump(&to_node.stats.rpc_served);
+
+        // The handler runs on the target node's state regardless of where
+        // the calling OS thread happens to be executing.
+        let reply = handler.handle(to_node, from, payload);
+
+        let request_cpu = cpu.cycles(dsm.protocol_request_cycles);
+        let server_cpu = cpu.cycles(dsm.protocol_server_cycles);
+
+        if from == to {
+            // Local invocation: protocol software only.
+            clock.advance(request_cpu + server_cpu + reply.service);
+            return reply.data;
+        }
+
+        let req_bytes = MSG_HEADER_BYTES + payload.len() as u64;
+        let reply_bytes = MSG_HEADER_BYTES + reply.data.len() as u64;
+
+        NodeStats::bump_by(&from_node.stats.bytes_sent, req_bytes);
+        NodeStats::bump_by(&to_node.stats.bytes_received, req_bytes);
+        NodeStats::bump_by(&to_node.stats.bytes_sent, reply_bytes);
+        NodeStats::bump_by(&from_node.stats.bytes_received, reply_bytes);
+
+        // 1. + 2. request leaves the caller and crosses the wire.
+        clock.advance(request_cpu + net.send_overhead);
+        let arrival = clock.now() + net.latency + net.transfer(req_bytes);
+
+        // 3. service at the home node (serialised).
+        let done = to_node.server.serve(arrival, server_cpu + reply.service);
+
+        // 4. + 5. reply crosses the wire and is absorbed by the caller.
+        let reply_arrival = done + net.latency + net.transfer(reply_bytes) + net.recv_overhead;
+        clock.merge(reply_arrival);
+
+        reply.data
+    }
+
+    /// One-way virtual cost of a minimal control message between two distinct
+    /// nodes (used for remote thread creation and monitor signalling).
+    pub fn control_message_cost(&self) -> VTime {
+        self.machine.net.one_way(MSG_HEADER_BYTES)
+    }
+
+    /// Snapshot of a single node's statistics.
+    pub fn node_stats(&self, id: NodeId) -> StatsSnapshot {
+        self.node(id).stats.snapshot()
+    }
+
+    /// Per-node statistics snapshots, in node order.
+    pub fn all_stats(&self) -> Vec<StatsSnapshot> {
+        self.nodes.iter().map(|n| n.stats.snapshot()).collect()
+    }
+
+    /// Cluster-wide statistics total.
+    pub fn total_stats(&self) -> StatsSnapshot {
+        StatsSnapshot::total(self.all_stats().iter())
+    }
+
+    /// Reset every node's per-run state (between experiment runs).
+    pub fn reset(&self) {
+        for n in &self.nodes {
+            n.reset();
+        }
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("machine", &self.machine.name)
+            .field("num_nodes", &self.nodes.len())
+            .field("num_services", &self.num_services())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::RpcReply;
+    use hyperion_model::myrinet_200;
+
+    fn test_cluster(nodes: usize) -> Arc<Cluster> {
+        Cluster::new(myrinet_200().machine, nodes)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_cluster_is_rejected() {
+        let _ = test_cluster(0);
+    }
+
+    #[test]
+    fn cluster_exposes_nodes_and_machine() {
+        let c = test_cluster(4);
+        assert_eq!(c.num_nodes(), 4);
+        assert_eq!(c.machine().name, "200MHz/Myrinet");
+        assert_eq!(c.node(NodeId(2)).id(), NodeId(2));
+        assert_eq!(
+            c.node_ids(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert_eq!(c.nodes().count(), 4);
+    }
+
+    #[test]
+    fn local_rpc_charges_only_software_cost() {
+        let c = test_cluster(2);
+        let svc = c.register_service(Arc::new(|_n: &Node, _c: NodeId, p: &[u8]| {
+            RpcReply::with_data(p.to_vec(), VTime::ZERO)
+        }));
+        let mut clock = ThreadClock::new();
+        let out = c.rpc(&mut clock, NodeId(0), NodeId(0), svc, &[9, 9]);
+        assert_eq!(out, vec![9, 9]);
+        let expected = c.machine().cpu.cycles(
+            c.machine().dsm.protocol_request_cycles + c.machine().dsm.protocol_server_cycles,
+        );
+        assert_eq!(clock.now(), expected);
+        // No wire traffic for a local call.
+        assert_eq!(c.node_stats(NodeId(0)).bytes_sent, 0);
+    }
+
+    #[test]
+    fn remote_rpc_charges_wire_and_service_costs() {
+        let c = test_cluster(2);
+        let svc = c.register_service(Arc::new(|_n: &Node, _c: NodeId, _p: &[u8]| {
+            RpcReply::with_data(vec![0u8; 4096], VTime::from_us(5))
+        }));
+        let mut clock = ThreadClock::new();
+        let out = c.rpc(&mut clock, NodeId(0), NodeId(1), svc, &[0u8; 16]);
+        assert_eq!(out.len(), 4096);
+
+        let m = c.machine();
+        // Lower bound: two latencies, the page transfer and the fault-free
+        // service time must all be included.
+        let lower = m.net.latency.times(2)
+            + m.net.transfer(4096)
+            + VTime::from_us(5)
+            + m.net.send_overhead
+            + m.net.recv_overhead;
+        assert!(clock.now() >= lower, "{} < {}", clock.now(), lower);
+
+        let s0 = c.node_stats(NodeId(0));
+        let s1 = c.node_stats(NodeId(1));
+        assert_eq!(s0.rpc_requests, 1);
+        assert_eq!(s1.rpc_served, 1);
+        assert!(s0.bytes_sent >= 16 + MSG_HEADER_BYTES);
+        assert!(s0.bytes_received >= 4096 + MSG_HEADER_BYTES);
+        assert_eq!(s1.bytes_received, s0.bytes_sent);
+        assert_eq!(s1.bytes_sent, s0.bytes_received);
+    }
+
+    #[test]
+    fn concurrent_rpcs_to_one_home_are_serialised() {
+        let c = test_cluster(3);
+        let svc = c.register_service(Arc::new(|_n: &Node, _c: NodeId, _p: &[u8]| {
+            RpcReply::ack(VTime::from_us(100))
+        }));
+        // Two different callers target node 2 at the same virtual time; the
+        // second to be served must finish at least 100us after the first.
+        let mut c1 = ThreadClock::new();
+        let mut c2 = ThreadClock::new();
+        c.rpc(&mut c1, NodeId(0), NodeId(2), svc, &[]);
+        c.rpc(&mut c2, NodeId(1), NodeId(2), svc, &[]);
+        let (early, late) = if c1.now() < c2.now() {
+            (c1.now(), c2.now())
+        } else {
+            (c2.now(), c1.now())
+        };
+        assert!(late >= early + VTime::from_us(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown RPC service")]
+    fn unknown_service_panics() {
+        let c = test_cluster(1);
+        let mut clock = ThreadClock::new();
+        c.rpc(&mut clock, NodeId(0), NodeId(0), ServiceId(42), &[]);
+    }
+
+    #[test]
+    fn reset_clears_all_node_state() {
+        let c = test_cluster(2);
+        let svc = c.register_service(Arc::new(|_n: &Node, _c: NodeId, _p: &[u8]| {
+            RpcReply::ack(VTime::from_us(1))
+        }));
+        let mut clock = ThreadClock::new();
+        c.rpc(&mut clock, NodeId(0), NodeId(1), svc, &[1, 2, 3]);
+        assert!(c.total_stats().rpc_requests > 0);
+        c.reset();
+        assert_eq!(c.total_stats().rpc_requests, 0);
+        assert_eq!(c.node(NodeId(1)).server.free_at(), VTime::ZERO);
+        // Services survive a reset.
+        assert_eq!(c.num_services(), 1);
+    }
+
+    #[test]
+    fn control_message_cost_is_positive_and_latency_bounded() {
+        let c = test_cluster(2);
+        let cost = c.control_message_cost();
+        assert!(cost >= c.machine().net.latency);
+    }
+}

@@ -1,0 +1,276 @@
+//! Property-based tests (proptest) for the core data structures and the DSM
+//! consistency protocols.
+//!
+//! The central property is a model check of the DSM layer: an arbitrary
+//! sequence of `put` / `get` / `updateMainMemory` / `invalidateCache`
+//! operations, executed against the real protocol engine, must observe
+//! exactly the values predicted by a tiny executable specification of
+//! home-based Java consistency (per-node caches over a single main memory).
+//! Both protocols must satisfy it — they are two *detection* mechanisms for
+//! the same consistency model.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use hyperion_workspace::dsm::{DsmStore, DsmSystem, ProtocolKind};
+use hyperion_workspace::model::{myrinet_200, ThreadClock, VTime};
+use hyperion_workspace::pm2::{Cluster, GlobalAddr, IsoAllocator, NodeId};
+
+/// One step of the random DSM program.
+#[derive(Clone, Debug)]
+enum DsmOp {
+    Put { node: u8, slot: u8, value: u64 },
+    Get { node: u8, slot: u8 },
+    Flush { node: u8 },
+    Invalidate { node: u8 },
+}
+
+fn op_strategy(nodes: u8, slots: u8) -> impl Strategy<Value = DsmOp> {
+    prop_oneof![
+        (0..nodes, 0..slots, any::<u64>()).prop_map(|(node, slot, value)| DsmOp::Put {
+            node,
+            slot,
+            value
+        }),
+        (0..nodes, 0..slots).prop_map(|(node, slot)| DsmOp::Get { node, slot }),
+        (0..nodes).prop_map(|node| DsmOp::Flush { node }),
+        (0..nodes).prop_map(|node| DsmOp::Invalidate { node }),
+    ]
+}
+
+/// Executable specification of home-based Java consistency for a single
+/// driving thread: a main memory plus one (cache, dirty-set) pair per node.
+struct SpecMemory {
+    num_slots: usize,
+    homes: Vec<usize>,
+    main: Vec<u64>,
+    cache: Vec<HashMap<usize, u64>>,
+    dirty: Vec<HashMap<usize, u64>>,
+}
+
+impl SpecMemory {
+    fn new(nodes: usize, num_slots: usize, homes: Vec<usize>) -> Self {
+        SpecMemory {
+            num_slots,
+            homes,
+            main: vec![0; num_slots],
+            cache: (0..nodes).map(|_| HashMap::new()).collect(),
+            dirty: (0..nodes).map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    fn get(&mut self, node: usize, slot: usize) -> u64 {
+        if self.homes[slot] == node {
+            return self.main[slot];
+        }
+        if let Some(&v) = self.cache[node].get(&slot) {
+            return v;
+        }
+        // Miss: the whole "page" (here: every slot with the same home) is
+        // brought in.
+        let home = self.homes[slot];
+        for s in 0..self.num_slots {
+            if self.homes[s] == home {
+                self.cache[node].insert(s, self.main[s]);
+            }
+        }
+        self.cache[node][&slot]
+    }
+
+    fn put(&mut self, node: usize, slot: usize, value: u64) {
+        if self.homes[slot] == node {
+            self.main[slot] = value;
+            return;
+        }
+        // Write allocate, exactly like the real engine.
+        self.get(node, slot);
+        self.cache[node].insert(slot, value);
+        self.dirty[node].insert(slot, value);
+    }
+
+    fn flush(&mut self, node: usize) {
+        for (slot, value) in self.dirty[node].drain() {
+            self.main[slot] = value;
+        }
+    }
+
+    fn invalidate(&mut self, node: usize) {
+        // The engine flushes pending writes before dropping copies so no
+        // update can be lost.
+        self.flush(node);
+        self.cache[node].clear();
+    }
+}
+
+/// Build a real DSM system with `nodes` nodes and two shared "objects":
+/// `slots_per_home` slots homed on each node, all on distinct pages.
+fn build_dsm(
+    protocol: ProtocolKind,
+    nodes: usize,
+    slots_per_home: usize,
+) -> (Arc<DsmSystem>, Vec<GlobalAddr>, Vec<usize>) {
+    let cluster = Cluster::new(myrinet_200().machine, nodes);
+    let alloc = Arc::new(IsoAllocator::new(nodes));
+    let store = DsmStore::new(Arc::clone(&alloc), nodes);
+    let dsm = DsmSystem::new(cluster, store, protocol);
+    let mut addrs = Vec::new();
+    let mut homes = Vec::new();
+    for home in 0..nodes {
+        let base = alloc.alloc_page_aligned(slots_per_home, NodeId(home as u32));
+        for s in 0..slots_per_home {
+            addrs.push(base.offset(s as u64));
+            homes.push(home);
+        }
+    }
+    (dsm, addrs, homes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The real protocol engines agree with the executable specification on
+    /// every read, for arbitrary operation sequences, under both protocols.
+    #[test]
+    fn dsm_matches_the_consistency_specification(
+        ops in proptest::collection::vec(op_strategy(3, 12), 1..120)
+    ) {
+        for protocol in [ProtocolKind::JavaIc, ProtocolKind::JavaPf] {
+            let nodes = 3usize;
+            let slots_per_home = 4usize;
+            let (dsm, addrs, homes) = build_dsm(protocol, nodes, slots_per_home);
+            let mut spec = SpecMemory::new(nodes, addrs.len(), homes);
+            let mut clocks: Vec<ThreadClock> = (0..nodes).map(|_| ThreadClock::new()).collect();
+
+            for op in &ops {
+                match *op {
+                    DsmOp::Put { node, slot, value } => {
+                        let node = node as usize;
+                        let slot = slot as usize % addrs.len();
+                        dsm.put(NodeId(node as u32), &mut clocks[node], addrs[slot], value);
+                        spec.put(node, slot, value);
+                    }
+                    DsmOp::Get { node, slot } => {
+                        let node = node as usize;
+                        let slot = slot as usize % addrs.len();
+                        let real = dsm.get(NodeId(node as u32), &mut clocks[node], addrs[slot]);
+                        let expected = spec.get(node, slot);
+                        prop_assert_eq!(real, expected, "{:?} read mismatch at slot {}", protocol, slot);
+                    }
+                    DsmOp::Flush { node } => {
+                        let node = node as usize;
+                        dsm.update_main_memory(NodeId(node as u32), &mut clocks[node]);
+                        spec.flush(node);
+                    }
+                    DsmOp::Invalidate { node } => {
+                        let node = node as usize;
+                        dsm.invalidate_cache(NodeId(node as u32), &mut clocks[node]);
+                        spec.invalidate(node);
+                    }
+                }
+            }
+
+            // Quiesce: flush everything and check main memory agrees slot by
+            // slot (read from each slot's home node).
+            for node in 0..nodes {
+                dsm.update_main_memory(NodeId(node as u32), &mut clocks[node]);
+                spec.flush(node);
+            }
+            for (slot, addr) in addrs.iter().enumerate() {
+                let home = spec.homes[slot];
+                let real = dsm.get(NodeId(home as u32), &mut clocks[home], *addr);
+                prop_assert_eq!(real, spec.main[slot]);
+            }
+        }
+    }
+
+    /// Virtual time never decreases and only `java_ic` performs checks.
+    #[test]
+    fn protocol_costs_are_monotone_and_protocol_specific(
+        ops in proptest::collection::vec(op_strategy(2, 8), 1..60)
+    ) {
+        for protocol in [ProtocolKind::JavaIc, ProtocolKind::JavaPf] {
+            let (dsm, addrs, _homes) = build_dsm(protocol, 2, 4);
+            let mut clock = ThreadClock::new();
+            let mut last = VTime::ZERO;
+            for op in &ops {
+                match *op {
+                    DsmOp::Put { slot, value, .. } => {
+                        dsm.put(NodeId(0), &mut clock, addrs[slot as usize % addrs.len()], value)
+                    }
+                    DsmOp::Get { slot, .. } => {
+                        let _ = dsm.get(NodeId(0), &mut clock, addrs[slot as usize % addrs.len()]);
+                    }
+                    DsmOp::Flush { .. } => dsm.update_main_memory(NodeId(0), &mut clock),
+                    DsmOp::Invalidate { .. } => dsm.invalidate_cache(NodeId(0), &mut clock),
+                }
+                prop_assert!(clock.now() >= last);
+                last = clock.now();
+            }
+            let stats = dsm.cluster().total_stats();
+            match protocol {
+                ProtocolKind::JavaIc => {
+                    prop_assert_eq!(stats.page_faults, 0);
+                    prop_assert_eq!(stats.mprotect_calls, 0);
+                    prop_assert_eq!(stats.locality_checks, stats.field_reads + stats.field_writes);
+                }
+                ProtocolKind::JavaPf => {
+                    prop_assert_eq!(stats.locality_checks, 0);
+                    prop_assert!(stats.mprotect_calls >= stats.page_faults);
+                }
+            }
+        }
+    }
+
+    /// The iso-address allocator never hands out overlapping ranges and
+    /// always records a home for every allocated page.
+    #[test]
+    fn allocator_ranges_never_overlap(
+        sizes in proptest::collection::vec((1usize..200, 0u32..4), 1..40)
+    ) {
+        let alloc = IsoAllocator::new(4);
+        let mut seen: Vec<(u64, u64)> = Vec::new();
+        for (slots, home) in sizes {
+            let addr = alloc.alloc(slots, NodeId(home));
+            let start = addr.0;
+            let end = start + slots as u64;
+            for &(s, e) in &seen {
+                prop_assert!(end <= s || start >= e, "ranges [{start},{end}) and [{s},{e}) overlap");
+            }
+            // Every page of the range is homed on the requested node.
+            for page in addr.page().0..=addr.offset(slots as u64 - 1).page().0 {
+                prop_assert_eq!(alloc.home_of(hyperion_workspace::pm2::PageId(page)), NodeId(home));
+            }
+            seen.push((start, end));
+        }
+    }
+
+    /// `block_range` tiles the index space for arbitrary sizes.
+    #[test]
+    fn block_range_tiles_any_size(total in 0usize..10_000, parts in 1usize..64) {
+        let mut covered = 0usize;
+        let mut prev_end = 0usize;
+        for idx in 0..parts {
+            let (s, e) = hyperion_workspace::apps::block_range(total, parts, idx);
+            prop_assert_eq!(s, prev_end);
+            prop_assert!(e >= s);
+            prop_assert!(e - s <= total / parts + 1);
+            covered += e - s;
+            prev_end = e;
+        }
+        prop_assert_eq!(covered, total);
+    }
+
+    /// VTime arithmetic: saturating, commutative max, order-compatible.
+    #[test]
+    fn vtime_algebra(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let ta = VTime::from_ps(a);
+        let tb = VTime::from_ps(b);
+        prop_assert_eq!(ta + tb, tb + ta);
+        prop_assert_eq!(ta.max(tb), tb.max(ta));
+        prop_assert!((ta + tb) >= ta);
+        prop_assert_eq!((ta + tb) - tb, ta);
+        prop_assert_eq!(ta.times(3).as_ps(), a * 3);
+    }
+}
