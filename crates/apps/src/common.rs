@@ -28,6 +28,35 @@ pub fn node_of_thread(idx: usize, nodes: usize) -> NodeId {
     NodeId((idx % nodes) as u32)
 }
 
+/// How a kernel accesses shared data through the runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// Per-element accesses with the row indirection re-read through the
+    /// DSM — the faithful compiled-Java behaviour the paper studies.
+    Element,
+    /// Locality-aware: row handles cached once per thread
+    /// (`HMatrix::rows_view`) and communication performed with bulk slice
+    /// transfers, so access detection is paid per page instead of per
+    /// element.
+    Bulk,
+}
+
+impl AccessMode {
+    /// Short lower-case name for logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessMode::Element => "element",
+            AccessMode::Bulk => "bulk",
+        }
+    }
+}
+
+impl std::fmt::Display for AccessMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Names of the five benchmarks, in the paper's figure order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BenchmarkName {

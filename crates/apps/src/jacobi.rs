@@ -17,7 +17,7 @@
 
 use hyperion::prelude::*;
 
-use crate::common::{block_range, node_of_thread, Benchmark, BenchmarkName};
+use crate::common::{block_range, node_of_thread, AccessMode, Benchmark, BenchmarkName};
 
 /// Parameters of the Jacobi benchmark.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,6 +90,7 @@ fn cell_mix() -> OpCounts {
 }
 
 /// Sequential reference implementation; returns (interior sum, centre value).
+#[allow(clippy::needless_range_loop)]
 pub fn sequential(params: &JacobiParams) -> (f64, f64) {
     let n = params.size;
     let mut cur = vec![vec![0.0f64; n]; n];
@@ -117,8 +118,44 @@ pub fn sequential(params: &JacobiParams) -> (f64, f64) {
     (sum, cur[n / 2][n / 2])
 }
 
-/// Run the Jacobi benchmark under `config`.
+/// A stencil neighbour row in the bulk kernel: either a pinned local
+/// snapshot (a remote boundary row fetched once per step) or a cached row
+/// handle whose elements are read through the DSM (a locally owned row).
+enum NeighbourRow {
+    View(ArrayView<f64>),
+    Dsm(HArray<f64>),
+}
+
+impl NeighbourRow {
+    #[inline]
+    fn get(&self, worker: &mut ThreadCtx, c: usize) -> f64 {
+        match self {
+            NeighbourRow::View(v) => v.get(c),
+            NeighbourRow::Dsm(row) => row.get(worker, c),
+        }
+    }
+}
+
+/// Run the Jacobi benchmark under `config` with the default locality-aware
+/// access mode ([`AccessMode::Bulk`]).
 pub fn run(config: HyperionConfig, params: &JacobiParams) -> RunOutcome<JacobiResult> {
+    run_with(config, params, AccessMode::Bulk)
+}
+
+/// Run the Jacobi benchmark under `config` with an explicit access mode.
+///
+/// [`AccessMode::Element`] re-reads the row indirection through the DSM on
+/// every access, as the seed runtime (and un-hoisted compiled Java) did.
+/// [`AccessMode::Bulk`] caches the row handles once per thread and performs
+/// the per-step boundary exchange as bulk row reads, so the DSM sees per-page
+/// instead of per-element traffic for the communication; the interior
+/// stencil still pays the paper's per-access detection, keeping the
+/// `java_ic` / `java_pf` comparison meaningful.
+pub fn run_with(
+    config: HyperionConfig,
+    params: &JacobiParams,
+    mode: AccessMode,
+) -> RunOutcome<JacobiResult> {
     assert!(params.size >= 4, "mesh must be at least 4x4");
     let runtime = HyperionRuntime::new(config).expect("invalid Hyperion configuration");
     let threads = runtime.config().total_app_threads();
@@ -140,8 +177,8 @@ pub fn run(config: HyperionConfig, params: &JacobiParams) -> RunOutcome<JacobiRe
             }
             node_of_thread(owner, nodes)
         };
-        let a: Array2<f64> = ctx.alloc_matrix(n, n, owner_of_row);
-        let b: Array2<f64> = ctx.alloc_matrix(n, n, owner_of_row);
+        let a: HMatrix<f64> = ctx.alloc_matrix(n, n, owner_of_row);
+        let b: HMatrix<f64> = ctx.alloc_matrix(n, n, owner_of_row);
         let barrier = JBarrier::new(ctx, threads, NodeId(0));
 
         let mut handles = Vec::with_capacity(threads);
@@ -157,43 +194,101 @@ pub fn run(config: HyperionConfig, params: &JacobiParams) -> RunOutcome<JacobiRe
                         .with(Op::Branch, 1.0),
                 );
 
-                // Each thread initialises its own rows (in both buffers).
-                for r in row_start..row_end {
-                    let row_a = a.row(worker, r);
-                    let row_b = b.row(worker, r);
-                    for c in 0..n {
-                        let v = initial_value(r, c, n);
-                        row_a.put(worker, c, v);
-                        row_b.put(worker, c, v);
-                    }
-                    worker.charge_iters(&init_mix, 2 * n as u64);
-                }
-                barrier.arrive(worker);
-
-                // Timestep loop: read `cur`, write `next`, swap, barrier.
-                let (mut cur, mut next) = (a, b);
-                for _step in 0..steps {
-                    let lo = row_start.max(1);
-                    let hi = row_end.min(n - 1);
-                    for r in lo..hi {
-                        // Row references are hoisted out of the inner loop,
-                        // as the Java source would.
-                        let north = cur.row(worker, r - 1);
-                        let here = cur.row(worker, r);
-                        let south = cur.row(worker, r + 1);
-                        let out = next.row(worker, r);
-                        for c in 1..n - 1 {
-                            let v = 0.25
-                                * (north.get(worker, c)
-                                    + south.get(worker, c)
-                                    + here.get(worker, c - 1)
-                                    + here.get(worker, c + 1));
-                            out.put(worker, c, v);
+                match mode {
+                    AccessMode::Element => {
+                        // Each thread initialises its own rows (in both
+                        // buffers), element by element.
+                        for r in row_start..row_end {
+                            let row_a = a.row(worker, r);
+                            let row_b = b.row(worker, r);
+                            for c in 0..n {
+                                let v = initial_value(r, c, n);
+                                row_a.put(worker, c, v);
+                                row_b.put(worker, c, v);
+                            }
+                            worker.charge_iters(&init_mix, 2 * n as u64);
                         }
-                        worker.charge_iters(&per_cell, (n - 2) as u64);
+                        barrier.arrive(worker);
+
+                        // Timestep loop: read `cur`, write `next`, swap,
+                        // barrier.  Row references are re-fetched through the
+                        // DSM each step (after every barrier invalidation).
+                        let (mut cur, mut next) = (a, b);
+                        for _step in 0..steps {
+                            let lo = row_start.max(1);
+                            let hi = row_end.min(n - 1);
+                            for r in lo..hi {
+                                // Row references are hoisted out of the inner
+                                // loop, as the Java source would.
+                                let north = cur.row(worker, r - 1);
+                                let here = cur.row(worker, r);
+                                let south = cur.row(worker, r + 1);
+                                let out = next.row(worker, r);
+                                for c in 1..n - 1 {
+                                    let v = 0.25
+                                        * (north.get(worker, c)
+                                            + south.get(worker, c)
+                                            + here.get(worker, c - 1)
+                                            + here.get(worker, c + 1));
+                                    out.put(worker, c, v);
+                                }
+                                worker.charge_iters(&per_cell, (n - 2) as u64);
+                            }
+                            std::mem::swap(&mut cur, &mut next);
+                            barrier.arrive(worker);
+                        }
                     }
-                    std::mem::swap(&mut cur, &mut next);
-                    barrier.arrive(worker);
+                    AccessMode::Bulk => {
+                        // Row handles are fetched once per thread: the row
+                        // references never change, so the cache stays valid
+                        // across every barrier.
+                        let rows_a = a.rows_view(worker);
+                        let rows_b = b.rows_view(worker);
+
+                        // Initialisation writes whole rows in bulk.
+                        for r in row_start..row_end {
+                            let vals: Vec<f64> = (0..n).map(|c| initial_value(r, c, n)).collect();
+                            rows_a.row(r).write_slice(worker, 0, &vals);
+                            rows_b.row(r).write_slice(worker, 0, &vals);
+                            worker.charge_iters(&init_mix, 2 * n as u64);
+                        }
+                        barrier.arrive(worker);
+
+                        let (mut cur, mut next) = (&rows_a, &rows_b);
+                        for _step in 0..steps {
+                            let lo = row_start.max(1);
+                            let hi = row_end.min(n - 1);
+                            for r in lo..hi {
+                                // The two block-boundary neighbours are
+                                // remote: pin each once per step with one
+                                // bulk read.  In-block neighbours are owned
+                                // rows read through the DSM per element.
+                                let north = if r == row_start {
+                                    NeighbourRow::View(cur.row_view(worker, r - 1))
+                                } else {
+                                    NeighbourRow::Dsm(cur.row(r - 1))
+                                };
+                                let south = if r + 1 == row_end {
+                                    NeighbourRow::View(cur.row_view(worker, r + 1))
+                                } else {
+                                    NeighbourRow::Dsm(cur.row(r + 1))
+                                };
+                                let here = cur.row(r);
+                                let out = next.row(r);
+                                for c in 1..n - 1 {
+                                    let v = 0.25
+                                        * (north.get(worker, c)
+                                            + south.get(worker, c)
+                                            + here.get(worker, c - 1)
+                                            + here.get(worker, c + 1));
+                                    out.put(worker, c, v);
+                                }
+                                worker.charge_iters(&per_cell, (n - 2) as u64);
+                            }
+                            std::mem::swap(&mut cur, &mut next);
+                            barrier.arrive(worker);
+                        }
+                    }
                 }
             }));
         }
@@ -203,14 +298,15 @@ pub fn run(config: HyperionConfig, params: &JacobiParams) -> RunOutcome<JacobiRe
 
         // The buffer holding the final state after `steps` swaps.
         let finals = if steps % 2 == 0 { a } else { b };
+        let rows = finals.rows_view(ctx);
         let mut sum = 0.0;
         for r in 1..n - 1 {
-            let row = finals.row(ctx, r);
+            let row = rows.row_view(ctx, r);
             for c in 1..n - 1 {
-                sum += row.get(ctx, c);
+                sum += row.get(c);
             }
         }
-        let center = finals.get(ctx, n / 2, n / 2);
+        let center = rows.row_view(ctx, n / 2).get(n / 2);
         JacobiResult {
             interior_sum: sum,
             center,
@@ -244,7 +340,7 @@ mod tests {
             steps: 40,
         });
         assert!(sum > 0.0);
-        assert!(center >= 0.0 && center < 100.0);
+        assert!((0.0..100.0).contains(&center));
         // More steps means more heat has diffused into the interior.
         let (sum_more, _) = sequential(&JacobiParams {
             size: 32,
@@ -287,6 +383,71 @@ mod tests {
         );
         // Barrier per step (plus the initial one) for each of the 4 threads.
         assert_eq!(total.barrier_waits as usize, 4 * (params.steps + 1));
+    }
+
+    #[test]
+    fn both_access_modes_agree_for_both_protocols() {
+        let params = JacobiParams::quick();
+        let (expected_sum, _) = sequential(&params);
+        for protocol in ProtocolKind::all() {
+            for mode in [AccessMode::Element, AccessMode::Bulk] {
+                let out = run_with(config(3, protocol), &params, mode);
+                assert!(
+                    (out.result.interior_sum - expected_sum).abs() < 1e-6,
+                    "{protocol:?}/{mode}: {} vs {expected_sum}",
+                    out.result.interior_sum
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_boundary_exchange_reduces_protocol_traffic() {
+        let params = JacobiParams::quick();
+
+        // java_pf: the bulk exchange (cached row handles + per-page boundary
+        // reads) must produce strictly fewer protocol messages — page
+        // fetches and invalidated pages — than the per-element kernel.
+        let elem = run_with(
+            config(4, ProtocolKind::JavaPf),
+            &params,
+            AccessMode::Element,
+        );
+        let bulk = run_with(config(4, ProtocolKind::JavaPf), &params, AccessMode::Bulk);
+        assert_eq!(
+            bulk.result, elem.result,
+            "access modes must compute identical results"
+        );
+        let te = elem.report.total_stats();
+        let tb = bulk.report.total_stats();
+        assert!(
+            tb.page_loads < te.page_loads,
+            "bulk must fetch strictly fewer pages: {} vs {}",
+            tb.page_loads,
+            te.page_loads
+        );
+        assert!(
+            tb.pages_invalidated < te.pages_invalidated,
+            "bulk must invalidate strictly fewer pages: {} vs {}",
+            tb.pages_invalidated,
+            te.pages_invalidated
+        );
+
+        // java_ic: same results, far fewer in-line checks.
+        let elem_ic = run_with(
+            config(4, ProtocolKind::JavaIc),
+            &params,
+            AccessMode::Element,
+        );
+        let bulk_ic = run_with(config(4, ProtocolKind::JavaIc), &params, AccessMode::Bulk);
+        assert_eq!(bulk_ic.result, elem_ic.result);
+        assert!(
+            bulk_ic.report.total_stats().locality_checks
+                < elem_ic.report.total_stats().locality_checks
+        );
+
+        // And the two protocols agree with each other under bulk access.
+        assert_eq!(bulk.result, bulk_ic.result);
     }
 
     /// A size where compute dominates the per-step communication, as in the

@@ -31,4 +31,4 @@ pub mod jacobi;
 pub mod pi;
 pub mod tsp;
 
-pub use common::{block_range, node_of_thread, Benchmark, BenchmarkName};
+pub use common::{block_range, node_of_thread, AccessMode, Benchmark, BenchmarkName};

@@ -16,6 +16,14 @@ use hyperion::prelude::*;
 
 use crate::common::{block_range, node_of_thread, Benchmark, BenchmarkName};
 
+hyperion::object_layout! {
+    /// The shared accumulator object (a Java class with one `double` field).
+    pub struct GlobalSum {
+        /// Sum of the partial sums published so far.
+        SUM: f64,
+    }
+}
+
 /// Parameters of the Pi benchmark.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PiParams {
@@ -82,8 +90,8 @@ pub fn run(config: HyperionConfig, params: &PiParams) -> RunOutcome<PiResult> {
 
     runtime.run(move |ctx| {
         // Shared accumulator (a Java `double` field) and its monitor.
-        let accumulator = ctx.alloc_object(1, NodeId(0));
-        accumulator.put(ctx, 0, 0.0f64);
+        let accumulator: HStruct<GlobalSum> = ctx.alloc_struct(NodeId(0));
+        accumulator.put(ctx, GlobalSum::SUM, 0.0);
         let sum_monitor = ctx.new_monitor(NodeId(0));
 
         let per_interval = ctx.estimate(&interval_mix());
@@ -105,8 +113,8 @@ pub fn run(config: HyperionConfig, params: &PiParams) -> RunOutcome<PiResult> {
 
                 // Global sum: the only coordination in the program.
                 monitor.synchronized(worker, |worker| {
-                    let global: f64 = accumulator.get(worker, 0);
-                    accumulator.put(worker, 0, global + partial);
+                    let global = accumulator.get(worker, GlobalSum::SUM);
+                    accumulator.put(worker, GlobalSum::SUM, global + partial);
                 });
             }));
         }
@@ -114,7 +122,7 @@ pub fn run(config: HyperionConfig, params: &PiParams) -> RunOutcome<PiResult> {
             ctx.join(h);
         }
 
-        let estimate: f64 = accumulator.get::<f64>(ctx, 0) * h;
+        let estimate = accumulator.get(ctx, GlobalSum::SUM) * h;
         PiResult { estimate }
     })
 }

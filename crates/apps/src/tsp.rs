@@ -20,6 +20,14 @@ use rand::{Rng, SeedableRng};
 
 use crate::common::{node_of_thread, Benchmark, BenchmarkName};
 
+hyperion::object_layout! {
+    /// The centrally stored best solution seen so far.
+    pub struct BestBound {
+        /// Length of the shortest complete tour found so far.
+        BEST: i64,
+    }
+}
+
 /// Parameters of the TSP benchmark.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TspParams {
@@ -174,28 +182,28 @@ pub fn run(config: HyperionConfig, params: &TspParams) -> RunOutcome<TspResult> 
 
     runtime.run(move |ctx| {
         // Central data structures, all homed on node 0 as in the paper.
+        // Setup writes whole rows in bulk: detection per page, not per slot.
         let dist: HArray<i64> = ctx.alloc_array(n * n, NodeId(0));
-        for i in 0..n {
-            for j in 0..n {
-                dist.put(ctx, i * n + j, distances[i][j]);
-            }
-        }
+        let flat: Vec<i64> = distances.iter().flatten().copied().collect();
+        dist.write_slice(ctx, 0, &flat);
+
         // The work queue: a flat array of partial tours (each padded to n
         // entries, -1 terminated) plus a monitor-protected head index.
         let tour_len = n;
         let queue: HArray<i64> = ctx.alloc_array(seeds.len() * tour_len, NodeId(0));
-        for (q, tour) in seeds.iter().enumerate() {
-            for slot in 0..tour_len {
-                let v = tour.get(slot).map(|&c| c as i64).unwrap_or(-1);
-                queue.put(ctx, q * tour_len + slot, v);
-            }
-        }
+        let flat_queue: Vec<i64> = seeds
+            .iter()
+            .flat_map(|tour| {
+                (0..tour_len).map(|slot| tour.get(slot).map(|&c| c as i64).unwrap_or(-1))
+            })
+            .collect();
+        queue.write_slice(ctx, 0, &flat_queue);
         let queue_head = SharedCounter::new(ctx, NodeId(0), 0);
         let num_seeds = seeds.len() as u64;
 
         // The global best bound.
-        let best = ctx.alloc_object(1, NodeId(0));
-        best.put(ctx, 0, i64::MAX);
+        let best: HStruct<BestBound> = ctx.alloc_struct(NodeId(0));
+        best.put(ctx, BestBound::BEST, i64::MAX);
         let best_monitor = ctx.new_monitor(NodeId(0));
 
         let expanded = ctx.alloc_array::<u64>(threads.max(1), NodeId(0));
@@ -223,18 +231,19 @@ pub fn run(config: HyperionConfig, params: &TspParams) -> RunOutcome<TspResult> 
                     }
                     my_expanded += 1;
 
-                    // Read the partial tour from shared memory.
-                    let mut prefix = Vec::with_capacity(tour_len);
-                    for slot in 0..tour_len {
-                        let v = queue.get(worker, index as usize * tour_len + slot);
-                        if v < 0 {
-                            break;
-                        }
-                        prefix.push(v as usize);
-                    }
+                    // Read the partial tour from shared memory: one bulk
+                    // read of the padded entry instead of per-slot gets.
+                    let start_slot = index as usize * tour_len;
+                    let entry = queue.read_slice(worker, start_slot..start_slot + tour_len);
+                    let prefix: Vec<usize> = entry
+                        .iter()
+                        .take_while(|&&v| v >= 0)
+                        .map(|&v| v as usize)
+                        .collect();
 
                     // Read the current global bound (under its monitor).
-                    let mut local_best: i64 = best_monitor.synchronized(worker, |w| best.get(w, 0));
+                    let mut local_best: i64 =
+                        best_monitor.synchronized(worker, |w| best.get(w, BestBound::BEST));
 
                     // Depth-first expansion.  The recursion state is local;
                     // every distance lookup goes through the DSM.
@@ -262,9 +271,9 @@ pub fn run(config: HyperionConfig, params: &TspParams) -> RunOutcome<TspResult> 
 
                     // Publish an improved bound.
                     best_monitor.synchronized(worker, |w| {
-                        let global: i64 = best.get(w, 0);
+                        let global = best.get(w, BestBound::BEST);
                         if local_best < global {
-                            best.put(w, 0, local_best);
+                            best.put(w, BestBound::BEST, local_best);
                         } else {
                             local_best = global;
                         }
@@ -277,11 +286,8 @@ pub fn run(config: HyperionConfig, params: &TspParams) -> RunOutcome<TspResult> 
             ctx.join(h);
         }
 
-        let best_tour: i64 = best_monitor.synchronized(ctx, |c| best.get(c, 0));
-        let mut tours_expanded = 0u64;
-        for t in 0..threads {
-            tours_expanded += expanded.get(ctx, t);
-        }
+        let best_tour: i64 = best_monitor.synchronized(ctx, |c| best.get(c, BestBound::BEST));
+        let tours_expanded: u64 = expanded.read_slice(ctx, ..).iter().sum();
         TspResult {
             best_tour,
             tours_expanded,
@@ -360,6 +366,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn distance_matrix_is_symmetric_with_zero_diagonal() {
         let params = TspParams::quick();
         let d = generate_distances(&params);

@@ -23,7 +23,13 @@ fn params() -> JacobiParams {
 }
 
 fn run_with(cluster: ClusterSpec, protocol: ProtocolKind, threads_per_node: usize) -> f64 {
-    let config = HyperionConfig::new(cluster, 2, protocol).with_threads_per_node(threads_per_node);
+    let config = HyperionConfig::builder()
+        .cluster(cluster)
+        .nodes(2)
+        .protocol(protocol)
+        .threads_per_node(threads_per_node)
+        .build()
+        .expect("valid ablation configuration");
     jacobi::run(config, &params()).report.seconds()
 }
 

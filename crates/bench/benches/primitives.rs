@@ -8,7 +8,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hyperion::prelude::*;
 
 fn with_runtime(protocol: ProtocolKind) -> HyperionRuntime {
-    HyperionRuntime::new(HyperionConfig::new(myrinet_200(), 2, protocol)).unwrap()
+    let config = HyperionConfig::builder()
+        .cluster(myrinet_200())
+        .nodes(2)
+        .protocol(protocol)
+        .build()
+        .unwrap();
+    HyperionRuntime::new(config).unwrap()
 }
 
 fn bench_get_put_hit(c: &mut Criterion) {

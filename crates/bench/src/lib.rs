@@ -147,7 +147,12 @@ pub fn run_point(
     nodes: usize,
 ) -> FigureRow {
     let bench = benchmark_at(name, scale);
-    let config = HyperionConfig::new(cluster.clone(), nodes, protocol);
+    let config = HyperionConfig::builder()
+        .cluster(cluster.clone())
+        .nodes(nodes)
+        .protocol(protocol)
+        .build()
+        .expect("valid figure configuration");
     let (digest, report) = bench.execute(config);
     FigureRow {
         figure: name.figure(),
@@ -267,8 +272,13 @@ pub struct PrimitiveCost {
 
 /// Micro-measure the Table 2 primitives on a two-node cluster.
 pub fn table2_primitives(cluster: &ClusterSpec, protocol: ProtocolKind) -> Vec<PrimitiveCost> {
-    let runtime = HyperionRuntime::new(HyperionConfig::new(cluster.clone(), 2, protocol))
+    let config = HyperionConfig::builder()
+        .cluster(cluster.clone())
+        .nodes(2)
+        .protocol(protocol)
+        .build()
         .expect("two-node configuration");
+    let runtime = HyperionRuntime::new(config).expect("two-node configuration");
     let out = runtime.run(|ctx| {
         let remote = ctx.alloc_array::<u64>(64, NodeId(1));
         let mut costs = Vec::new();

@@ -100,10 +100,7 @@ fn figure_name(n: usize) -> BenchmarkName {
 
 fn print_tables() {
     println!("== Table 1: Hyperion runtime modules and their Hyperion-RS implementations ==");
-    println!(
-        "{:<26} {:<66} {}",
-        "Module", "Role (paper)", "Implemented by"
-    );
+    println!("{:<26} {:<66} Implemented by", "Module", "Role (paper)");
     for (module, role, implementation) in table1_modules() {
         println!("{module:<26} {role:<66} {implementation}");
     }

@@ -30,5 +30,5 @@ pub mod protocol;
 pub mod table;
 
 pub use page::{PageData, PageFrame};
-pub use protocol::{DsmSystem, ProtocolKind};
+pub use protocol::{DsmSystem, Locality, ProtocolKind};
 pub use table::DsmStore;

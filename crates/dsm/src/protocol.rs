@@ -61,6 +61,48 @@ impl std::fmt::Display for ProtocolKind {
     }
 }
 
+/// Where the page behind an address currently lives, relative to an
+/// observing node.
+///
+/// This is the distinction the paper's two protocols *detect* on every
+/// access; promoting it into the API lets programs ask once and then take a
+/// fast path (bulk transfers, pinned views) that elides the per-access
+/// detection entirely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Locality {
+    /// The observing node is the page's home: every access is local.
+    Local,
+    /// A remote page with a valid, unprotected cached copy on the node:
+    /// accesses are served locally until the next cache invalidation.
+    CachedRemote,
+    /// A remote page with no usable local copy: the next access pays the
+    /// full detection-plus-fetch path.
+    Remote,
+}
+
+impl Locality {
+    /// True if an access right now would be served without DSM traffic
+    /// (home page or valid cached copy).
+    pub fn is_resident(self) -> bool {
+        !matches!(self, Locality::Remote)
+    }
+
+    /// Short lower-case name for logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Locality::Local => "local",
+            Locality::CachedRemote => "cached-remote",
+            Locality::Remote => "remote",
+        }
+    }
+}
+
+impl std::fmt::Display for Locality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// RPC service: ship a copy of a home page to a requesting node.
 struct PageFetchService {
     store: Arc<DsmStore>,
@@ -198,6 +240,94 @@ impl DsmSystem {
         let frame = self.store.frame(node, page);
         self.ensure_access(node, node_ref, clock, page, &frame);
         frame.store_slot(addr.slot(), value);
+    }
+
+    /// Classify the current locality of `page` as seen from `node`.
+    ///
+    /// This is a pure query: it charges nothing and touches no protocol
+    /// state.  Callers that want the paper's in-line check semantics (one
+    /// check, one check cost) should go through the runtime layer, which
+    /// charges the protocol-dependent cost on top.
+    pub fn locality(&self, node: NodeId, page: PageId) -> Locality {
+        self.store.with_frame(node, page, |f| {
+            if f.is_home() {
+                Locality::Local
+            } else if f.is_present() && !f.is_protected() {
+                Locality::CachedRemote
+            } else {
+                Locality::Remote
+            }
+        })
+    }
+
+    /// Bulk read of `out.len()` consecutive slots starting at `addr`: the
+    /// per-*page* counterpart of [`DsmSystem::get`].
+    ///
+    /// Access detection is performed once per touched page instead of once
+    /// per element: under `java_ic` a slice spanning `p` pages costs `p`
+    /// in-line checks (against `out.len()` for the element-wise loop); under
+    /// `java_pf` the behaviour is unchanged (faults were already per-page).
+    /// Consistency is identical to the element-wise loop — both read the
+    /// node's current copies and are only as fresh as the last acquire.
+    pub fn read_slice(
+        &self,
+        node: NodeId,
+        clock: &mut ThreadClock,
+        addr: GlobalAddr,
+        out: &mut [u64],
+    ) {
+        if out.is_empty() {
+            return;
+        }
+        let node_ref = self.cluster.node(node);
+        NodeStats::bump(&node_ref.stats.bulk_reads);
+        NodeStats::bump_by(&node_ref.stats.field_reads, out.len() as u64);
+        let mut done = 0usize;
+        while done < out.len() {
+            let a = addr.offset(done as u64);
+            let slot = a.slot();
+            let run = (SLOTS_PER_PAGE - slot).min(out.len() - done);
+            let frame = self.store.frame(node, a.page());
+            self.ensure_access(node, node_ref, clock, a.page(), &frame);
+            for k in 0..run {
+                out[done + k] = frame.load_slot(slot + k);
+            }
+            done += run;
+        }
+    }
+
+    /// Bulk write of `values` to consecutive slots starting at `addr`: the
+    /// per-*page* counterpart of [`DsmSystem::put`].
+    ///
+    /// Like [`DsmSystem::read_slice`], detection is paid once per touched
+    /// page.  Writes are recorded in the ordinary dirty-slot bitmaps, so the
+    /// next `updateMainMemory` flushes exactly the modified fields — bulk
+    /// writes lose nothing of the field-granularity diffing.
+    pub fn write_slice(
+        &self,
+        node: NodeId,
+        clock: &mut ThreadClock,
+        addr: GlobalAddr,
+        values: &[u64],
+    ) {
+        if values.is_empty() {
+            return;
+        }
+        let node_ref = self.cluster.node(node);
+        NodeStats::bump(&node_ref.stats.bulk_writes);
+        NodeStats::bump_by(&node_ref.stats.field_writes, values.len() as u64);
+        let mut done = 0usize;
+        while done < values.len() {
+            let a = addr.offset(done as u64);
+            let slot = a.slot();
+            let run = (SLOTS_PER_PAGE - slot).min(values.len() - done);
+            let frame = self.store.frame(node, a.page());
+            self.ensure_access(node, node_ref, clock, a.page(), &frame);
+            for k in 0..run {
+                frame.store_slot(slot + k, values[done + k]);
+            }
+            done += run;
+        }
     }
 
     /// Explicitly load a page into the local cache (the `loadIntoCache`
@@ -653,6 +783,115 @@ mod tests {
             }
         });
         assert_eq!(f.cluster.node_stats(NodeId(0)).page_loads, 1);
+    }
+
+    #[test]
+    fn locality_classification_tracks_protocol_state() {
+        let f = fixture(2, ProtocolKind::JavaPf);
+        let addr = f.alloc.alloc(8, NodeId(1));
+        let page = addr.page();
+        assert_eq!(f.dsm.locality(NodeId(1), page), Locality::Local);
+        assert_eq!(f.dsm.locality(NodeId(0), page), Locality::Remote);
+
+        let mut clock = ThreadClock::new();
+        let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+        assert_eq!(f.dsm.locality(NodeId(0), page), Locality::CachedRemote);
+
+        f.dsm.invalidate_cache(NodeId(0), &mut clock);
+        assert_eq!(f.dsm.locality(NodeId(0), page), Locality::Remote);
+        // The query itself never charges anything.
+        let before = clock.now();
+        let _ = f.dsm.locality(NodeId(0), page);
+        assert_eq!(clock.now(), before);
+        assert!(Locality::Local.is_resident());
+        assert!(Locality::CachedRemote.is_resident());
+        assert!(!Locality::Remote.is_resident());
+        assert_eq!(format!("{}", Locality::CachedRemote), "cached-remote");
+    }
+
+    #[test]
+    fn bulk_read_checks_once_per_page_under_ic() {
+        let f = fixture(2, ProtocolKind::JavaIc);
+        let slots = SLOTS_PER_PAGE * 2 + 10; // spans three pages
+        let addr = f.alloc.alloc_page_aligned(slots, NodeId(1));
+        let mut clock = ThreadClock::new();
+        let mut out = vec![0u64; slots];
+        f.dsm.read_slice(NodeId(0), &mut clock, addr, &mut out);
+        let s = f.cluster.node_stats(NodeId(0));
+        assert_eq!(s.locality_checks, 3, "one in-line check per touched page");
+        assert_eq!(s.page_loads, 3);
+        assert_eq!(s.field_reads, slots as u64);
+        assert_eq!(s.bulk_reads, 1);
+
+        // The element-wise loop pays one check per element on a fresh system.
+        let g = fixture(2, ProtocolKind::JavaIc);
+        let addr2 = g.alloc.alloc_page_aligned(slots, NodeId(1));
+        let mut clock2 = ThreadClock::new();
+        for i in 0..slots {
+            let _ = g.dsm.get(NodeId(0), &mut clock2, addr2.offset(i as u64));
+        }
+        let t = g.cluster.node_stats(NodeId(0));
+        assert_eq!(t.locality_checks, slots as u64);
+        assert_eq!(t.page_loads, 3, "page traffic is identical either way");
+        assert!(clock.now() < clock2.now(), "bulk must be cheaper under ic");
+    }
+
+    #[test]
+    fn bulk_write_round_trips_and_flushes_field_granularity_diffs() {
+        for kind in ProtocolKind::all() {
+            let f = fixture(2, kind);
+            let addr = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE + 4, NodeId(1));
+            let values: Vec<u64> = (0..SLOTS_PER_PAGE as u64 + 4).map(|v| v * 3 + 1).collect();
+            let mut clock = ThreadClock::new();
+            f.dsm.write_slice(NodeId(0), &mut clock, addr, &values);
+            let mut out = vec![0u64; values.len()];
+            f.dsm.read_slice(NodeId(0), &mut clock, addr, &mut out);
+            assert_eq!(out, values, "{kind:?}");
+
+            // Flush and verify the home sees every slot.
+            f.dsm.update_main_memory(NodeId(0), &mut clock);
+            let s = f.cluster.node_stats(NodeId(0));
+            assert_eq!(s.diff_slots_flushed, values.len() as u64);
+            assert_eq!(s.bulk_writes, 1);
+            let mut home_clock = ThreadClock::new();
+            let mut home = vec![0u64; values.len()];
+            f.dsm
+                .read_slice(NodeId(1), &mut home_clock, addr, &mut home);
+            assert_eq!(home, values);
+        }
+    }
+
+    #[test]
+    fn bulk_ops_match_elementwise_results_exactly() {
+        for kind in ProtocolKind::all() {
+            let bulk = fixture(2, kind);
+            let elem = fixture(2, kind);
+            let n = 100usize;
+            let ab = bulk.alloc.alloc(n, NodeId(1));
+            let ae = elem.alloc.alloc(n, NodeId(1));
+            let values: Vec<u64> = (0..n as u64).map(|v| v.wrapping_mul(0x9E3779B9)).collect();
+
+            let mut cb = ThreadClock::new();
+            bulk.dsm.write_slice(NodeId(0), &mut cb, ab, &values);
+            let mut out_b = vec![0u64; n];
+            bulk.dsm.read_slice(NodeId(0), &mut cb, ab, &mut out_b);
+
+            let mut ce = ThreadClock::new();
+            for (i, v) in values.iter().enumerate() {
+                elem.dsm.put(NodeId(0), &mut ce, ae.offset(i as u64), *v);
+            }
+            let out_e: Vec<u64> = (0..n)
+                .map(|i| elem.dsm.get(NodeId(0), &mut ce, ae.offset(i as u64)))
+                .collect();
+
+            assert_eq!(out_b, out_e, "{kind:?}");
+            let sb = bulk.cluster.node_stats(NodeId(0));
+            let se = elem.cluster.node_stats(NodeId(0));
+            assert_eq!(sb.field_reads, se.field_reads);
+            assert_eq!(sb.field_writes, se.field_writes);
+            assert_eq!(sb.page_loads, se.page_loads);
+            assert!(sb.locality_checks <= se.locality_checks);
+        }
     }
 
     #[test]

@@ -17,18 +17,28 @@
 use hyperion_model::{NodeStats, Op, OpCounts, VTime};
 use hyperion_pm2::NodeId;
 
+use crate::layout::HStruct;
 use crate::monitor::HMonitor;
-use crate::object::{HArray, HObject, SlotValue};
+use crate::object::{HArray, SlotValue};
+use crate::object_layout;
 use crate::runtime::ThreadCtx;
 
-/// Field layout of the barrier state object.
-mod barrier_fields {
-    pub const PARTIES: usize = 0;
-    pub const COUNT: usize = 1;
-    pub const GENERATION: usize = 2;
-    pub const MAX_ARRIVAL_EVEN: usize = 3;
-    pub const MAX_ARRIVAL_ODD: usize = 4;
-    pub const NUM_FIELDS: usize = 5;
+object_layout! {
+    /// Field layout of the barrier state object (one generation counter and
+    /// a double-buffered arrival watermark, as a hand-written Java barrier
+    /// class would carry).
+    pub struct BarrierState {
+        /// Number of parties the barrier waits for.
+        PARTIES: u64,
+        /// Parties arrived in the current generation.
+        COUNT: u64,
+        /// Generation counter (increments when the barrier opens).
+        GENERATION: u64,
+        /// Latest virtual arrival time of an even generation (picoseconds).
+        MAX_ARRIVAL_EVEN: u64,
+        /// Latest virtual arrival time of an odd generation (picoseconds).
+        MAX_ARRIVAL_ODD: u64,
+    }
 }
 
 /// A cyclic barrier for a fixed number of parties.
@@ -40,7 +50,7 @@ mod barrier_fields {
 #[derive(Clone, Debug)]
 pub struct JBarrier {
     monitor: HMonitor,
-    state: HObject,
+    state: HStruct<BarrierState>,
     parties: u64,
 }
 
@@ -51,12 +61,12 @@ impl JBarrier {
     /// Panics if `parties` is zero.
     pub fn new(ctx: &mut ThreadCtx, parties: usize, home: NodeId) -> Self {
         assert!(parties > 0, "a barrier needs at least one party");
-        let state = ctx.alloc_object(barrier_fields::NUM_FIELDS, home);
-        state.put(ctx, barrier_fields::PARTIES, parties as u64);
-        state.put(ctx, barrier_fields::COUNT, 0u64);
-        state.put(ctx, barrier_fields::GENERATION, 0u64);
-        state.put(ctx, barrier_fields::MAX_ARRIVAL_EVEN, 0u64);
-        state.put(ctx, barrier_fields::MAX_ARRIVAL_ODD, 0u64);
+        let state: HStruct<BarrierState> = ctx.alloc_struct(home);
+        state.put(ctx, BarrierState::PARTIES, parties as u64);
+        state.put(ctx, BarrierState::COUNT, 0);
+        state.put(ctx, BarrierState::GENERATION, 0);
+        state.put(ctx, BarrierState::MAX_ARRIVAL_EVEN, 0);
+        state.put(ctx, BarrierState::MAX_ARRIVAL_ODD, 0);
         JBarrier {
             monitor: HMonitor::new(home),
             state,
@@ -72,51 +82,50 @@ impl JBarrier {
     /// Arrive at the barrier and wait (in both real and virtual time) until
     /// all parties have arrived.
     pub fn arrive(&self, ctx: &mut ThreadCtx) {
-        use barrier_fields::*;
         let machine = ctx.machine().clone();
         self.monitor.enter(ctx);
 
-        let gen: u64 = self.state.get(ctx, GENERATION);
+        let gen = self.state.get(ctx, BarrierState::GENERATION);
         let max_field = if gen % 2 == 0 {
-            MAX_ARRIVAL_EVEN
+            BarrierState::MAX_ARRIVAL_EVEN
         } else {
-            MAX_ARRIVAL_ODD
+            BarrierState::MAX_ARRIVAL_ODD
         };
 
         // Record this thread's virtual arrival time.
         let arrival = ctx.now().as_ps();
-        let cur: u64 = self.state.get(ctx, max_field);
+        let cur = self.state.get(ctx, max_field);
         if arrival > cur {
             self.state.put(ctx, max_field, arrival);
         }
 
-        let count: u64 = self.state.get::<u64>(ctx, COUNT) + 1;
-        self.state.put(ctx, COUNT, count);
+        let count = self.state.get(ctx, BarrierState::COUNT) + 1;
+        self.state.put(ctx, BarrierState::COUNT, count);
 
         if count == self.parties {
             // Last arrival: open the next generation and wake everyone.
-            self.state.put(ctx, COUNT, 0u64);
-            self.state.put(ctx, GENERATION, gen + 1);
+            self.state.put(ctx, BarrierState::COUNT, 0);
+            self.state.put(ctx, BarrierState::GENERATION, gen + 1);
             // Reset the other generation's arrival watermark for reuse.
             let other = if gen % 2 == 0 {
-                MAX_ARRIVAL_ODD
+                BarrierState::MAX_ARRIVAL_ODD
             } else {
-                MAX_ARRIVAL_EVEN
+                BarrierState::MAX_ARRIVAL_EVEN
             };
-            self.state.put(ctx, other, 0u64);
-            let max: u64 = self.state.get(ctx, max_field);
+            self.state.put(ctx, other, 0);
+            let max = self.state.get(ctx, max_field);
             ctx.observe(VTime::from_ps(max));
             self.monitor.notify_all(ctx);
             self.monitor.exit(ctx);
         } else {
             loop {
                 self.monitor.wait_monitor(ctx);
-                let now_gen: u64 = self.state.get(ctx, GENERATION);
+                let now_gen = self.state.get(ctx, BarrierState::GENERATION);
                 if now_gen != gen {
                     break;
                 }
             }
-            let max: u64 = self.state.get(ctx, max_field);
+            let max = self.state.get(ctx, max_field);
             ctx.observe(VTime::from_ps(max));
             self.monitor.exit(ctx);
         }
@@ -127,19 +136,27 @@ impl JBarrier {
     }
 }
 
+object_layout! {
+    /// Field layout of the shared counter cell.
+    pub struct CounterState {
+        /// The counter value.
+        VALUE: u64,
+    }
+}
+
 /// A monitor-protected shared counter (the Java idiom
 /// `synchronized (lock) { return next++; }`).
 #[derive(Clone, Debug)]
 pub struct SharedCounter {
     monitor: HMonitor,
-    cell: HObject,
+    cell: HStruct<CounterState>,
 }
 
 impl SharedCounter {
     /// Create a counter homed on `home` with an initial value.
     pub fn new(ctx: &mut ThreadCtx, home: NodeId, initial: u64) -> Self {
-        let cell = ctx.alloc_object(1, home);
-        cell.put(ctx, 0, initial);
+        let cell: HStruct<CounterState> = ctx.alloc_struct(home);
+        cell.put(ctx, CounterState::VALUE, initial);
         SharedCounter {
             monitor: HMonitor::new(home),
             cell,
@@ -148,39 +165,37 @@ impl SharedCounter {
 
     /// Atomically return the current value and add one.
     pub fn next(&self, ctx: &mut ThreadCtx) -> u64 {
-        self.monitor.synchronized(ctx, |ctx| {
-            let v: u64 = self.cell.get(ctx, 0);
-            self.cell.put(ctx, 0, v + 1);
-            v
-        })
+        self.next_chunk(ctx, 1)
     }
 
     /// Atomically return the current value and add `chunk`.
     pub fn next_chunk(&self, ctx: &mut ThreadCtx, chunk: u64) -> u64 {
         self.monitor.synchronized(ctx, |ctx| {
-            let v: u64 = self.cell.get(ctx, 0);
-            self.cell.put(ctx, 0, v + chunk);
+            let v = self.cell.get(ctx, CounterState::VALUE);
+            self.cell.put(ctx, CounterState::VALUE, v + chunk);
             v
         })
     }
 
     /// Atomically add `delta` to the counter.
     pub fn add(&self, ctx: &mut ThreadCtx, delta: u64) {
-        self.monitor.synchronized(ctx, |ctx| {
-            let v: u64 = self.cell.get(ctx, 0);
-            self.cell.put(ctx, 0, v + delta);
-        });
+        let _ = self.next_chunk(ctx, delta);
     }
 
     /// Read the current value (under the monitor, as Java code would).
     pub fn get(&self, ctx: &mut ThreadCtx) -> u64 {
-        self.monitor.synchronized(ctx, |ctx| self.cell.get(ctx, 0))
+        self.monitor
+            .synchronized(ctx, |ctx| self.cell.get(ctx, CounterState::VALUE))
     }
 }
 
 /// `System.arraycopy`: copy `len` elements from `src[src_pos..]` to
 /// `dst[dst_pos..]`, charging one load and one store of local work per
 /// element on top of the DSM access costs.
+///
+/// Implemented on the bulk slice transfers, so access detection is paid per
+/// touched *page* — the runtime-internal fast path a native `arraycopy`
+/// would use — while the per-element copy work is still charged.
 ///
 /// # Panics
 /// Panics if either range is out of bounds.
@@ -197,12 +212,13 @@ pub fn arraycopy<T: SlotValue>(
         dst_pos + len <= dst.len(),
         "arraycopy destination out of bounds"
     );
-    let per_element = ctx.estimate(&OpCounts::new().with(Op::Load, 1.0).with(Op::Store, 1.0));
-    for i in 0..len {
-        let v = src.get(ctx, src_pos + i);
-        dst.put(ctx, dst_pos + i, v);
-        ctx.charge_work(&per_element);
+    if len == 0 {
+        return;
     }
+    let per_element = ctx.estimate(&OpCounts::new().with(Op::Load, 1.0).with(Op::Store, 1.0));
+    let values = src.read_slice(ctx, src_pos..src_pos + len);
+    dst.write_slice(ctx, dst_pos, &values);
+    ctx.charge_iters(&per_element, len as u64);
 }
 
 #[cfg(test)]

@@ -19,7 +19,9 @@
 //! * [`runtime`] — [`HyperionRuntime`], [`HyperionConfig`], [`ThreadCtx`],
 //!   [`RunReport`]: build a cluster, run a program, read the virtual
 //!   execution time and the per-node event statistics.
-//! * [`object`] — typed shared objects, arrays and Java-style 2-D arrays.
+//! * [`object`] — typed shared objects, arrays, Java-style 2-D arrays and
+//!   the locality-aware view/bulk-transfer layer.
+//! * [`layout`] — typed field layouts ([`object_layout!`], [`HStruct`]).
 //! * [`monitor`] — Java monitors with acquire/release consistency actions.
 //! * [`jmm`] — the acquire/release actions themselves.
 //! * [`memory`] — the raw Table 2 primitives (`get`, `put`, `loadIntoCache`,
@@ -58,6 +60,7 @@
 
 pub mod api;
 pub mod jmm;
+pub mod layout;
 pub mod memory;
 pub mod monitor;
 pub mod object;
@@ -65,13 +68,18 @@ pub mod runtime;
 pub mod thread;
 
 pub use api::{arraycopy, JBarrier, SharedCounter};
+pub use layout::{Field, HStruct, ObjectLayout};
 pub use monitor::HMonitor;
-pub use object::{Array2, HArray, HObject, SlotValue};
-pub use runtime::{ConfigError, HyperionConfig, HyperionRuntime, RunOutcome, RunReport, ThreadCtx};
+pub use object::{
+    Array2, ArrayView, ArrayViewMut, HArray, HMatrix, HObject, MatrixRows, SlotValue,
+};
+pub use runtime::{
+    ConfigBuilder, ConfigError, HyperionConfig, HyperionRuntime, RunOutcome, RunReport, ThreadCtx,
+};
 pub use thread::{HThreadHandle, LoadBalancer};
 
 // Re-export the pieces of the lower layers that appear in this crate's API.
-pub use hyperion_dsm::ProtocolKind;
+pub use hyperion_dsm::{Locality, ProtocolKind};
 pub use hyperion_model::{
     myrinet_200, sci_450, ClusterSpec, MachineModel, Op, OpCounts, StatsSnapshot, VTime,
     WorkEstimate,
@@ -81,10 +89,15 @@ pub use hyperion_pm2::{GlobalAddr, NodeId, ThreadId};
 /// Everything an application kernel typically imports.
 pub mod prelude {
     pub use crate::api::{arraycopy, JBarrier, SharedCounter};
+    pub use crate::layout::{Field, HStruct, ObjectLayout};
     pub use crate::monitor::HMonitor;
-    pub use crate::object::{Array2, HArray, HObject, SlotValue};
-    pub use crate::runtime::{HyperionConfig, HyperionRuntime, RunOutcome, RunReport, ThreadCtx};
-    pub use hyperion_dsm::ProtocolKind;
+    pub use crate::object::{
+        Array2, ArrayView, ArrayViewMut, HArray, HMatrix, HObject, MatrixRows, SlotValue,
+    };
+    pub use crate::runtime::{
+        ConfigBuilder, HyperionConfig, HyperionRuntime, RunOutcome, RunReport, ThreadCtx,
+    };
+    pub use hyperion_dsm::{Locality, ProtocolKind};
     pub use hyperion_model::{
         myrinet_200, sci_450, ClusterSpec, Op, OpCounts, VTime, WorkEstimate,
     };

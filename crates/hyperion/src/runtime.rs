@@ -12,7 +12,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use hyperion_dsm::{DsmStore, DsmSystem, ProtocolKind};
+use hyperion_dsm::{DsmStore, DsmSystem, Locality, ProtocolKind};
 use hyperion_model::vtime::TimeWatermark;
 use hyperion_model::{
     ClusterSpec, CpuModel, MachineModel, NodeStats, OpCounts, StatsSnapshot, ThreadClock, VTime,
@@ -50,6 +50,11 @@ pub struct HyperionConfig {
 impl HyperionConfig {
     /// A configuration with one application thread per node and the default
     /// pacing window.
+    ///
+    /// Equivalent to
+    /// `HyperionConfig::builder().cluster(..).nodes(..).protocol(..).build()`
+    /// except that no validation is performed until
+    /// [`HyperionConfig::validate`] / [`HyperionRuntime::new`].
     pub fn new(cluster: ClusterSpec, nodes: usize, protocol: ProtocolKind) -> Self {
         HyperionConfig {
             cluster,
@@ -58,6 +63,29 @@ impl HyperionConfig {
             threads_per_node: 1,
             pacing_window: Some(VTime::from_us(500)),
         }
+    }
+
+    /// Start building a configuration.
+    ///
+    /// The builder is the canonical way to assemble a run configuration:
+    /// `cluster`, `nodes` and `protocol` are mandatory, everything else has
+    /// the defaults of [`HyperionConfig::new`], and [`ConfigBuilder::build`]
+    /// validates the result before handing it out.
+    ///
+    /// ```
+    /// use hyperion::prelude::*;
+    ///
+    /// let config = HyperionConfig::builder()
+    ///     .cluster(myrinet_200())
+    ///     .nodes(4)
+    ///     .protocol(ProtocolKind::JavaPf)
+    ///     .threads_per_node(2)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(config.total_app_threads(), 8);
+    /// ```
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder::default()
     }
 
     /// Builder-style override of [`HyperionConfig::threads_per_node`].
@@ -96,9 +124,78 @@ impl HyperionConfig {
     }
 }
 
-/// Errors produced by [`HyperionConfig::validate`].
+/// Step-by-step construction of a [`HyperionConfig`].
+///
+/// Created by [`HyperionConfig::builder`]; see there for an example.
+#[derive(Clone, Debug, Default)]
+pub struct ConfigBuilder {
+    cluster: Option<ClusterSpec>,
+    nodes: Option<usize>,
+    protocol: Option<ProtocolKind>,
+    threads_per_node: Option<usize>,
+    pacing_window: Option<Option<VTime>>,
+}
+
+impl ConfigBuilder {
+    /// Which of the paper's clusters (or a custom one) to model.  Mandatory.
+    pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// How many of the cluster's nodes to use.  Mandatory.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.nodes = Some(nodes);
+        self
+    }
+
+    /// Access-detection protocol (`java_ic` or `java_pf`).  Mandatory.
+    pub fn protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.protocol = Some(protocol);
+        self
+    }
+
+    /// Application threads per node.  Defaults to 1, as in the paper.
+    pub fn threads_per_node(mut self, threads: usize) -> Self {
+        self.threads_per_node = Some(threads);
+        self
+    }
+
+    /// Conservative virtual-time pacing window; `None` disables pacing.
+    /// Defaults to the 500 µs window of [`HyperionConfig::new`].
+    pub fn pacing_window(mut self, window: Option<VTime>) -> Self {
+        self.pacing_window = Some(window);
+        self
+    }
+
+    /// Assemble and validate the configuration.
+    ///
+    /// Fails with [`ConfigError::MissingField`] if `cluster`, `nodes` or
+    /// `protocol` was never set, and with the [`HyperionConfig::validate`]
+    /// errors on out-of-range values.
+    pub fn build(self) -> Result<HyperionConfig, ConfigError> {
+        let cluster = self.cluster.ok_or(ConfigError::MissingField("cluster"))?;
+        let nodes = self.nodes.ok_or(ConfigError::MissingField("nodes"))?;
+        let protocol = self.protocol.ok_or(ConfigError::MissingField("protocol"))?;
+        // Start from `new()` so the defaults live in exactly one place.
+        let mut config = HyperionConfig::new(cluster, nodes, protocol);
+        if let Some(threads) = self.threads_per_node {
+            config.threads_per_node = threads;
+        }
+        if let Some(window) = self.pacing_window {
+            config.pacing_window = window;
+        }
+        config.validate()?;
+        Ok(config)
+    }
+}
+
+/// Errors produced by [`HyperionConfig::validate`] and
+/// [`ConfigBuilder::build`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ConfigError {
+    /// A mandatory builder field was never set.
+    MissingField(&'static str),
     /// `nodes` was zero.
     ZeroNodes,
     /// `threads_per_node` was zero.
@@ -115,6 +212,9 @@ pub enum ConfigError {
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ConfigError::MissingField(field) => {
+                write!(f, "configuration builder is missing the `{field}` field")
+            }
             ConfigError::ZeroNodes => write!(f, "a run needs at least one node"),
             ConfigError::ZeroThreadsPerNode => {
                 write!(f, "a run needs at least one application thread per node")
@@ -562,6 +662,46 @@ impl ThreadCtx {
             .load_into_cache(self.node, &mut self.clock, addr.page());
     }
 
+    /// Classify the locality of `addr` as seen from this thread's node.
+    ///
+    /// Under `java_ic` this *is* one in-line locality check and is charged
+    /// (and counted) as such — the program performs exactly the check the
+    /// compiled code would, but keeps the answer.  Under `java_pf` locality
+    /// is a free page-table lookup (the protocol's whole point is that
+    /// resident accesses cost nothing).
+    ///
+    /// A [`Locality::is_resident`] answer is a *snapshot*: it stays valid
+    /// until this node's next cache invalidation (monitor entry, `join`,
+    /// migration), after which remote pages must be re-detected.
+    pub fn locality(&mut self, addr: GlobalAddr) -> Locality {
+        let loc = self.shared.dsm.locality(self.node, addr.page());
+        if self.shared.config.protocol == ProtocolKind::JavaIc {
+            let node_ref = self.shared.cluster.node(self.node);
+            NodeStats::bump(&node_ref.stats.locality_checks);
+            let check = self.shared.cluster.machine().cpu.locality_check();
+            self.clock.advance(check);
+        }
+        loc
+    }
+
+    /// Bulk read of `out.len()` consecutive slots starting at `addr`,
+    /// paying access detection once per touched page instead of once per
+    /// slot (the raw form of [`crate::object::HArray::read_slice`]).
+    pub fn read_slots(&mut self, addr: GlobalAddr, out: &mut [u64]) {
+        self.shared
+            .dsm
+            .read_slice(self.node, &mut self.clock, addr, out);
+    }
+
+    /// Bulk write of `values` to consecutive slots starting at `addr`,
+    /// paying access detection once per touched page instead of once per
+    /// slot (the raw form of [`crate::object::HArray::write_slice`]).
+    pub fn write_slots(&mut self, addr: GlobalAddr, values: &[u64]) {
+        self.shared
+            .dsm
+            .write_slice(self.node, &mut self.clock, addr, values);
+    }
+
     /// Allocate `slots` contiguous 8-byte slots homed on `home`.
     pub fn alloc_slots(&mut self, slots: usize, home: NodeId) -> GlobalAddr {
         self.shared.allocator.alloc(slots, home)
@@ -613,10 +753,10 @@ impl ThreadCtx {
         let mut start = self.clock.now();
         if node != self.node {
             // The creation request travels to the target node.
-            start = start + self.shared.cluster.control_message_cost();
+            start += self.shared.cluster.control_message_cost();
         }
         // Child-side initialisation before user code runs.
-        start = start + create_cost;
+        start += create_cost;
 
         let tid = self.shared.registry.register(node);
         NodeStats::bump(&self.shared.cluster.node(node).stats.threads_spawned);
@@ -747,6 +887,126 @@ mod tests {
         );
         // Errors render.
         assert!(format!("{}", ConfigError::ZeroNodes).contains("at least one node"));
+    }
+
+    #[test]
+    fn builder_assembles_and_validates_configs() {
+        let built = HyperionConfig::builder()
+            .cluster(myrinet_200())
+            .nodes(4)
+            .protocol(ProtocolKind::JavaPf)
+            .build()
+            .unwrap();
+        let legacy = config(4, ProtocolKind::JavaPf);
+        assert_eq!(built.nodes, legacy.nodes);
+        assert_eq!(built.protocol, legacy.protocol);
+        assert_eq!(built.threads_per_node, legacy.threads_per_node);
+        assert_eq!(built.pacing_window, legacy.pacing_window);
+
+        let custom = HyperionConfig::builder()
+            .cluster(myrinet_200())
+            .nodes(2)
+            .protocol(ProtocolKind::JavaIc)
+            .threads_per_node(3)
+            .pacing_window(None)
+            .build()
+            .unwrap();
+        assert_eq!(custom.total_app_threads(), 6);
+        assert_eq!(custom.pacing_window, None);
+    }
+
+    #[test]
+    fn builder_reports_missing_and_invalid_fields() {
+        assert_eq!(
+            HyperionConfig::builder().build().unwrap_err(),
+            ConfigError::MissingField("cluster")
+        );
+        assert_eq!(
+            HyperionConfig::builder()
+                .cluster(myrinet_200())
+                .build()
+                .unwrap_err(),
+            ConfigError::MissingField("nodes")
+        );
+        assert_eq!(
+            HyperionConfig::builder()
+                .cluster(myrinet_200())
+                .nodes(2)
+                .build()
+                .unwrap_err(),
+            ConfigError::MissingField("protocol")
+        );
+        assert_eq!(
+            HyperionConfig::builder()
+                .cluster(myrinet_200())
+                .nodes(0)
+                .protocol(ProtocolKind::JavaIc)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroNodes
+        );
+        assert_eq!(
+            HyperionConfig::builder()
+                .cluster(myrinet_200())
+                .nodes(13)
+                .protocol(ProtocolKind::JavaIc)
+                .build()
+                .unwrap_err(),
+            ConfigError::ExceedsCluster {
+                requested: 13,
+                available: 12
+            }
+        );
+        assert!(format!("{}", ConfigError::MissingField("protocol")).contains("protocol"));
+    }
+
+    #[test]
+    fn locality_query_classifies_and_charges_per_protocol() {
+        // java_pf: the query is free.
+        let rt = HyperionRuntime::new(config(2, ProtocolKind::JavaPf)).unwrap();
+        rt.run(|ctx| {
+            let local = ctx.alloc_slots(4, NodeId(0));
+            let remote = ctx.alloc_slots(4, NodeId(1));
+            let t0 = ctx.now();
+            assert_eq!(ctx.locality(local), Locality::Local);
+            assert_eq!(ctx.locality(remote), Locality::Remote);
+            assert_eq!(ctx.now(), t0, "pf locality queries are free");
+            let _ = ctx.get_slot(remote); // fault + fetch
+            assert_eq!(ctx.locality(remote), Locality::CachedRemote);
+        });
+        assert_eq!(rt.cluster().total_stats().locality_checks, 0);
+
+        // java_ic: the query is one in-line check, charged and counted.
+        let rt = HyperionRuntime::new(config(2, ProtocolKind::JavaIc)).unwrap();
+        rt.run(|ctx| {
+            let remote = ctx.alloc_slots(4, NodeId(1));
+            let t0 = ctx.now();
+            assert_eq!(ctx.locality(remote), Locality::Remote);
+            assert!(ctx.now() > t0, "ic locality queries cost one check");
+        });
+        assert_eq!(rt.cluster().total_stats().locality_checks, 1);
+    }
+
+    #[test]
+    fn bulk_slot_transfers_round_trip_through_the_dsm() {
+        for protocol in ProtocolKind::all() {
+            let rt = HyperionRuntime::new(config(2, protocol)).unwrap();
+            let out = rt.run(|ctx| {
+                let addr = ctx.alloc_slots(64, NodeId(1));
+                let values: Vec<u64> = (0..64u64).map(|v| v * v).collect();
+                ctx.write_slots(addr, &values);
+                let mut back = vec![0u64; 64];
+                ctx.read_slots(addr, &mut back);
+                (values, back)
+            });
+            let (values, back) = out.result;
+            assert_eq!(values, back, "{protocol:?}");
+            let total = out.report.total_stats();
+            assert_eq!(total.bulk_reads, 1);
+            assert_eq!(total.bulk_writes, 1);
+            assert_eq!(total.field_reads, 64);
+            assert_eq!(total.field_writes, 64);
+        }
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! number of page faults and `mprotect` calls — the quantities §4.3 of the
 //! paper reasons about).
 
-use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 macro_rules! define_stats {
@@ -20,7 +19,7 @@ macro_rules! define_stats {
 
         /// A plain-old-data snapshot of [`NodeStats`], safe to aggregate,
         /// serialise and compare.
-        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
         pub struct StatsSnapshot {
             $(#[$meta] pub $field: u64,)+
         }
@@ -98,6 +97,10 @@ define_stats! {
     field_reads,
     /// Object-field writes performed through the DSM (`put`).
     field_writes,
+    /// Bulk slice reads performed (`read_slice` / view pins), one per call.
+    bulk_reads,
+    /// Bulk slice writes performed (`write_slice` / view commits), one per call.
+    bulk_writes,
 }
 
 impl NodeStats {
@@ -201,7 +204,7 @@ mod tests {
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
-        assert_eq!(names.len(), 20);
+        assert_eq!(names.len(), 22);
     }
 
     #[test]

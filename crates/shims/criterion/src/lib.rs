@@ -1,0 +1,211 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched.  This shim implements the subset of its API the bench
+//! targets use — `Criterion`, benchmark groups with `sample_size` /
+//! `measurement_time` / `bench_with_input`, `BenchmarkId`, `Bencher::iter`
+//! and the `criterion_group!` / `criterion_main!` macros — as a small
+//! wall-clock harness that warms up once, runs the configured number of
+//! samples and prints mean / min / max per benchmark.  No statistics, plots
+//! or baselines: just enough to keep `cargo bench` meaningful offline.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimiser from deleting a computation
+/// whose result is otherwise unused.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs the measured body.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure `body`: one untimed warm-up call, then `samples` timed calls.
+    pub fn iter<R>(&mut self, mut body: impl FnMut() -> R) {
+        black_box(body()); // warm-up
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(body());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion requires >= 10; the shim accepts anything >= 1 and keeps
+        // runs short by capping at 20.
+        self.samples = n.clamp(1, 20);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's sample count alone bounds
+    /// the run time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        body: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            durations: Vec::new(),
+        };
+        body(&mut bencher, input);
+        self.criterion
+            .report(&self.name, &id.label, &bencher.durations);
+        self
+    }
+
+    /// Run one benchmark without an input value.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        body: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            durations: Vec::new(),
+        };
+        body(&mut bencher);
+        self.criterion
+            .report(&self.name, &id.to_string(), &bencher.durations);
+        self
+    }
+
+    /// Finish the group (prints nothing extra in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: 10,
+        }
+    }
+
+    fn report(&mut self, group: &str, label: &str, durations: &[Duration]) {
+        if durations.is_empty() {
+            println!("{group}/{label}: no samples");
+            return;
+        }
+        let total: Duration = durations.iter().sum();
+        let mean = total / durations.len() as u32;
+        let min = durations.iter().min().expect("non-empty");
+        let max = durations.iter().max().expect("non-empty");
+        println!(
+            "{group}/{label}: mean {mean:?} (min {min:?}, max {max:?}, n={})",
+            durations.len()
+        );
+    }
+}
+
+/// Declare a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench `main` function, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| {
+                b.iter(|| {
+                    calls += 1;
+                    x * x
+                })
+            });
+            g.bench_function("noop", |b| b.iter(|| ()));
+            g.finish();
+        }
+        // 3 timed samples + 1 warm-up.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 2).to_string(), "f/2");
+        assert_eq!(
+            BenchmarkId::from_parameter("java_ic").to_string(),
+            "java_ic"
+        );
+    }
+}

@@ -55,7 +55,12 @@ fn main() {
             .collect();
         for protocol in ProtocolKind::all() {
             for &nodes in &node_counts {
-                let config = HyperionConfig::new(cluster.clone(), nodes, protocol);
+                let config = HyperionConfig::builder()
+                    .cluster(cluster.clone())
+                    .nodes(nodes)
+                    .protocol(protocol)
+                    .build()
+                    .expect("valid configuration");
                 let (_digest, report) = bench.execute(config);
                 let t = report.total_stats();
                 println!(

@@ -7,8 +7,8 @@
 //! hyperion_workspace::*;`, and so downstream users can depend on a single
 //! crate.
 //!
-//! See `README.md` for the architecture overview, `DESIGN.md` for the
-//! system inventory and `EXPERIMENTS.md` for the paper-vs-measured results.
+//! See `README.md` for the architecture overview, the crate map and how to
+//! regenerate the paper's figures and tables.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
