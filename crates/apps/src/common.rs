@@ -1,6 +1,6 @@
 //! Shared helpers for the benchmark programs.
 
-use hyperion::{HyperionConfig, NodeId, RunReport};
+use hyperion::{HyperionConfig, NodeId, ProtocolKind, RunReport};
 
 /// Contiguous block `[start, end)` owned by worker `idx` out of `parts` when
 /// `total` items are split as evenly as possible (the first `total % parts`
@@ -26,6 +26,25 @@ pub fn block_range(total: usize, parts: usize, idx: usize) -> (usize, usize) {
 /// than nodes are requested).
 pub fn node_of_thread(idx: usize, nodes: usize) -> NodeId {
     NodeId((idx % nodes) as u32)
+}
+
+/// Parse a protocol name as used on example, bench and CI command lines.
+///
+/// Accepts the paper's full names (`java_ic`, `java_pf`, the extension's
+/// `java_ad`) and the short forms `ic` / `pf` / `ad` / `adaptive`.
+pub fn parse_protocol(s: &str) -> Option<ProtocolKind> {
+    match s {
+        "ic" | "java_ic" => Some(ProtocolKind::JavaIc),
+        "pf" | "java_pf" => Some(ProtocolKind::JavaPf),
+        "ad" | "java_ad" | "adaptive" => Some(ProtocolKind::JavaAd),
+        _ => None,
+    }
+}
+
+/// The protocols every app is exercised under by the adaptive comparison
+/// (Figure 6) and the CI bench gate: the paper's two plus `java_ad`.
+pub fn protocols_under_test() -> [ProtocolKind; 3] {
+    ProtocolKind::all_extended()
 }
 
 /// How a kernel accesses shared data through the runtime.
@@ -161,6 +180,18 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn block_range_rejects_bad_index() {
         block_range(10, 2, 2);
+    }
+
+    #[test]
+    fn protocol_parsing_accepts_short_and_paper_names() {
+        assert_eq!(parse_protocol("ic"), Some(ProtocolKind::JavaIc));
+        assert_eq!(parse_protocol("java_ic"), Some(ProtocolKind::JavaIc));
+        assert_eq!(parse_protocol("pf"), Some(ProtocolKind::JavaPf));
+        assert_eq!(parse_protocol("java_pf"), Some(ProtocolKind::JavaPf));
+        assert_eq!(parse_protocol("ad"), Some(ProtocolKind::JavaAd));
+        assert_eq!(parse_protocol("adaptive"), Some(ProtocolKind::JavaAd));
+        assert_eq!(parse_protocol("java_xx"), None);
+        assert_eq!(protocols_under_test().len(), 3);
     }
 
     #[test]

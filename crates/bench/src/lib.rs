@@ -15,6 +15,11 @@
 //!   with their micro-measured virtual cost on a two-node cluster.
 //! * **§4.3 claims** — [`improvement_summary`] derives the
 //!   `java_ic` → `java_pf` improvement percentages the paper discusses.
+//! * **Figure 6 (extension)** — [`sweep_adaptive`] compares `java_ic`,
+//!   `java_pf` and the adaptive `java_ad` across all five apps, and
+//!   [`threshold_ablation`] sweeps the adaptive switching threshold.
+//! * **CI gate** — [`report`] turns a sweep into `BENCH_<run>.json` and
+//!   compares it against the committed `bench/baseline.json`.
 //!
 //! The `figures` binary (`src/main.rs`) is the command-line front end; the
 //! Criterion benches under `benches/` wrap the same sweeps.
@@ -22,9 +27,11 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod report;
+
 use hyperion::prelude::*;
 use hyperion::StatsSnapshot;
-use hyperion_apps::common::{Benchmark, BenchmarkName};
+use hyperion_apps::common::{protocols_under_test, Benchmark, BenchmarkName};
 use hyperion_apps::{asp, barnes, jacobi, pi, tsp};
 
 /// Problem-size scale of a sweep.
@@ -47,6 +54,15 @@ impl Scale {
             "harness" => Some(Scale::Harness),
             "paper" => Some(Scale::Paper),
             _ => None,
+        }
+    }
+
+    /// The command-line name of this scale.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Harness => "harness",
+            Scale::Paper => "paper",
         }
     }
 }
@@ -112,13 +128,14 @@ impl FigureRow {
     /// CSV header matching [`FigureRow::to_csv`].
     pub fn csv_header() -> &'static str {
         "figure,app,cluster,protocol,nodes,exec_seconds,digest,locality_checks,page_faults,\
-         mprotect_calls,page_loads,diff_messages,bytes_moved,remote_monitor_acquires,barrier_waits"
+         mprotect_calls,page_loads,diff_messages,bytes_moved,remote_monitor_acquires,\
+         barrier_waits,batched_fetches,pages_prefetched,protocol_switches"
     }
 
     /// Serialise as one CSV line.
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{:.6},{:.6},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{}",
             self.figure,
             self.app,
             self.cluster,
@@ -134,6 +151,9 @@ impl FigureRow {
             self.stats.bytes_moved(),
             self.stats.remote_monitor_acquires,
             self.stats.barrier_waits,
+            self.stats.batched_fetches,
+            self.stats.pages_prefetched,
+            self.stats.protocol_switches,
         )
     }
 }
@@ -146,11 +166,32 @@ pub fn run_point(
     protocol: ProtocolKind,
     nodes: usize,
 ) -> FigureRow {
+    run_point_with(
+        name,
+        scale,
+        cluster,
+        protocol,
+        nodes,
+        &AdaptiveParams::default(),
+    )
+}
+
+/// [`run_point`] with explicit adaptive-protocol parameters (ignored unless
+/// `protocol` is `java_ad`) — the entry point of the threshold ablation.
+pub fn run_point_with(
+    name: BenchmarkName,
+    scale: Scale,
+    cluster: &ClusterSpec,
+    protocol: ProtocolKind,
+    nodes: usize,
+    adaptive: &AdaptiveParams,
+) -> FigureRow {
     let bench = benchmark_at(name, scale);
     let config = HyperionConfig::builder()
         .cluster(cluster.clone())
         .nodes(nodes)
         .protocol(protocol)
+        .adaptive(adaptive.clone())
         .build()
         .expect("valid figure configuration");
     let (digest, report) = bench.execute(config);
@@ -178,6 +219,77 @@ pub fn sweep_figure(name: BenchmarkName, scale: Scale) -> Vec<FigureRow> {
         }
     }
     rows
+}
+
+/// The figure number used for the adaptive-protocol comparison (it extends
+/// the paper's five figures).
+pub const ADAPTIVE_FIGURE: usize = 6;
+
+/// Node count the adaptive comparison and the CI bench gate run at: large
+/// enough that remote traffic dominates, small enough for quick CI sweeps,
+/// and available on both modelled clusters.
+pub const ADAPTIVE_NODES: usize = 4;
+
+/// Figure 6 (extension): every app under `java_ic`, `java_pf` and `java_ad`
+/// on both clusters at [`ADAPTIVE_NODES`] nodes.
+pub fn sweep_adaptive(scale: Scale) -> Vec<FigureRow> {
+    let mut rows = Vec::new();
+    for cluster in [myrinet_200(), sci_450()] {
+        for name in BenchmarkName::all() {
+            for protocol in protocols_under_test() {
+                let mut row = run_point(name, scale, &cluster, protocol, ADAPTIVE_NODES);
+                row.figure = ADAPTIVE_FIGURE;
+                rows.push(row);
+            }
+        }
+    }
+    rows
+}
+
+/// The CI-tracked sweep behind `BENCH_<run>.json`: all five apps under all
+/// three protocols on the Myrinet cluster at [`ADAPTIVE_NODES`] nodes.
+pub fn bench_report_rows(scale: Scale) -> Vec<FigureRow> {
+    let cluster = myrinet_200();
+    let mut rows = Vec::new();
+    for name in BenchmarkName::all() {
+        for protocol in protocols_under_test() {
+            let mut row = run_point(name, scale, &cluster, protocol, ADAPTIVE_NODES);
+            row.figure = ADAPTIVE_FIGURE;
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Ablation of the adaptive switching threshold: run `app` under `java_ad`
+/// with the check→protect hysteresis placed at each multiple of the machine
+/// model's break-even, keeping the protect→check mark at half of it.
+pub fn threshold_ablation(
+    app: BenchmarkName,
+    scale: Scale,
+    hi_multiples: &[f64],
+) -> Vec<(f64, FigureRow)> {
+    let cluster = myrinet_200();
+    hi_multiples
+        .iter()
+        .map(|&hi| {
+            let params = AdaptiveParams {
+                hi_multiple: hi,
+                lo_multiple: hi / 2.0,
+                ..AdaptiveParams::default()
+            };
+            let mut row = run_point_with(
+                app,
+                scale,
+                &cluster,
+                ProtocolKind::JavaAd,
+                ADAPTIVE_NODES,
+                &params,
+            );
+            row.figure = ADAPTIVE_FIGURE;
+            (hi, row)
+        })
+        .collect()
 }
 
 /// One derived improvement data point: how much faster `java_pf` is than
@@ -401,6 +513,38 @@ mod tests {
         assert!((row.digest - std::f64::consts::PI).abs() < 1e-3);
         assert!(row.to_csv().starts_with("1,Pi,450MHz/SCI,java_pf,2,"));
         assert!(FigureRow::csv_header().starts_with("figure,app,cluster"));
+    }
+
+    #[test]
+    fn adaptive_point_tracks_switches_and_batches() {
+        let row = run_point(
+            BenchmarkName::Jacobi,
+            Scale::Quick,
+            &myrinet_200(),
+            ProtocolKind::JavaAd,
+            2,
+        );
+        assert_eq!(row.protocol, ProtocolKind::JavaAd);
+        assert!(row.seconds > 0.0);
+        // The CSV row carries the new counters.
+        let csv = row.to_csv();
+        assert_eq!(
+            csv.matches(',').count(),
+            FigureRow::csv_header().matches(',').count()
+        );
+    }
+
+    #[test]
+    fn threshold_ablation_sweeps_the_hysteresis() {
+        let points = threshold_ablation(BenchmarkName::Pi, Scale::Quick, &[0.5, 2.0]);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].0, 0.5);
+        assert_eq!(points[1].0, 2.0);
+        for (_, row) in &points {
+            assert_eq!(row.figure, ADAPTIVE_FIGURE);
+            assert_eq!(row.protocol, ProtocolKind::JavaAd);
+            assert!((row.digest - std::f64::consts::PI).abs() < 1e-3);
+        }
     }
 
     #[test]

@@ -1,14 +1,28 @@
-//! `figures` — regenerate every table and figure of the paper.
+//! `figures` — regenerate every table and figure of the paper, plus the
+//! adaptive-protocol comparison and the CI bench report.
 //!
 //! ```text
-//! figures [--fig N]... [--tables] [--claims] [--scale quick|harness|paper] [--out DIR]
+//! figures [--fig N]... [--tables] [--claims] [--scale quick|harness|paper]
+//!         [--quick] [--json] [--baseline PATH] [--out DIR]
 //! ```
 //!
-//! * `--fig N`     regenerate figure N (1–5); may be repeated.  Default: all.
+//! * `--fig N`     regenerate figure N (1–5, or 6 for the ic/pf/ad adaptive
+//!   comparison); may be repeated.  Default: all of 1–5.
 //! * `--tables`    print Table 1 (module inventory) and Table 2 (primitives).
 //! * `--claims`    print the derived `java_ic` → `java_pf` improvements that
 //!   correspond to the quantitative claims of §4.3.
 //! * `--scale`     problem-size scale (default `harness`).
+//! * `--quick`     shorthand for `--scale quick` (the CI invocation).
+//! * `--json`      run the CI-tracked sweep (five apps × three protocols)
+//!   and write it to `BENCH_<run>.json` (`<run>` is `$GITHUB_RUN_ID`, or
+//!   `local`).
+//! * `--baseline PATH` compare the CI-tracked sweep against a committed
+//!   baseline report and exit non-zero if a tracked metric (modeled wall
+//!   time, page loads, invalidated pages) regressed more than 10%.
+//! * `--runs N`    repeat the CI-tracked sweep N times and report the
+//!   per-row envelope (max of each tracked metric) — used when refreshing
+//!   `bench/baseline.json` so the dynamically scheduled apps' run-to-run
+//!   spread is captured.
 //! * `--out DIR`   additionally write one CSV per figure into DIR.
 
 use std::io::Write;
@@ -16,13 +30,17 @@ use std::io::Write;
 use hyperion::prelude::*;
 use hyperion_apps::common::BenchmarkName;
 use hyperion_bench::{
-    improvement_summary, sweep_figure, table1_modules, table2_primitives, FigureRow, Scale,
+    bench_report_rows, improvement_summary, report, sweep_adaptive, sweep_figure, table1_modules,
+    table2_primitives, threshold_ablation, FigureRow, Scale, ADAPTIVE_FIGURE,
 };
 
 struct Options {
     figures: Vec<usize>,
     tables: bool,
     claims: bool,
+    json: bool,
+    baseline: Option<String>,
+    runs: usize,
     scale: Scale,
     out_dir: Option<String>,
 }
@@ -32,6 +50,9 @@ fn parse_args() -> Options {
         figures: Vec::new(),
         tables: false,
         claims: false,
+        json: false,
+        baseline: None,
+        runs: 1,
         scale: Scale::Harness,
         out_dir: None,
     };
@@ -43,9 +64,9 @@ fn parse_args() -> Options {
                 let n: usize = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--fig needs a number between 1 and 5"));
-                if !(1..=5).contains(&n) {
-                    die("--fig needs a number between 1 and 5");
+                    .unwrap_or_else(|| die("--fig needs a number between 1 and 6"));
+                if !(1..=ADAPTIVE_FIGURE).contains(&n) {
+                    die("--fig needs a number between 1 and 6");
                 }
                 opts.figures.push(n);
                 any_selector = true;
@@ -58,10 +79,31 @@ fn parse_args() -> Options {
                 opts.claims = true;
                 any_selector = true;
             }
+            "--json" => {
+                opts.json = true;
+                any_selector = true;
+            }
+            "--baseline" => {
+                opts.baseline = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--baseline needs a file path")),
+                );
+                any_selector = true;
+            }
             "--scale" => {
                 let s = args.next().unwrap_or_default();
                 opts.scale = Scale::parse(&s)
                     .unwrap_or_else(|| die("--scale must be quick, harness or paper"));
+            }
+            "--runs" => {
+                opts.runs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--runs needs a positive count"));
+            }
+            "--quick" => {
+                opts.scale = Scale::Quick;
             }
             "--out" => {
                 opts.out_dir = Some(
@@ -71,7 +113,8 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "figures [--fig N]... [--tables] [--claims] [--scale quick|harness|paper] [--out DIR]"
+                    "figures [--fig N]... [--tables] [--claims] [--scale quick|harness|paper] \
+                     [--quick] [--json] [--baseline PATH] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -96,6 +139,104 @@ fn figure_name(n: usize) -> BenchmarkName {
         .into_iter()
         .find(|b| b.figure() == n)
         .expect("figure number in 1..=5")
+}
+
+/// Figure 6: the ic/pf/ad comparison plus a small ablation of the adaptive
+/// switching threshold.
+fn print_adaptive_figure(scale: Scale) -> Vec<FigureRow> {
+    let rows = sweep_adaptive(scale);
+    println!(
+        "== Figure 6 (extension): java_ic vs java_pf vs java_ad, {} nodes ==",
+        hyperion_bench::ADAPTIVE_NODES
+    );
+    println!(
+        "{:<12} {:<16} {:<8} {:>12} {:>12} {:>10} {:>10} {:>9} {:>9}",
+        "App",
+        "Cluster",
+        "protocol",
+        "exec (s)",
+        "page_loads",
+        "checks",
+        "faults",
+        "batches",
+        "switches"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:<16} {:<8} {:>12.4} {:>12} {:>10} {:>10} {:>9} {:>9}",
+            r.app.to_string(),
+            r.cluster,
+            r.protocol.to_string(),
+            r.seconds,
+            r.stats.page_loads,
+            r.stats.locality_checks,
+            r.stats.page_faults,
+            r.stats.batched_fetches,
+            r.stats.protocol_switches,
+        );
+    }
+    println!();
+    println!("-- switching-threshold ablation (java_ad, Jacobi, hi multiple of break-even) --");
+    for (hi, row) in threshold_ablation(BenchmarkName::Jacobi, scale, &[0.25, 0.5, 1.0, 2.0, 4.0]) {
+        println!(
+            "hi = {hi:>5.2} * n_star: exec {:>10.4}s  checks {:>8}  faults {:>6}  switches {:>4}",
+            row.seconds,
+            row.stats.locality_checks,
+            row.stats.page_faults,
+            row.stats.protocol_switches,
+        );
+    }
+    println!();
+    rows
+}
+
+/// The `--json` / `--baseline` path: run the CI-tracked sweep, optionally
+/// write `BENCH_<run>.json`, optionally gate against a committed baseline.
+/// Returns `true` if the baseline gate failed.
+fn run_bench_report(opts: &Options) -> bool {
+    let sweeps: Vec<Vec<FigureRow>> = (0..opts.runs.max(1))
+        .map(|_| bench_report_rows(opts.scale))
+        .collect();
+    let rows = report::envelope(&sweeps);
+    if opts.json {
+        let run = std::env::var("GITHUB_RUN_ID").unwrap_or_else(|_| "local".to_string());
+        let path = format!("BENCH_{run}.json");
+        let json = report::report_to_json(&run, opts.scale.name(), &rows);
+        std::fs::write(&path, json).expect("write bench report");
+        eprintln!("wrote {path}");
+    }
+    let Some(baseline_path) = &opts.baseline else {
+        return false;
+    };
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("figures: cannot read baseline {baseline_path}: {e}");
+            return true;
+        }
+    };
+    let baseline = match report::parse_report(&text) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("figures: malformed baseline {baseline_path}: {e}");
+            return true;
+        }
+    };
+    let regressions = report::compare_to_baseline(&rows, &baseline, report::DEFAULT_TOLERANCE);
+    if regressions.is_empty() {
+        println!(
+            "baseline gate: {} rows within {:.0}% of {baseline_path}",
+            baseline.len(),
+            report::DEFAULT_TOLERANCE * 100.0
+        );
+        false
+    } else {
+        eprintln!("baseline gate FAILED against {baseline_path}:");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        true
+    }
 }
 
 fn print_tables() {
@@ -186,10 +327,13 @@ fn print_claims(all_rows: &[FigureRow]) {
 
 fn write_csv(dir: &str, rows: &[FigureRow]) {
     let fig = rows.first().map(|r| r.figure).unwrap_or(0);
-    let app = rows
-        .first()
-        .map(|r| r.app.to_string().to_lowercase().replace('-', "_"))
-        .unwrap_or_default();
+    let app = if fig == ADAPTIVE_FIGURE {
+        "adaptive".to_string()
+    } else {
+        rows.first()
+            .map(|r| r.app.to_string().to_lowercase().replace('-', "_"))
+            .unwrap_or_default()
+    };
     std::fs::create_dir_all(dir).expect("create output directory");
     let path = format!("{dir}/fig{fig}_{app}.csv");
     let mut file = std::fs::File::create(&path).expect("create CSV file");
@@ -213,8 +357,13 @@ fn main() {
 
     let mut all_rows = Vec::new();
     for &fig in &opts.figures {
-        let rows = sweep_figure(figure_name(fig), opts.scale);
-        print_figure(&rows);
+        let rows = if fig == ADAPTIVE_FIGURE {
+            print_adaptive_figure(opts.scale)
+        } else {
+            let rows = sweep_figure(figure_name(fig), opts.scale);
+            print_figure(&rows);
+            rows
+        };
         if let Some(dir) = &opts.out_dir {
             write_csv(dir, &rows);
         }
@@ -223,5 +372,9 @@ fn main() {
 
     if opts.claims && !all_rows.is_empty() {
         print_claims(&all_rows);
+    }
+
+    if (opts.json || opts.baseline.is_some()) && run_bench_report(&opts) {
+        std::process::exit(1);
     }
 }

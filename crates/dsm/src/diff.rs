@@ -24,6 +24,38 @@ pub fn decode_page_request(payload: &[u8]) -> PageId {
     PageId(u64::from_le_bytes(payload.try_into().expect("8 bytes")))
 }
 
+/// Encode a batched page-fetch request: `count` contiguous pages starting at
+/// `first`, all homed on the target node (`java_ad` batching).
+///
+/// # Panics
+/// Panics if `count` is zero.
+pub fn encode_page_batch_request(first: PageId, count: u32) -> Vec<u8> {
+    assert!(count > 0, "a batched fetch requests at least one page");
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&first.0.to_le_bytes());
+    out.extend_from_slice(&count.to_le_bytes());
+    out
+}
+
+/// Decode a page-fetch request in either form: the 8-byte single-page
+/// request of [`encode_page_request`] (count 1) or the 12-byte batched
+/// request of [`encode_page_batch_request`].
+///
+/// # Panics
+/// Panics if the payload is malformed.
+pub fn decode_page_fetch_request(payload: &[u8]) -> (PageId, u32) {
+    match payload.len() {
+        8 => (decode_page_request(payload), 1),
+        12 => {
+            let first = PageId(u64::from_le_bytes(payload[0..8].try_into().expect("8")));
+            let count = u32::from_le_bytes(payload[8..12].try_into().expect("4"));
+            assert!(count > 0, "malformed batched page request: zero pages");
+            (first, count)
+        }
+        _ => panic!("malformed page fetch request ({} bytes)", payload.len()),
+    }
+}
+
 /// Encode a diff message: page id followed by `(slot, value)` pairs.
 pub fn encode_diff(page: PageId, entries: &[DiffEntry]) -> Vec<u8> {
     let mut out = Vec::with_capacity(12 + entries.len() * 10);
@@ -72,6 +104,28 @@ mod tests {
     #[should_panic(expected = "malformed page request")]
     fn short_page_request_rejected() {
         decode_page_request(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn batched_page_request_round_trip() {
+        let enc = encode_page_batch_request(PageId(7), 4);
+        assert_eq!(enc.len(), 12);
+        assert_eq!(decode_page_fetch_request(&enc), (PageId(7), 4));
+        // The single-page form decodes as a batch of one.
+        let single = encode_page_request(PageId(9));
+        assert_eq!(decode_page_fetch_request(&single), (PageId(9), 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_page_batch_request_rejected() {
+        let _ = encode_page_batch_request(PageId(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed page fetch request")]
+    fn odd_length_fetch_request_rejected() {
+        decode_page_fetch_request(&[0u8; 10]);
     }
 
     #[test]

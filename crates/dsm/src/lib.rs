@@ -7,12 +7,15 @@
 //! paper's Table 2 (`loadIntoCache`, `invalidateCache`, `updateMainMemory`,
 //! `get`, `put`).
 //!
-//! Two protocols implement Java consistency:
+//! Three protocols implement Java consistency:
 //!
 //! * [`ProtocolKind::JavaIc`] — access detection by explicit in-line
 //!   locality checks (§3.2);
 //! * [`ProtocolKind::JavaPf`] — access detection by page faults on protected
-//!   pages (§3.3).
+//!   pages (§3.3);
+//! * [`ProtocolKind::JavaAd`] — adaptive per-page selection between the two
+//!   techniques with batched contiguous page fetches (extension beyond the
+//!   paper; see [`protocol::AdaptiveParams`]).
 //!
 //! Module map:
 //!
@@ -29,6 +32,6 @@ pub mod page;
 pub mod protocol;
 pub mod table;
 
-pub use page::{PageData, PageFrame};
-pub use protocol::{DsmSystem, Locality, ProtocolKind};
+pub use page::{AdMode, PageData, PageFrame};
+pub use protocol::{AdaptiveParams, DsmSystem, Locality, ProtocolKind};
 pub use table::DsmStore;

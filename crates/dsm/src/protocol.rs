@@ -1,6 +1,6 @@
-//! The consistency-protocol engine: `java_ic` and `java_pf`.
+//! The consistency-protocol engine: `java_ic`, `java_pf` and `java_ad`.
 //!
-//! Both protocols implement the Java Memory Model the same way (home-based
+//! All protocols implement the Java Memory Model the same way (home-based
 //! caching, invalidate on monitor entry, flush field-granularity diffs on
 //! monitor exit — §3.1) and differ *only* in how accesses to remote objects
 //! are detected (§3.2, §3.3):
@@ -14,12 +14,23 @@
 //!   takes a (simulated) page fault, fetches the page, and pays an `mprotect`
 //!   to open it; monitor-entry invalidation pays an `mprotect` to re-protect
 //!   the cached region.
+//! * **`java_ad`** — an adaptive extension beyond the paper: every cached
+//!   page runs its own state machine between the two techniques above.  A
+//!   page tracks how often it is re-accessed after each invalidation and is
+//!   flipped — at invalidation time, when its copy is dropped anyway — to
+//!   the technique that would have been cheaper, with hysteresis around the
+//!   cost-model break-even `n* = ⌈(t_fault + t_mprotect) / t_check⌉` (see
+//!   [`hyperion_model::MachineModel::adaptive_break_even`]).  `java_ad` also
+//!   batches page fetches: one RPC may carry a run of contiguous same-home
+//!   pages, either because an in-flight bulk access is certain to touch them
+//!   or because their epoch history shows stable re-access.
 //!
 //! The engine exposes exactly the primitives of the paper's Table 2:
 //! [`DsmSystem::load_into_cache`], [`DsmSystem::invalidate_cache`],
 //! [`DsmSystem::update_main_memory`], [`DsmSystem::get`] and
 //! [`DsmSystem::put`].
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use hyperion_model::{CpuModel, DsmCostModel, NodeStats, ThreadClock};
@@ -27,9 +38,15 @@ use hyperion_pm2::{
     Cluster, GlobalAddr, Node, NodeId, PageId, RpcHandler, RpcReply, ServiceId, SLOTS_PER_PAGE,
 };
 
-use crate::diff::{decode_diff, decode_page_request, encode_diff, encode_page_request};
-use crate::page::PageFrame;
+use crate::diff::{
+    decode_diff, decode_page_fetch_request, encode_diff, encode_page_batch_request,
+    encode_page_request,
+};
+use crate::page::{AdMode, PageFrame};
 use crate::table::DsmStore;
+
+/// Bytes of one page on the wire.
+const PAGE_BYTES: usize = SLOTS_PER_PAGE * 8;
 
 /// Which access-detection technique a run uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -38,20 +55,96 @@ pub enum ProtocolKind {
     JavaIc,
     /// Page-fault-based detection with page protection (§3.3).
     JavaPf,
+    /// Adaptive per-page selection between the two techniques, with batched
+    /// page fetches (extension beyond the paper).
+    JavaAd,
 }
 
 impl ProtocolKind {
-    /// The name used in the paper's figures.
+    /// The name used in the paper's figures (and `java_ad` for the adaptive
+    /// extension).
     pub fn name(self) -> &'static str {
         match self {
             ProtocolKind::JavaIc => "java_ic",
             ProtocolKind::JavaPf => "java_pf",
+            ProtocolKind::JavaAd => "java_ad",
         }
     }
 
-    /// Both protocols, in the order the paper lists them.
+    /// The paper's two protocols, in the order the paper lists them.
     pub fn all() -> [ProtocolKind; 2] {
         [ProtocolKind::JavaIc, ProtocolKind::JavaPf]
+    }
+
+    /// The paper's two protocols plus the adaptive extension.
+    pub fn all_extended() -> [ProtocolKind; 3] {
+        [
+            ProtocolKind::JavaIc,
+            ProtocolKind::JavaPf,
+            ProtocolKind::JavaAd,
+        ]
+    }
+}
+
+/// Tunable policy knobs of the adaptive protocol (`java_ad`).
+///
+/// The switching thresholds are expressed as multiples of the machine
+/// model's break-even access count `n*` so one parameterisation is
+/// meaningful on both modelled clusters; the ablation benchmarks sweep
+/// `hi_multiple` to show the policy is robust around 1.0.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdaptiveParams {
+    /// A check-mode page switches to protection when its *smoothed*
+    /// accesses-per-epoch (EWMA over invalidation epochs) reach
+    /// `hi_multiple · n*`.
+    pub hi_multiple: f64,
+    /// A protect-mode page falls back to checks when its smoothed
+    /// accesses-per-epoch drop to `lo_multiple · n*` or below.  Kept
+    /// strictly below `hi_multiple` (hysteresis) so borderline pages do not
+    /// flap.
+    pub lo_multiple: f64,
+    /// Largest number of pages one fetch RPC may carry; 1 disables batching.
+    pub max_batch_pages: usize,
+    /// Consecutive re-accessed epochs a page needs before history-driven
+    /// prefetching may pull it into a neighbour's batch.
+    pub min_prefetch_streak: u64,
+}
+
+impl Default for AdaptiveParams {
+    fn default() -> Self {
+        AdaptiveParams {
+            hi_multiple: 1.0,
+            lo_multiple: 0.5,
+            max_batch_pages: 8,
+            min_prefetch_streak: 3,
+        }
+    }
+}
+
+/// The thresholds of [`AdaptiveParams`] resolved against a concrete machine
+/// model (absolute access counts instead of break-even multiples).
+#[derive(Clone, Copy, Debug)]
+struct AdaptiveTuning {
+    /// Check → Protect when a closed epoch saw at least this many accesses.
+    hi: u64,
+    /// Protect → Check when a closed epoch saw at most this many accesses.
+    lo: u64,
+    /// Largest batched-fetch size in pages (≥ 1).
+    max_batch: usize,
+    /// Minimum epoch streak for history-driven prefetch eligibility.
+    min_streak: u64,
+}
+
+impl AdaptiveTuning {
+    fn resolve(params: &AdaptiveParams, break_even: u64) -> AdaptiveTuning {
+        let hi = ((break_even as f64) * params.hi_multiple).ceil().max(1.0) as u64;
+        let lo = (((break_even as f64) * params.lo_multiple).floor() as u64).min(hi - 1);
+        AdaptiveTuning {
+            hi,
+            lo,
+            max_batch: params.max_batch_pages.max(1),
+            min_streak: params.min_prefetch_streak,
+        }
     }
 }
 
@@ -112,18 +205,25 @@ struct PageFetchService {
 
 impl RpcHandler for PageFetchService {
     fn handle(&self, target: &Node, _caller: NodeId, payload: &[u8]) -> RpcReply {
-        let page = decode_page_request(payload);
-        debug_assert_eq!(
-            self.store.home_of(page),
-            target.id(),
-            "page fetch sent to a node that is not the page's home"
+        let (first, count) = decode_page_fetch_request(payload);
+        let mut bytes = Vec::with_capacity(PAGE_BYTES * count as usize);
+        for k in 0..count as u64 {
+            let page = PageId(first.0 + k);
+            debug_assert_eq!(
+                self.store.home_of(page),
+                target.id(),
+                "page fetch sent to a node that is not the page's home"
+            );
+            bytes.extend_from_slice(
+                &self
+                    .store
+                    .with_frame(target.id(), page, |f| f.data().snapshot_bytes()),
+            );
+        }
+        let service = self.cpu.cycles(
+            self.dsm.page_copy_cycles_per_slot * (SLOTS_PER_PAGE * count as usize) as f64
+                + self.dsm.batch_page_cycles * (count - 1) as f64,
         );
-        let bytes = self
-            .store
-            .with_frame(target.id(), page, |f| f.data().snapshot_bytes());
-        let service = self
-            .cpu
-            .cycles(self.dsm.page_copy_cycles_per_slot * SLOTS_PER_PAGE as f64);
         RpcReply::with_data(bytes, service)
     }
 
@@ -169,6 +269,7 @@ pub struct DsmSystem {
     cluster: Arc<Cluster>,
     store: Arc<DsmStore>,
     kind: ProtocolKind,
+    ad: AdaptiveTuning,
     page_fetch: ServiceId,
     diff_apply: ServiceId,
 }
@@ -176,9 +277,24 @@ pub struct DsmSystem {
 impl DsmSystem {
     /// Build a DSM system over an existing cluster and store, registering the
     /// page-fetch and diff-apply services with the communication subsystem.
+    /// `java_ad` runs with the default [`AdaptiveParams`]; use
+    /// [`DsmSystem::with_params`] to tune it.
     pub fn new(cluster: Arc<Cluster>, store: Arc<DsmStore>, kind: ProtocolKind) -> Arc<Self> {
+        Self::with_params(cluster, store, kind, &AdaptiveParams::default())
+    }
+
+    /// Build a DSM system with explicit adaptive-protocol parameters (they
+    /// are resolved against the cluster's machine model and ignored by
+    /// `java_ic` / `java_pf`).
+    pub fn with_params(
+        cluster: Arc<Cluster>,
+        store: Arc<DsmStore>,
+        kind: ProtocolKind,
+        params: &AdaptiveParams,
+    ) -> Arc<Self> {
         let cpu = cluster.machine().cpu.clone();
         let dsm = cluster.machine().dsm.clone();
+        let ad = AdaptiveTuning::resolve(params, cluster.machine().adaptive_break_even());
         let page_fetch = cluster.register_service(Arc::new(PageFetchService {
             store: Arc::clone(&store),
             cpu: cpu.clone(),
@@ -193,6 +309,7 @@ impl DsmSystem {
             cluster,
             store,
             kind,
+            ad,
             page_fetch,
             diff_apply,
         })
@@ -202,6 +319,12 @@ impl DsmSystem {
     #[inline]
     pub fn kind(&self) -> ProtocolKind {
         self.kind
+    }
+
+    /// The resolved `java_ad` switching thresholds `(hi, lo)` in absolute
+    /// accesses-per-epoch (for tests, tools and the ablation benchmarks).
+    pub fn adaptive_thresholds(&self) -> (u64, u64) {
+        (self.ad.hi, self.ad.lo)
     }
 
     /// The cluster this system runs on.
@@ -225,7 +348,7 @@ impl DsmSystem {
         NodeStats::bump(&node_ref.stats.field_reads);
         let page = addr.page();
         let frame = self.store.frame(node, page);
-        self.ensure_access(node, node_ref, clock, page, &frame);
+        self.ensure_access(node, node_ref, clock, page, &frame, 1);
         frame.load_slot(addr.slot())
     }
 
@@ -238,7 +361,7 @@ impl DsmSystem {
         NodeStats::bump(&node_ref.stats.field_writes);
         let page = addr.page();
         let frame = self.store.frame(node, page);
-        self.ensure_access(node, node_ref, clock, page, &frame);
+        self.ensure_access(node, node_ref, clock, page, &frame, 1);
         frame.store_slot(addr.slot(), value);
     }
 
@@ -288,7 +411,10 @@ impl DsmSystem {
             let slot = a.slot();
             let run = (SLOTS_PER_PAGE - slot).min(out.len() - done);
             let frame = self.store.frame(node, a.page());
-            self.ensure_access(node, node_ref, clock, a.page(), &frame);
+            // Pages this slice is still certain to touch, counting the
+            // current one — the batching hint for `java_ad` fetches.
+            let bulk_pages = 1 + (out.len() - done - run).div_ceil(SLOTS_PER_PAGE);
+            self.ensure_access(node, node_ref, clock, a.page(), &frame, bulk_pages);
             for k in 0..run {
                 out[done + k] = frame.load_slot(slot + k);
             }
@@ -322,7 +448,8 @@ impl DsmSystem {
             let slot = a.slot();
             let run = (SLOTS_PER_PAGE - slot).min(values.len() - done);
             let frame = self.store.frame(node, a.page());
-            self.ensure_access(node, node_ref, clock, a.page(), &frame);
+            let bulk_pages = 1 + (values.len() - done - run).div_ceil(SLOTS_PER_PAGE);
+            self.ensure_access(node, node_ref, clock, a.page(), &frame, bulk_pages);
             for k in 0..run {
                 frame.store_slot(slot + k, values[done + k]);
             }
@@ -339,14 +466,23 @@ impl DsmSystem {
         if frame.is_home() || (frame.is_present() && !frame.is_protected()) {
             return;
         }
-        self.fetch_page(
-            node,
-            node_ref,
-            clock,
-            page,
-            &frame,
-            self.kind == ProtocolKind::JavaPf,
-        );
+        match self.kind {
+            ProtocolKind::JavaAd => {
+                // An explicit prefetch is not an access: it leaves the
+                // page's epoch statistics alone.  The mprotect that opens
+                // the page is only due if the page was protection-detected.
+                let unprotect = frame.ad_mode() == AdMode::Protect;
+                self.fetch_page_adaptive(node, node_ref, clock, page, &frame, unprotect, 1);
+            }
+            _ => self.fetch_page(
+                node,
+                node_ref,
+                clock,
+                page,
+                &frame,
+                self.kind == ProtocolKind::JavaPf,
+            ),
+        }
     }
 
     /// Invalidate all cached (non-home) pages on `node`: the
@@ -360,12 +496,51 @@ impl DsmSystem {
         let node_ref = self.cluster.node(node);
         NodeStats::bump(&node_ref.stats.cache_invalidations);
 
+        let adaptive = self.kind == ProtocolKind::JavaAd;
         let mut cached: Vec<(PageId, Arc<PageFrame>)> = Vec::new();
+        let mut switches = 0u64;
+        let mut wasted = 0u64;
         self.store.for_each_frame(node, |page, frame| {
-            if !frame.is_home() && frame.is_present() {
+            if frame.is_home() {
+                return;
+            }
+            if adaptive {
+                // The invalidation boundary is the one place a page may
+                // change detection technique: its copy is dropped here, so
+                // no access can observe a half-switched page.  Every
+                // materialised frame closes its epoch (absent frames record
+                // a zero epoch, which resets their prefetch streak).  The
+                // decision runs on the smoothed accesses-per-epoch so one
+                // spiky epoch cannot flip the page.
+                let avg = frame.ad_rotate_epoch();
+                if frame.ad_take_wasted_prefetch() {
+                    wasted += 1;
+                }
+                match frame.ad_mode() {
+                    AdMode::Check if avg >= self.ad.hi => {
+                        frame.ad_set_mode(AdMode::Protect);
+                        switches += 1;
+                    }
+                    AdMode::Protect if avg <= self.ad.lo => {
+                        frame.ad_set_mode(AdMode::Check);
+                        switches += 1;
+                    }
+                    _ => {}
+                }
+            }
+            if frame.is_present() {
                 cached.push((page, self.store.frame(node, page)));
             }
         });
+
+        let machine = self.cluster.machine();
+        if switches > 0 {
+            NodeStats::bump_by(&node_ref.stats.protocol_switches, switches);
+            clock.advance(machine.protocol_switch().times(switches));
+        }
+        if wasted > 0 {
+            NodeStats::bump_by(&node_ref.stats.pages_prefetch_wasted, wasted);
+        }
         if cached.is_empty() {
             return;
         }
@@ -377,12 +552,19 @@ impl DsmSystem {
             }
         }
 
-        let reprotect = self.kind == ProtocolKind::JavaPf;
+        let mut reprotected = false;
         for (_, frame) in &cached {
+            let reprotect = match self.kind {
+                ProtocolKind::JavaIc => false,
+                ProtocolKind::JavaPf => true,
+                // Only protection-detected pages need their access rights
+                // revoked; check-mode pages are re-detected in software.
+                ProtocolKind::JavaAd => frame.ad_mode() == AdMode::Protect,
+            };
+            reprotected |= reprotect;
             frame.invalidate(reprotect);
         }
 
-        let machine = self.cluster.machine();
         let n = cached.len() as u64;
         NodeStats::bump_by(&node_ref.stats.pages_invalidated, n);
         clock.advance(
@@ -390,7 +572,7 @@ impl DsmSystem {
                 .cpu
                 .cycles(machine.dsm.invalidate_cycles_per_page * n as f64),
         );
-        if reprotect {
+        if reprotected {
             // One mprotect call covers the (iso-address, hence contiguous-ish)
             // cached region that is being re-protected.
             NodeStats::bump(&node_ref.stats.mprotect_calls);
@@ -435,6 +617,11 @@ impl DsmSystem {
     // ----- internal helpers ------------------------------------------------
 
     /// Apply the protocol's access-detection policy for one access.
+    ///
+    /// `bulk_pages` is the number of consecutive pages (including this one)
+    /// the caller is certain to touch — 1 for scalar `get`/`put`, the
+    /// remaining page span for bulk slice transfers.  Only `java_ad`
+    /// consults it, to size batched fetches.
     fn ensure_access(
         &self,
         node: NodeId,
@@ -442,6 +629,7 @@ impl DsmSystem {
         clock: &mut ThreadClock,
         page: PageId,
         frame: &PageFrame,
+        bulk_pages: usize,
     ) {
         match self.kind {
             ProtocolKind::JavaIc => {
@@ -462,6 +650,38 @@ impl DsmSystem {
                 NodeStats::bump(&node_ref.stats.page_faults);
                 clock.advance(self.cluster.machine().dsm.page_fault);
                 self.fetch_page(node, node_ref, clock, page, frame, true);
+            }
+            ProtocolKind::JavaAd => {
+                if frame.is_home() {
+                    // Home pages are never protected and need no detection —
+                    // the pf mechanics `java_ad` builds on give them raw
+                    // access for free.
+                    return;
+                }
+                frame.ad_record_access();
+                match frame.ad_mode() {
+                    AdMode::Check => {
+                        // `java_ic` mechanics for this page.
+                        NodeStats::bump(&node_ref.stats.locality_checks);
+                        clock.advance(self.cluster.machine().cpu.locality_check());
+                        if !frame.is_present() {
+                            self.fetch_page_adaptive(
+                                node, node_ref, clock, page, frame, false, bulk_pages,
+                            );
+                        }
+                    }
+                    AdMode::Protect => {
+                        // `java_pf` mechanics for this page.
+                        if frame.is_present() && !frame.is_protected() {
+                            return;
+                        }
+                        NodeStats::bump(&node_ref.stats.page_faults);
+                        clock.advance(self.cluster.machine().dsm.page_fault);
+                        self.fetch_page_adaptive(
+                            node, node_ref, clock, page, frame, true, bulk_pages,
+                        );
+                    }
+                }
             }
         }
     }
@@ -495,6 +715,132 @@ impl DsmSystem {
         if unprotect_after {
             NodeStats::bump(&node_ref.stats.mprotect_calls);
             clock.advance(self.cluster.machine().dsm.mprotect_call);
+        }
+    }
+
+    /// `java_ad` fetch path: bring `page` into the cache and opportunistically
+    /// batch a run of contiguous successor pages into the same RPC.
+    ///
+    /// A successor page joins the batch only when it shares the demanded
+    /// page's home, is currently absent, and is either *certain* to be
+    /// touched (it lies inside the bulk access that triggered the miss) or
+    /// *predicted* to be touched (its epoch history shows at least
+    /// `min_prefetch_streak` consecutive re-accessed epochs).  The second
+    /// condition is what keeps batched fetches from inflating page loads:
+    /// only pages with demonstrated per-epoch re-access are speculated on.
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_page_adaptive(
+        &self,
+        node: NodeId,
+        node_ref: &Node,
+        clock: &mut ThreadClock,
+        page: PageId,
+        frame: &PageFrame,
+        unprotect_after: bool,
+        bulk_pages: usize,
+    ) {
+        let guard = frame.fetch_lock().lock();
+        if frame.is_present() && !frame.is_protected() {
+            // Another thread on this node completed the load while we were
+            // waiting on the fetch lock.
+            drop(guard);
+            return;
+        }
+        let home = self.store.home_of(page);
+
+        // Speculation is throttled by its own measured accuracy: once more
+        // than 1/16 of the node's *speculative* prefetches turn out wasted
+        // (invalidated untouched), only pages certain to be accessed may
+        // ride along.  Certain (bulk-covered) riders are deliberately not in
+        // the denominator — they can never be wasted and would otherwise
+        // dilute the bound.  This keeps a mispredicting workload (e.g.
+        // dynamic work reassignment) from inflating page traffic noticeably.
+        let speculated = node_ref
+            .stats
+            .pages_prefetch_speculative
+            .load(Ordering::Relaxed);
+        let waste = node_ref.stats.pages_prefetch_wasted.load(Ordering::Relaxed);
+        let may_speculate = waste.saturating_mul(16) <= speculated.max(16);
+
+        // Candidate phase: grow the contiguous window page by page.
+        let num_pages = self.store.allocator().num_pages();
+        let mut candidates: Vec<(Arc<PageFrame>, bool)> = Vec::new();
+        for k in 1..self.ad.max_batch as u64 {
+            let q = PageId(page.0 + k);
+            if q.index() >= num_pages || self.store.home_of(q) != home {
+                break;
+            }
+            let qf = self.store.frame(node, q);
+            if qf.is_home() || qf.is_present() {
+                break;
+            }
+            let certain = (k as usize) < bulk_pages;
+            let predicted = may_speculate
+                && qf.ad_epoch_streak() >= self.ad.min_streak
+                && qf.ad_last_epoch_accesses() > 0;
+            if !certain && !predicted {
+                break;
+            }
+            candidates.push((qf, !certain));
+        }
+        // Lock phase: keep the prefix whose fetch locks are free right now;
+        // a contended or concurrently-installed page ends the run (the batch
+        // must stay contiguous).
+        let mut guards = Vec::with_capacity(candidates.len());
+        for (qf, _) in &candidates {
+            let Some(g) = qf.fetch_lock().try_lock() else {
+                break;
+            };
+            if qf.is_present() {
+                break;
+            }
+            guards.push(g);
+        }
+        let batch = guards.len();
+        let count = 1 + batch;
+
+        let machine = self.cluster.machine();
+        NodeStats::bump_by(&node_ref.stats.page_loads, count as u64);
+        let payload = if count == 1 {
+            encode_page_request(page)
+        } else {
+            NodeStats::bump(&node_ref.stats.batched_fetches);
+            NodeStats::bump_by(&node_ref.stats.pages_prefetched, (count - 1) as u64);
+            clock.advance(machine.batch_request_overhead((count - 1) as u64));
+            encode_page_batch_request(page, count as u32)
+        };
+        let bytes = self
+            .cluster
+            .rpc(clock, node, home, self.page_fetch, &payload);
+        assert_eq!(bytes.len(), PAGE_BYTES * count, "batched fetch reply size");
+        frame.install_copy(&bytes[0..PAGE_BYTES]);
+        // Installing a rider that was protection-detected clears its access
+        // protection, which costs an mprotect just as the demanded page's
+        // fault path does — without it java_ad's modeled cost would be
+        // understated for exactly the pages the prefetcher targets.
+        let mut riders_protected = false;
+        let mut speculative_riders = 0u64;
+        for (i, (qf, speculative)) in candidates.iter().take(batch).enumerate() {
+            riders_protected |= qf.ad_mode() == AdMode::Protect;
+            qf.install_copy(&bytes[(i + 1) * PAGE_BYTES..(i + 2) * PAGE_BYTES]);
+            if *speculative {
+                qf.ad_mark_prefetched();
+                speculative_riders += 1;
+            }
+        }
+        if speculative_riders > 0 {
+            NodeStats::bump_by(
+                &node_ref.stats.pages_prefetch_speculative,
+                speculative_riders,
+            );
+        }
+        drop(guards);
+        drop(guard);
+
+        if unprotect_after || riders_protected {
+            // One mprotect call opens the whole contiguous run.
+            NodeStats::bump(&node_ref.stats.mprotect_calls);
+            clock.advance(machine.dsm.mprotect_call);
         }
     }
 
@@ -565,8 +911,11 @@ mod tests {
     fn protocol_kind_names_match_paper() {
         assert_eq!(ProtocolKind::JavaIc.name(), "java_ic");
         assert_eq!(ProtocolKind::JavaPf.name(), "java_pf");
+        assert_eq!(ProtocolKind::JavaAd.name(), "java_ad");
         assert_eq!(ProtocolKind::all().len(), 2);
+        assert_eq!(ProtocolKind::all_extended().len(), 3);
         assert_eq!(format!("{}", ProtocolKind::JavaPf), "java_pf");
+        assert_eq!(format!("{}", ProtocolKind::JavaAd), "java_ad");
     }
 
     #[test]
@@ -604,7 +953,7 @@ mod tests {
 
     #[test]
     fn remote_read_fetches_page_and_sees_home_values() {
-        for kind in ProtocolKind::all() {
+        for kind in ProtocolKind::all_extended() {
             let f = fixture(2, kind);
             let addr = f.alloc.alloc(8, NodeId(1));
             // The home node writes a value directly.
@@ -629,13 +978,19 @@ mod tests {
                     assert_eq!(s0.mprotect_calls, 1);
                     assert_eq!(s0.locality_checks, 0);
                 }
+                // A fresh page starts in check mode: ic mechanics.
+                ProtocolKind::JavaAd => {
+                    assert_eq!(s0.page_faults, 0);
+                    assert_eq!(s0.mprotect_calls, 0);
+                    assert_eq!(s0.locality_checks, 1);
+                }
             }
             // Second read hits the cache: no further page loads.
             let before = clock.now();
             let _ = f.dsm.get(NodeId(0), &mut clock, addr);
             assert_eq!(f.cluster.node_stats(NodeId(0)).page_loads, 1);
             match kind {
-                ProtocolKind::JavaIc => assert!(clock.now() > before),
+                ProtocolKind::JavaIc | ProtocolKind::JavaAd => assert!(clock.now() > before),
                 ProtocolKind::JavaPf => assert_eq!(clock.now(), before),
             }
         }
@@ -695,7 +1050,7 @@ mod tests {
 
     #[test]
     fn invalidate_forces_refetch_and_charges_mprotect_only_under_pf() {
-        for kind in ProtocolKind::all() {
+        for kind in ProtocolKind::all_extended() {
             let f = fixture(2, kind);
             let addr = f.alloc.alloc(8, NodeId(1));
             let mut clock = ThreadClock::new();
@@ -713,6 +1068,9 @@ mod tests {
             match kind {
                 ProtocolKind::JavaIc => assert_eq!(s.mprotect_calls, mprotect_before),
                 ProtocolKind::JavaPf => assert_eq!(s.mprotect_calls, mprotect_before + 1),
+                // One sparse access leaves the page in check mode, so no
+                // re-protection is due.
+                ProtocolKind::JavaAd => assert_eq!(s.mprotect_calls, mprotect_before),
             }
 
             // The next access loads the page again.
@@ -908,5 +1266,228 @@ mod tests {
         f.dsm.update_main_memory(NodeId(0), &mut c0);
         assert_eq!(f.dsm.get(NodeId(1), &mut c1, addr.offset(0)), 222);
         assert_eq!(f.dsm.get(NodeId(1), &mut c1, addr.offset(1)), 111);
+    }
+
+    // ----- java_ad -----------------------------------------------------------
+
+    #[test]
+    fn adaptive_home_accesses_are_free_like_pf() {
+        let f = fixture(1, ProtocolKind::JavaAd);
+        let addr = f.alloc.alloc(4, NodeId(0));
+        let mut clock = ThreadClock::new();
+        for i in 0..100 {
+            f.dsm.put(NodeId(0), &mut clock, addr, i);
+        }
+        assert_eq!(clock.now(), VTime::ZERO);
+        let s = f.cluster.node_stats(NodeId(0));
+        assert_eq!(s.locality_checks, 0);
+        assert_eq!(s.page_faults, 0);
+    }
+
+    #[test]
+    fn adaptive_dense_page_switches_to_protection_and_back() {
+        let f = fixture(2, ProtocolKind::JavaAd);
+        let addr = f.alloc.alloc(8, NodeId(1));
+        let (hi, lo) = f.dsm.adaptive_thresholds();
+        assert!(hi > 1, "break-even must exceed one access");
+        assert!(lo < hi);
+
+        // Epoch 1: very dense re-access (checks all the way, ic mechanics).
+        // 4·hi accesses push the smoothed average to exactly hi in a single
+        // epoch (avg ← closed / 4 from a cold start).
+        let mut clock = ThreadClock::new();
+        for _ in 0..4 * hi {
+            let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+        }
+        let s = f.cluster.node_stats(NodeId(0));
+        assert_eq!(s.locality_checks, 4 * hi);
+        assert_eq!(s.page_faults, 0);
+        assert_eq!(s.protocol_switches, 0);
+
+        // The invalidation closes the epoch and flips the page: the cached
+        // region is re-protected, which costs one mprotect like java_pf.
+        f.dsm.invalidate_cache(NodeId(0), &mut clock);
+        let s = f.cluster.node_stats(NodeId(0));
+        assert_eq!(s.protocol_switches, 1);
+        assert_eq!(s.mprotect_calls, 1);
+
+        // Epoch 2: the page is protection-detected — one fault, then free.
+        let checks_before = s.locality_checks;
+        for _ in 0..hi {
+            let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+        }
+        let s = f.cluster.node_stats(NodeId(0));
+        assert_eq!(
+            s.locality_checks, checks_before,
+            "no checks in protect mode"
+        );
+        assert_eq!(s.page_faults, 1);
+
+        // Sparse epochs decay the smoothed average below the low-water mark
+        // and flip the page back — the hysteresis means it takes a few.
+        f.dsm.invalidate_cache(NodeId(0), &mut clock);
+        for _ in 0..8 {
+            if f.cluster.node_stats(NodeId(0)).protocol_switches == 2 {
+                break;
+            }
+            let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+            f.dsm.invalidate_cache(NodeId(0), &mut clock);
+        }
+        let s = f.cluster.node_stats(NodeId(0));
+        assert_eq!(s.protocol_switches, 2, "sparse access must flip it back");
+        let faults_before = s.page_faults;
+        let checks_before = s.locality_checks;
+        let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+        let s = f.cluster.node_stats(NodeId(0));
+        assert_eq!(s.page_faults, faults_before, "back to ic mechanics");
+        assert_eq!(s.locality_checks, checks_before + 1);
+    }
+
+    #[test]
+    fn adaptive_bulk_read_batches_contiguous_pages_into_one_rpc() {
+        let ad = fixture(2, ProtocolKind::JavaAd);
+        let ic = fixture(2, ProtocolKind::JavaIc);
+        let slots = SLOTS_PER_PAGE * 3; // three whole pages
+        let a_ad = ad.alloc.alloc_page_aligned(slots, NodeId(1));
+        let a_ic = ic.alloc.alloc_page_aligned(slots, NodeId(1));
+
+        let mut c_ad = ThreadClock::new();
+        let mut c_ic = ThreadClock::new();
+        let mut out = vec![0u64; slots];
+        ad.dsm.read_slice(NodeId(0), &mut c_ad, a_ad, &mut out);
+        ic.dsm.read_slice(NodeId(0), &mut c_ic, a_ic, &mut out);
+
+        let s_ad = ad.cluster.node_stats(NodeId(0));
+        let s_ic = ic.cluster.node_stats(NodeId(0));
+        // Identical page traffic, but one RPC instead of three.
+        assert_eq!(s_ad.page_loads, 3);
+        assert_eq!(s_ic.page_loads, 3);
+        assert_eq!(s_ad.batched_fetches, 1);
+        assert_eq!(s_ad.pages_prefetched, 2);
+        assert_eq!(s_ad.rpc_requests, 1);
+        assert_eq!(s_ic.rpc_requests, 3);
+        assert!(
+            c_ad.now() < c_ic.now(),
+            "batching must beat three round trips: {} vs {}",
+            c_ad.now(),
+            c_ic.now()
+        );
+    }
+
+    #[test]
+    fn adaptive_history_prefetch_needs_a_stable_streak() {
+        let f = fixture(2, ProtocolKind::JavaAd);
+        let slots = SLOTS_PER_PAGE * 2;
+        let addr = f.alloc.alloc_page_aligned(slots, NodeId(1));
+        let second = addr.offset(SLOTS_PER_PAGE as u64);
+        let mut clock = ThreadClock::new();
+
+        // Three epochs of scalar access to both pages: no prefetch yet (the
+        // streak is built from *completed* epochs), each page loads alone.
+        for _ in 0..3 {
+            let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+            let _ = f.dsm.get(NodeId(0), &mut clock, second);
+            f.dsm.invalidate_cache(NodeId(0), &mut clock);
+        }
+        let s = f.cluster.node_stats(NodeId(0));
+        assert_eq!(s.page_loads, 6);
+        assert_eq!(s.batched_fetches, 0);
+
+        // Fourth epoch: both pages now have a streak of 3, so the miss on
+        // the first page pulls the second one into the same fetch.
+        let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+        let s = f.cluster.node_stats(NodeId(0));
+        assert_eq!(s.batched_fetches, 1);
+        assert_eq!(s.pages_prefetched, 1);
+        assert_eq!(s.page_loads, 8);
+        // The prefetched neighbour is served without any further load.
+        let loads_before = s.page_loads;
+        let _ = f.dsm.get(NodeId(0), &mut clock, second);
+        assert_eq!(f.cluster.node_stats(NodeId(0)).page_loads, loads_before);
+    }
+
+    #[test]
+    fn adaptive_batch_never_crosses_a_home_boundary() {
+        let f = fixture(3, ProtocolKind::JavaAd);
+        // Page on node 1 followed in the address space by a page on node 2.
+        let a = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE, NodeId(1));
+        let b = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE, NodeId(2));
+        assert_eq!(b.page().index(), a.page().index() + 1);
+
+        let mut clock = ThreadClock::new();
+        // Build a streak on both pages.
+        for _ in 0..3 {
+            let _ = f.dsm.get(NodeId(0), &mut clock, a);
+            let _ = f.dsm.get(NodeId(0), &mut clock, b);
+            f.dsm.invalidate_cache(NodeId(0), &mut clock);
+        }
+        let _ = f.dsm.get(NodeId(0), &mut clock, a);
+        // The neighbour is homed elsewhere: it must not ride along.
+        let s = f.cluster.node_stats(NodeId(0));
+        assert_eq!(s.batched_fetches, 0);
+        assert_eq!(s.pages_prefetched, 0);
+    }
+
+    #[test]
+    fn adaptive_batch_pays_mprotect_for_protect_mode_riders() {
+        let f = fixture(2, ProtocolKind::JavaAd);
+        let slots = SLOTS_PER_PAGE * 2;
+        let addr = f.alloc.alloc_page_aligned(slots, NodeId(1));
+        let second = addr.offset(SLOTS_PER_PAGE as u64);
+        let (hi, _) = f.dsm.adaptive_thresholds();
+        let mut clock = ThreadClock::new();
+
+        // Three epochs: the first page stays sparse (check mode), the second
+        // is dense enough to flip to protection while building its streak.
+        for _ in 0..3 {
+            let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+            for _ in 0..4 * hi {
+                let _ = f.dsm.get(NodeId(0), &mut clock, second);
+            }
+            f.dsm.invalidate_cache(NodeId(0), &mut clock);
+        }
+        let before = f.cluster.node_stats(NodeId(0));
+        assert!(before.protocol_switches >= 1);
+
+        // Fourth epoch: the check-mode miss on the first page prefetches the
+        // protection-detected neighbour — opening it costs one mprotect even
+        // though the demanded page itself needs none.
+        let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+        let s = f.cluster.node_stats(NodeId(0));
+        assert_eq!(s.batched_fetches, before.batched_fetches + 1);
+        assert_eq!(
+            s.pages_prefetch_speculative,
+            before.pages_prefetch_speculative + 1
+        );
+        assert_eq!(s.mprotect_calls, before.mprotect_calls + 1);
+        // The opened rider is then accessed for free, like any pf-resident
+        // page.
+        let t = clock.now();
+        let _ = f.dsm.get(NodeId(0), &mut clock, second);
+        assert_eq!(clock.now(), t);
+        assert_eq!(f.cluster.node_stats(NodeId(0)).page_loads, s.page_loads);
+    }
+
+    #[test]
+    fn adaptive_custom_params_shift_the_thresholds() {
+        let cluster = Cluster::new(myrinet_200().machine, 2);
+        let alloc = Arc::new(IsoAllocator::new(2));
+        let store = DsmStore::new(Arc::clone(&alloc), 2);
+        let tuned = AdaptiveParams {
+            hi_multiple: 2.0,
+            lo_multiple: 0.25,
+            max_batch_pages: 1,
+            min_prefetch_streak: 2,
+        };
+        let dsm = DsmSystem::with_params(cluster, store, ProtocolKind::JavaAd, &tuned);
+        let n_star = myrinet_200().machine.adaptive_break_even();
+        let (hi, lo) = dsm.adaptive_thresholds();
+        assert_eq!(hi, (n_star as f64 * 2.0).ceil() as u64);
+        assert_eq!(lo, (n_star as f64 * 0.25).floor() as u64);
+        assert!(lo < hi);
+        // Default parameters sit at the break-even itself.
+        let defaults = AdaptiveParams::default();
+        assert_eq!(defaults.hi_multiple, 1.0);
+        assert!(defaults.lo_multiple < defaults.hi_multiple);
     }
 }

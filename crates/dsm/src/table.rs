@@ -1,6 +1,6 @@
 //! Per-node page tables and the cluster-wide DSM store.
 //!
-//! Every node keeps one [`PageFrame`](crate::page::PageFrame) per page of the
+//! Every node keeps one [`PageFrame`] per page of the
 //! global address space.  The home node's frame *is* the main-memory copy of
 //! the page; the other nodes' frames are caches.  Frame tables grow lazily as
 //! pages are allocated.

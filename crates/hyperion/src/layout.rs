@@ -8,12 +8,12 @@
 //!
 //! * a [`Field<T>`] is a field index *carrying its slot type*;
 //! * an [`ObjectLayout`] names a class-like layout and its field count;
-//! * an [`HStruct<L>`] is an [`HObject`](crate::object::HObject) whose
+//! * an [`HStruct<L>`] is an [`HObject`] whose
 //!   accessors only accept that layout's fields, with the value type
 //!   inferred from the field — `state.get(ctx, BarrierState::COUNT)` cannot
 //!   read the wrong slot or the wrong type.
 //!
-//! Layouts are declared once with [`object_layout!`]:
+//! Layouts are declared once with [`object_layout!`](crate::object_layout):
 //!
 //! ```
 //! use hyperion::prelude::*;
@@ -61,7 +61,7 @@ pub struct Field<T: SlotValue> {
 
 impl<T: SlotValue> Field<T> {
     /// Descriptor for the field at slot `index`.  Normally produced by
-    /// [`object_layout!`], not written by hand.
+    /// [`object_layout!`](crate::object_layout), not written by hand.
     pub const fn at(index: usize) -> Self {
         Field {
             index,
@@ -91,7 +91,7 @@ impl<T: SlotValue> std::fmt::Debug for Field<T> {
 
 /// A class-like description of a shared object's field layout.
 ///
-/// Implemented by the marker types [`object_layout!`] generates; the field
+/// Implemented by the marker types [`object_layout!`](crate::object_layout) generates; the field
 /// descriptors themselves live as associated constants on the marker type.
 pub trait ObjectLayout {
     /// Number of slot-sized fields in the layout.

@@ -12,7 +12,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use hyperion_dsm::{DsmStore, DsmSystem, Locality, ProtocolKind};
+use hyperion_dsm::{AdaptiveParams, DsmStore, DsmSystem, Locality, ProtocolKind};
 use hyperion_model::vtime::TimeWatermark;
 use hyperion_model::{
     ClusterSpec, CpuModel, MachineModel, NodeStats, OpCounts, StatsSnapshot, ThreadClock, VTime,
@@ -29,8 +29,12 @@ pub struct HyperionConfig {
     pub cluster: ClusterSpec,
     /// How many of the cluster's nodes to use for this run.
     pub nodes: usize,
-    /// Access-detection protocol (`java_ic` or `java_pf`).
+    /// Access-detection protocol (`java_ic`, `java_pf` or `java_ad`).
     pub protocol: ProtocolKind,
+    /// Policy knobs of the adaptive protocol (ignored unless `protocol` is
+    /// [`ProtocolKind::JavaAd`]): switching-hysteresis multiples of the
+    /// machine model's break-even and the batched-fetch window.
+    pub adaptive: AdaptiveParams,
     /// Application threads per node.  The paper uses one ("we used only one
     /// application thread per node", §4.3); larger values exercise the
     /// computation/communication-overlap extension.
@@ -60,6 +64,7 @@ impl HyperionConfig {
             cluster,
             nodes,
             protocol,
+            adaptive: AdaptiveParams::default(),
             threads_per_node: 1,
             pacing_window: Some(VTime::from_us(500)),
         }
@@ -100,6 +105,12 @@ impl HyperionConfig {
         self
     }
 
+    /// Builder-style override of [`HyperionConfig::adaptive`].
+    pub fn with_adaptive(mut self, adaptive: AdaptiveParams) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
     /// Total number of application (computation) threads the standard SPMD
     /// benchmarks create.
     pub fn total_app_threads(&self) -> usize {
@@ -120,6 +131,19 @@ impl HyperionConfig {
                 available: self.cluster.max_nodes,
             });
         }
+        if self.adaptive.max_batch_pages == 0 {
+            return Err(ConfigError::InvalidAdaptive(
+                "max_batch_pages must be at least 1 (1 disables batching)",
+            ));
+        }
+        if self.adaptive.hi_multiple <= 0.0
+            || self.adaptive.lo_multiple < 0.0
+            || self.adaptive.lo_multiple >= self.adaptive.hi_multiple
+        {
+            return Err(ConfigError::InvalidAdaptive(
+                "switching hysteresis needs 0 <= lo_multiple < hi_multiple",
+            ));
+        }
         Ok(())
     }
 }
@@ -132,6 +156,7 @@ pub struct ConfigBuilder {
     cluster: Option<ClusterSpec>,
     nodes: Option<usize>,
     protocol: Option<ProtocolKind>,
+    adaptive: Option<AdaptiveParams>,
     threads_per_node: Option<usize>,
     pacing_window: Option<Option<VTime>>,
 }
@@ -149,9 +174,17 @@ impl ConfigBuilder {
         self
     }
 
-    /// Access-detection protocol (`java_ic` or `java_pf`).  Mandatory.
+    /// Access-detection protocol (`java_ic`, `java_pf` or `java_ad`).
+    /// Mandatory.
     pub fn protocol(mut self, protocol: ProtocolKind) -> Self {
         self.protocol = Some(protocol);
+        self
+    }
+
+    /// Policy knobs for `java_ad` (thresholds, batching window).  Defaults
+    /// to [`AdaptiveParams::default`]; ignored by the other protocols.
+    pub fn adaptive(mut self, adaptive: AdaptiveParams) -> Self {
+        self.adaptive = Some(adaptive);
         self
     }
 
@@ -179,6 +212,9 @@ impl ConfigBuilder {
         let protocol = self.protocol.ok_or(ConfigError::MissingField("protocol"))?;
         // Start from `new()` so the defaults live in exactly one place.
         let mut config = HyperionConfig::new(cluster, nodes, protocol);
+        if let Some(adaptive) = self.adaptive {
+            config.adaptive = adaptive;
+        }
         if let Some(threads) = self.threads_per_node {
             config.threads_per_node = threads;
         }
@@ -207,6 +243,8 @@ pub enum ConfigError {
         /// Nodes available in the cluster model.
         available: usize,
     },
+    /// The adaptive-protocol parameters are out of range.
+    InvalidAdaptive(&'static str),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -226,6 +264,9 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "requested {requested} nodes but the modelled cluster has only {available}"
             ),
+            ConfigError::InvalidAdaptive(reason) => {
+                write!(f, "invalid adaptive-protocol parameters: {reason}")
+            }
         }
     }
 }
@@ -303,7 +344,12 @@ impl HyperionRuntime {
         let cluster = Cluster::new(config.cluster.machine.clone(), config.nodes);
         let allocator = Arc::new(IsoAllocator::new(config.nodes));
         let store = DsmStore::new(Arc::clone(&allocator), config.nodes);
-        let dsm = DsmSystem::new(Arc::clone(&cluster), store, config.protocol);
+        let dsm = DsmSystem::with_params(
+            Arc::clone(&cluster),
+            store,
+            config.protocol,
+            &config.adaptive,
+        );
         let balancer = LoadBalancer::new(config.nodes);
         Ok(HyperionRuntime {
             shared: Arc::new(RuntimeShared {
@@ -666,9 +712,9 @@ impl ThreadCtx {
     ///
     /// Under `java_ic` this *is* one in-line locality check and is charged
     /// (and counted) as such — the program performs exactly the check the
-    /// compiled code would, but keeps the answer.  Under `java_pf` locality
-    /// is a free page-table lookup (the protocol's whole point is that
-    /// resident accesses cost nothing).
+    /// compiled code would, but keeps the answer.  Under `java_pf` and
+    /// `java_ad` locality is a free page-table lookup (those runtimes
+    /// already maintain per-page state, so resident accesses cost nothing).
     ///
     /// A [`Locality::is_resident`] answer is a *snapshot*: it stays valid
     /// until this node's next cache invalidation (monitor entry, `join`,
@@ -958,6 +1004,63 @@ mod tests {
             }
         );
         assert!(format!("{}", ConfigError::MissingField("protocol")).contains("protocol"));
+    }
+
+    #[test]
+    fn adaptive_params_flow_from_builder_to_the_dsm_engine() {
+        let tuned = AdaptiveParams {
+            hi_multiple: 3.0,
+            lo_multiple: 1.0,
+            max_batch_pages: 4,
+            min_prefetch_streak: 1,
+        };
+        let built = HyperionConfig::builder()
+            .cluster(myrinet_200())
+            .nodes(2)
+            .protocol(ProtocolKind::JavaAd)
+            .adaptive(tuned.clone())
+            .build()
+            .unwrap();
+        assert_eq!(built.adaptive, tuned);
+        let rt = HyperionRuntime::new(built).unwrap();
+        let n_star = myrinet_200().machine.adaptive_break_even();
+        let (hi, lo) = rt.dsm().adaptive_thresholds();
+        assert_eq!(hi, (n_star as f64 * 3.0).ceil() as u64);
+        assert_eq!(lo, n_star);
+
+        // Defaults apply when the builder field is left alone.
+        let default_config = config(2, ProtocolKind::JavaAd);
+        assert_eq!(default_config.adaptive, AdaptiveParams::default());
+        assert_eq!(default_config.with_adaptive(tuned.clone()).adaptive, tuned);
+    }
+
+    #[test]
+    fn adaptive_param_validation_rejects_nonsense() {
+        let mut c = config(2, ProtocolKind::JavaAd);
+        c.adaptive.max_batch_pages = 0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::InvalidAdaptive(
+                "max_batch_pages must be at least 1 (1 disables batching)"
+            ))
+        );
+        let mut c = config(2, ProtocolKind::JavaAd);
+        c.adaptive.lo_multiple = 2.0; // >= hi_multiple
+        assert!(matches!(c.validate(), Err(ConfigError::InvalidAdaptive(_))));
+        assert!(format!("{}", c.validate().unwrap_err()).contains("hysteresis"));
+    }
+
+    #[test]
+    fn adaptive_runtime_runs_programs_end_to_end() {
+        let rt = HyperionRuntime::new(config(2, ProtocolKind::JavaAd)).unwrap();
+        assert_eq!(rt.protocol(), ProtocolKind::JavaAd);
+        let out = rt.run(|ctx| {
+            let a = ctx.alloc_slots(4, NodeId(1));
+            ctx.put_slot(a, 77);
+            ctx.get_slot(a)
+        });
+        assert_eq!(out.result, 77);
+        assert!(out.report.summary().contains("java_ad"));
     }
 
     #[test]

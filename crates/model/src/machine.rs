@@ -133,6 +133,13 @@ pub struct DsmCostModel {
     /// Cycles charged on the parent for creating a thread, and on the child
     /// before it starts running (remote creation additionally pays an RPC).
     pub thread_create_cycles: f64,
+    /// Cycles of bookkeeping when `java_ad` flips one page between the
+    /// check-based and the protection-based detection technique.
+    pub protocol_switch_cycles: f64,
+    /// Requester- and home-side marshalling cycles per *extra* page carried
+    /// by a batched page-fetch request (the first page is covered by the
+    /// ordinary per-request protocol cycles).
+    pub batch_page_cycles: f64,
 }
 
 /// A homogeneous cluster node: CPU + NIC + DSM event costs.
@@ -208,6 +215,8 @@ pub fn myrinet_200() -> ClusterSpec {
                 invalidate_cycles_per_page: 12.0,
                 barrier_cycles: 200.0,
                 thread_create_cycles: 2_000.0,
+                protocol_switch_cycles: 40.0,
+                batch_page_cycles: 60.0,
             },
         },
         max_nodes: 12,
@@ -257,6 +266,8 @@ pub fn sci_450() -> ClusterSpec {
                 invalidate_cycles_per_page: 12.0,
                 barrier_cycles: 200.0,
                 thread_create_cycles: 2_000.0,
+                protocol_switch_cycles: 40.0,
+                batch_page_cycles: 60.0,
             },
         },
         max_nodes: 6,

@@ -101,6 +101,16 @@ define_stats! {
     bulk_reads,
     /// Bulk slice writes performed (`write_slice` / view commits), one per call.
     bulk_writes,
+    /// Per-page detection-mode switches performed by `java_ad` (check ↔ protect).
+    protocol_switches,
+    /// Page-fetch RPCs that carried more than one page (`java_ad` batching).
+    batched_fetches,
+    /// Pages installed beyond the demanded page by batched fetches.
+    pages_prefetched,
+    /// Prefetched pages installed on history speculation alone (no bulk cover).
+    pages_prefetch_speculative,
+    /// Prefetched pages invalidated untouched (`java_ad` speculation throttle).
+    pages_prefetch_wasted,
 }
 
 impl NodeStats {
@@ -204,7 +214,7 @@ mod tests {
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
-        assert_eq!(names.len(), 22);
+        assert_eq!(names.len(), 27);
     }
 
     #[test]

@@ -90,7 +90,7 @@ impl Cluster {
     /// 2. wire: one-way latency + header/payload transfer;
     /// 3. target node: the request is serialised through the node's service
     ///    clock; service time = fixed protocol handler cost + the handler's
-    ///    own reported [`RpcReply::service`];
+    ///    own reported [`RpcReply::service`](crate::comm::RpcReply::service);
     /// 4. wire back: latency + reply transfer;
     /// 5. requester: NIC receive overhead.
     ///

@@ -7,17 +7,29 @@
 //! faults vs `mprotect` calls vs bytes moved).
 //!
 //! ```text
-//! cargo run --release --example protocol_faceoff -- [pi|jacobi|barnes|tsp|asp] [scale]
-//!   scale: quick (default) | harness | paper
+//! cargo run --release --example protocol_faceoff -- [pi|jacobi|barnes|tsp|asp] [scale] [protocol]
+//!   scale:    quick (default) | harness | paper
+//!   protocol: ic | pf | ad (default: all three)
 //! ```
 
 use hyperion::prelude::*;
+use hyperion_apps::common::{parse_protocol, protocols_under_test};
 use hyperion_apps::{asp, barnes, common::Benchmark, jacobi, pi, tsp};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let app = args.get(1).map(String::as_str).unwrap_or("jacobi");
     let scale = args.get(2).map(String::as_str).unwrap_or("quick");
+    let protocols: Vec<ProtocolKind> = match args.get(3) {
+        Some(name) => match parse_protocol(name) {
+            Some(p) => vec![p],
+            None => {
+                eprintln!("unknown protocol '{name}'; use ic|pf|ad (or java_ic|java_pf|java_ad)");
+                std::process::exit(1);
+            }
+        },
+        None => protocols_under_test().to_vec(),
+    };
 
     let bench: Box<dyn Benchmark> = match (app, scale) {
         ("pi", "paper") => Box::new(pi::PiParams::paper()),
@@ -53,7 +65,7 @@ fn main() {
             .into_iter()
             .filter(|&n| n <= cluster.max_nodes)
             .collect();
-        for protocol in ProtocolKind::all() {
+        for &protocol in &protocols {
             for &nodes in &node_counts {
                 let config = HyperionConfig::builder()
                     .cluster(cluster.clone())
