@@ -200,6 +200,11 @@ pub fn run(config: HyperionConfig, params: &AspParams) -> RunOutcome<AspResult> 
                 // the effect the paper measures on ASP.
                 for k in 0..n {
                     let pivot_row = rows.row(k);
+                    // Issue the pivot-row fetch as early as the consistency
+                    // window allows — right after the barrier's acquire
+                    // invalidated the cache.  Under the overlapped transport
+                    // its latency hides behind the leading local rows.
+                    pivot_row.prefetch(worker);
                     for i in row_start..row_end {
                         let row_i = rows.row(i);
                         let dik = row_i.get(worker, k);
@@ -223,8 +228,14 @@ pub fn run(config: HyperionConfig, params: &AspParams) -> RunOutcome<AspResult> 
             ctx.join(h);
         }
 
-        // Digest the final matrix (bulk row reads).
+        // Digest the final matrix (bulk row reads).  All row fetches are
+        // issued up front: no acquire happens during the scan, so the
+        // copies stay valid, and under the overlapped transport the
+        // round trips pipeline instead of paying one stall per row.
         let rows = dist.rows_view(ctx);
+        for i in 0..n {
+            rows.row(i).prefetch(ctx);
+        }
         let mut distance_sum = 0i64;
         let mut unreachable_pairs = 0u64;
         for i in 0..n {

@@ -256,6 +256,18 @@ pub fn run_with(
 
                         let (mut cur, mut next) = (&rows_a, &rows_b);
                         for _step in 0..steps {
+                            // Issue both boundary-row fetches right after
+                            // the barrier's acquire: by the time the south
+                            // neighbour is pinned (after the whole block's
+                            // stencil), an overlapped transport has hidden
+                            // its round trip entirely, and most of the
+                            // north one behind the first rows.
+                            if row_start >= 1 {
+                                cur.row(row_start - 1).prefetch(worker);
+                            }
+                            if row_end < n {
+                                cur.row(row_end).prefetch(worker);
+                            }
                             let lo = row_start.max(1);
                             let hi = row_end.min(n - 1);
                             for r in lo..hi {
@@ -296,9 +308,14 @@ pub fn run_with(
             ctx.join(h);
         }
 
-        // The buffer holding the final state after `steps` swaps.
+        // The buffer holding the final state after `steps` swaps.  The scan
+        // performs no acquire, so every row fetch can be issued up front
+        // and the round trips pipeline under the overlapped transport.
         let finals = if steps % 2 == 0 { a } else { b };
         let rows = finals.rows_view(ctx);
+        for r in 1..n - 1 {
+            rows.row(r).prefetch(ctx);
+        }
         let mut sum = 0.0;
         for r in 1..n - 1 {
             let row = rows.row_view(ctx, r);

@@ -114,6 +114,10 @@ pub struct FigureRow {
     pub cluster: String,
     /// Protocol used.
     pub protocol: ProtocolKind,
+    /// Transport-variant suffix distinguishing rows that share a protocol
+    /// but run under different transport configurations (`""` for the
+    /// default, `"+block"`, `"+ov"`, `"+mig"` for the figure-7 comparison).
+    pub variant: &'static str,
     /// Number of nodes.
     pub nodes: usize,
     /// Execution time in virtual seconds.
@@ -125,21 +129,29 @@ pub struct FigureRow {
 }
 
 impl FigureRow {
+    /// Protocol plus transport-variant label (`java_pf+ov`, `java_ad`...).
+    pub fn protocol_label(&self) -> String {
+        format!("{}{}", self.protocol.name(), self.variant)
+    }
+}
+
+impl FigureRow {
     /// CSV header matching [`FigureRow::to_csv`].
     pub fn csv_header() -> &'static str {
         "figure,app,cluster,protocol,nodes,exec_seconds,digest,locality_checks,page_faults,\
          mprotect_calls,page_loads,diff_messages,bytes_moved,remote_monitor_acquires,\
-         barrier_waits,batched_fetches,pages_prefetched,protocol_switches"
+         barrier_waits,batched_fetches,pages_prefetched,protocol_switches,batched_flushes,\
+         pages_migrated,fetch_overlap_cycles_hidden"
     }
 
     /// Serialise as one CSV line.
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.figure,
             self.app,
             self.cluster,
-            self.protocol,
+            self.protocol_label(),
             self.nodes,
             self.seconds,
             self.digest,
@@ -154,6 +166,9 @@ impl FigureRow {
             self.stats.batched_fetches,
             self.stats.pages_prefetched,
             self.stats.protocol_switches,
+            self.stats.batched_flushes,
+            self.stats.pages_migrated,
+            self.stats.fetch_overlap_cycles_hidden,
         )
     }
 }
@@ -186,20 +201,70 @@ pub fn run_point_with(
     nodes: usize,
     adaptive: &AdaptiveParams,
 ) -> FigureRow {
+    run_point_configured(
+        name,
+        scale,
+        cluster,
+        protocol,
+        nodes,
+        adaptive,
+        &TransportConfig::default(),
+        "",
+    )
+}
+
+/// The fully configurable run point: explicit adaptive parameters *and*
+/// transport configuration, labelled with a variant suffix — the entry
+/// point of the figure-7 transport comparison.
+#[allow(clippy::too_many_arguments)]
+pub fn run_point_configured(
+    name: BenchmarkName,
+    scale: Scale,
+    cluster: &ClusterSpec,
+    protocol: ProtocolKind,
+    nodes: usize,
+    adaptive: &AdaptiveParams,
+    transport: &TransportConfig,
+    variant: &'static str,
+) -> FigureRow {
+    run_figure_point(
+        name, scale, cluster, protocol, nodes, adaptive, transport, variant, false,
+    )
+}
+
+/// The one place a figure data point is actually executed: builds the
+/// configuration (optionally unpaced), runs the benchmark and wraps the
+/// result.
+#[allow(clippy::too_many_arguments)]
+fn run_figure_point(
+    name: BenchmarkName,
+    scale: Scale,
+    cluster: &ClusterSpec,
+    protocol: ProtocolKind,
+    nodes: usize,
+    adaptive: &AdaptiveParams,
+    transport: &TransportConfig,
+    variant: &'static str,
+    unpaced: bool,
+) -> FigureRow {
     let bench = benchmark_at(name, scale);
-    let config = HyperionConfig::builder()
+    let mut builder = HyperionConfig::builder()
         .cluster(cluster.clone())
         .nodes(nodes)
         .protocol(protocol)
         .adaptive(adaptive.clone())
-        .build()
-        .expect("valid figure configuration");
+        .transport(transport.clone());
+    if unpaced {
+        builder = builder.pacing_window(None);
+    }
+    let config = builder.build().expect("valid figure configuration");
     let (digest, report) = bench.execute(config);
     FigureRow {
         figure: name.figure(),
         app: name,
         cluster: report.cluster_label.clone(),
         protocol,
+        variant,
         nodes,
         seconds: report.seconds(),
         digest,
@@ -246,8 +311,125 @@ pub fn sweep_adaptive(scale: Scale) -> Vec<FigureRow> {
     rows
 }
 
+/// The figure number used for the transport comparison (overlapped vs
+/// blocking fetches, home migration on vs off).
+pub const TRANSPORT_FIGURE: usize = 7;
+
+/// One paired comparison of the figure-7 transport sweep: the same
+/// (app, protocol, nodes) point under a baseline and a latency-hiding
+/// transport configuration.
+#[derive(Clone, Debug)]
+pub struct TransportPair {
+    /// What the pair demonstrates (`"overlap"` or `"migration"`).
+    pub mechanism: &'static str,
+    /// The point with the mechanism disabled.
+    pub baseline: FigureRow,
+    /// The point with the mechanism enabled.
+    pub enabled: FigureRow,
+}
+
+/// Figure 7 (extension): the split-transaction transport against the
+/// blocking transport on the Myrinet cluster at [`ADAPTIVE_NODES`] nodes.
+///
+/// *Overlap* pairs run the barrier apps (Jacobi, ASP) under `java_pf` with
+/// blocking vs overlapped fetches — the prefetch windows the kernels open
+/// right after each acquire only pay off when the transport can split the
+/// transaction.  These pairs run unpaced: both apps divide their work
+/// statically, so conservative pacing only adds host-scheduling noise to
+/// the modeled times the delta is measured against.  *Migration* pairs run
+/// the central-structure apps (TSP, Barnes-Hut) under `java_ad` with home
+/// migration off vs on — the write-shared pages behind the work queue, the
+/// best bound and the chunk counters are exactly the diff traffic
+/// migration eliminates.  The dominance streak is matched to each app's
+/// write-burst depth: a TSP worker that drains the queue dequeues many
+/// times in a row (streak 3), while the Barnes-Hut chunk counter hands out
+/// two-body chunks, so its bursts are only a couple of diffs deep
+/// (streak 2).
+pub fn sweep_transport(scale: Scale) -> Vec<TransportPair> {
+    [
+        BenchmarkName::Jacobi,
+        BenchmarkName::Asp,
+        BenchmarkName::Tsp,
+        BenchmarkName::Barnes,
+    ]
+    .into_iter()
+    .filter_map(|app| transport_pair(app, scale))
+    .collect()
+}
+
+/// Build one figure-7 pair for `app` (see [`sweep_transport`]); `None` for
+/// apps outside the transport comparison.
+pub fn transport_pair(app: BenchmarkName, scale: Scale) -> Option<TransportPair> {
+    let cluster = myrinet_200();
+    let ad = AdaptiveParams::default();
+    match app {
+        BenchmarkName::Jacobi | BenchmarkName::Asp => {
+            let point = |transport: &TransportConfig, variant: &'static str| {
+                let mut row = run_figure_point(
+                    app,
+                    scale,
+                    &cluster,
+                    ProtocolKind::JavaPf,
+                    ADAPTIVE_NODES,
+                    &ad,
+                    transport,
+                    variant,
+                    true,
+                );
+                row.figure = TRANSPORT_FIGURE;
+                row
+            };
+            Some(TransportPair {
+                mechanism: "overlap",
+                baseline: point(&TransportConfig::blocking(), "+block"),
+                enabled: point(
+                    &TransportConfig {
+                        overlapped_fetches: true,
+                        ..TransportConfig::default()
+                    },
+                    "+ov",
+                ),
+            })
+        }
+        BenchmarkName::Tsp | BenchmarkName::Barnes => {
+            let streak = if app == BenchmarkName::Tsp { 3 } else { 2 };
+            let point = |transport: &TransportConfig, variant: &'static str| {
+                let mut row = run_figure_point(
+                    app,
+                    scale,
+                    &cluster,
+                    ProtocolKind::JavaAd,
+                    ADAPTIVE_NODES,
+                    &ad,
+                    transport,
+                    variant,
+                    false,
+                );
+                row.figure = TRANSPORT_FIGURE;
+                row
+            };
+            Some(TransportPair {
+                mechanism: "migration",
+                baseline: point(&TransportConfig::default(), "+nomig"),
+                enabled: point(
+                    &TransportConfig {
+                        home_migration: true,
+                        migration_streak: streak,
+                        ..TransportConfig::default()
+                    },
+                    "+mig",
+                ),
+            })
+        }
+        BenchmarkName::Pi => None,
+    }
+}
+
 /// The CI-tracked sweep behind `BENCH_<run>.json`: all five apps under all
-/// three protocols on the Myrinet cluster at [`ADAPTIVE_NODES`] nodes.
+/// three protocols on the Myrinet cluster at [`ADAPTIVE_NODES`] nodes, plus
+/// the figure-7 transport-variant rows (overlapped fetches on Jacobi/ASP,
+/// home migration on TSP/Barnes) so their deltas are tracked by the
+/// baseline gate too.
 pub fn bench_report_rows(scale: Scale) -> Vec<FigureRow> {
     let cluster = myrinet_200();
     let mut rows = Vec::new();
@@ -257,6 +439,10 @@ pub fn bench_report_rows(scale: Scale) -> Vec<FigureRow> {
             row.figure = ADAPTIVE_FIGURE;
             rows.push(row);
         }
+    }
+    for pair in sweep_transport(scale) {
+        rows.push(pair.baseline);
+        rows.push(pair.enabled);
     }
     rows
 }

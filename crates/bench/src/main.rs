@@ -30,8 +30,9 @@ use std::io::Write;
 use hyperion::prelude::*;
 use hyperion_apps::common::BenchmarkName;
 use hyperion_bench::{
-    bench_report_rows, improvement_summary, report, sweep_adaptive, sweep_figure, table1_modules,
-    table2_primitives, threshold_ablation, FigureRow, Scale, ADAPTIVE_FIGURE,
+    bench_report_rows, improvement_summary, report, sweep_adaptive, sweep_figure, sweep_transport,
+    table1_modules, table2_primitives, threshold_ablation, FigureRow, Scale, ADAPTIVE_FIGURE,
+    TRANSPORT_FIGURE,
 };
 
 struct Options {
@@ -64,9 +65,9 @@ fn parse_args() -> Options {
                 let n: usize = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--fig needs a number between 1 and 6"));
-                if !(1..=ADAPTIVE_FIGURE).contains(&n) {
-                    die("--fig needs a number between 1 and 6");
+                    .unwrap_or_else(|| die("--fig needs a number between 1 and 7"));
+                if !(1..=TRANSPORT_FIGURE).contains(&n) {
+                    die("--fig needs a number between 1 and 7");
                 }
                 opts.figures.push(n);
                 any_selector = true;
@@ -185,6 +186,41 @@ fn print_adaptive_figure(scale: Scale) -> Vec<FigureRow> {
             row.stats.page_faults,
             row.stats.protocol_switches,
         );
+    }
+    println!();
+    rows
+}
+
+/// Figure 7: the split-transaction transport against the blocking one —
+/// overlapped fetches on the barrier apps, home migration on the
+/// central-structure apps.
+fn print_transport_figure(scale: Scale) -> Vec<FigureRow> {
+    let pairs = sweep_transport(scale);
+    println!(
+        "== Figure 7 (extension): latency-hiding transport, {} nodes ==",
+        hyperion_bench::ADAPTIVE_NODES
+    );
+    println!(
+        "{:<12} {:<10} {:<14} {:>12} {:>10} {:>10} {:>9} {:>14}",
+        "App", "mechanism", "variant", "exec (s)", "diffs", "batched", "migrated", "hidden cycles"
+    );
+    let mut rows = Vec::new();
+    for pair in pairs {
+        for r in [&pair.baseline, &pair.enabled] {
+            println!(
+                "{:<12} {:<10} {:<14} {:>12.4} {:>10} {:>10} {:>9} {:>14}",
+                r.app.to_string(),
+                pair.mechanism,
+                r.protocol_label(),
+                r.seconds,
+                r.stats.diff_messages,
+                r.stats.batched_flushes,
+                r.stats.pages_migrated,
+                r.stats.fetch_overlap_cycles_hidden,
+            );
+        }
+        rows.push(pair.baseline);
+        rows.push(pair.enabled);
     }
     println!();
     rows
@@ -327,7 +363,9 @@ fn print_claims(all_rows: &[FigureRow]) {
 
 fn write_csv(dir: &str, rows: &[FigureRow]) {
     let fig = rows.first().map(|r| r.figure).unwrap_or(0);
-    let app = if fig == ADAPTIVE_FIGURE {
+    let app = if fig == TRANSPORT_FIGURE {
+        "transport".to_string()
+    } else if fig == ADAPTIVE_FIGURE {
         "adaptive".to_string()
     } else {
         rows.first()
@@ -357,7 +395,9 @@ fn main() {
 
     let mut all_rows = Vec::new();
     for &fig in &opts.figures {
-        let rows = if fig == ADAPTIVE_FIGURE {
+        let rows = if fig == TRANSPORT_FIGURE {
+            print_transport_figure(opts.scale)
+        } else if fig == ADAPTIVE_FIGURE {
             print_adaptive_figure(opts.scale)
         } else {
             let rows = sweep_figure(figure_name(fig), opts.scale);

@@ -74,6 +74,14 @@ pub struct ReportRow {
     pub batched_fetches: u64,
     /// Informational: `java_ad` detection-mode switches.
     pub protocol_switches: u64,
+    /// Informational: diff RPCs sent at release points.
+    pub diff_messages: u64,
+    /// Informational: multi-page diff RPCs (batched flushing).
+    pub batched_flushes: u64,
+    /// Informational: pages whose home migrated to a dominant writer.
+    pub pages_migrated: u64,
+    /// Informational: fetch latency cycles hidden by overlapped transport.
+    pub fetch_overlap_cycles_hidden: u64,
 }
 
 /// Loads (or similar counters) per epoch, with an epoch-free run counting
@@ -93,7 +101,7 @@ impl From<&FigureRow> for ReportRow {
     fn from(row: &FigureRow) -> ReportRow {
         ReportRow {
             app: row.app.to_string(),
-            protocol: row.protocol.name().to_string(),
+            protocol: row.protocol_label(),
             cluster: row.cluster.clone(),
             nodes: row.nodes as u64,
             exec_seconds: row.seconds,
@@ -111,6 +119,10 @@ impl From<&FigureRow> for ReportRow {
             mprotect_calls: row.stats.mprotect_calls,
             batched_fetches: row.stats.batched_fetches,
             protocol_switches: row.stats.protocol_switches,
+            diff_messages: row.stats.diff_messages,
+            batched_flushes: row.stats.batched_flushes,
+            pages_migrated: row.stats.pages_migrated,
+            fetch_overlap_cycles_hidden: row.stats.fetch_overlap_cycles_hidden,
         }
     }
 }
@@ -146,6 +158,12 @@ pub fn envelope(runs: &[Vec<FigureRow>]) -> Vec<ReportRow> {
             acc.mprotect_calls = acc.mprotect_calls.max(next.mprotect_calls);
             acc.batched_fetches = acc.batched_fetches.max(next.batched_fetches);
             acc.protocol_switches = acc.protocol_switches.max(next.protocol_switches);
+            acc.diff_messages = acc.diff_messages.max(next.diff_messages);
+            acc.batched_flushes = acc.batched_flushes.max(next.batched_flushes);
+            acc.pages_migrated = acc.pages_migrated.max(next.pages_migrated);
+            acc.fetch_overlap_cycles_hidden = acc
+                .fetch_overlap_cycles_hidden
+                .max(next.fetch_overlap_cycles_hidden);
         }
     }
     out
@@ -165,7 +183,9 @@ pub fn report_to_json(run: &str, scale: &str, rows: &[ReportRow]) -> String {
              \"cache_invalidations\": {}, \"monitor_enters\": {}, \
              \"loads_per_epoch\": {:.6}, \"invalidated_per_epoch\": {:.6}, \
              \"page_faults\": {}, \"locality_checks\": {}, \"mprotect_calls\": {}, \
-             \"batched_fetches\": {}, \"protocol_switches\": {}}}{}\n",
+             \"batched_fetches\": {}, \"protocol_switches\": {}, \"diff_messages\": {}, \
+             \"batched_flushes\": {}, \"pages_migrated\": {}, \
+             \"fetch_overlap_cycles_hidden\": {}}}{}\n",
             quote(&r.app),
             quote(&r.protocol),
             quote(&r.cluster),
@@ -182,6 +202,10 @@ pub fn report_to_json(run: &str, scale: &str, rows: &[ReportRow]) -> String {
             r.mprotect_calls,
             r.batched_fetches,
             r.protocol_switches,
+            r.diff_messages,
+            r.batched_flushes,
+            r.pages_migrated,
+            r.fetch_overlap_cycles_hidden,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -260,6 +284,10 @@ pub fn parse_report(json: &str) -> Result<Vec<ReportRow>, String> {
                 mprotect_calls: counter("mprotect_calls").unwrap_or(0),
                 batched_fetches: counter("batched_fetches").unwrap_or(0),
                 protocol_switches: counter("protocol_switches").unwrap_or(0),
+                diff_messages: counter("diff_messages").unwrap_or(0),
+                batched_flushes: counter("batched_flushes").unwrap_or(0),
+                pages_migrated: counter("pages_migrated").unwrap_or(0),
+                fetch_overlap_cycles_hidden: counter("fetch_overlap_cycles_hidden").unwrap_or(0),
             })
         })
         .collect()
@@ -668,6 +696,10 @@ mod tests {
             mprotect_calls: 0,
             batched_fetches: 0,
             protocol_switches: 0,
+            diff_messages: 0,
+            batched_flushes: 0,
+            pages_migrated: 0,
+            fetch_overlap_cycles_hidden: 0,
         });
         let findings = compare_to_baseline(&rows, &baseline, DEFAULT_TOLERANCE);
         assert!(findings.iter().any(|f| f.contains("not measured")));

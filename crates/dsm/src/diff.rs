@@ -68,6 +68,95 @@ pub fn encode_diff(page: PageId, entries: &[DiffEntry]) -> Vec<u8> {
     out
 }
 
+/// Tag bit marking a diff payload as the batched form of
+/// [`encode_diff_batch`] (set on the leading page id, which never uses its
+/// top bit for real page numbers).
+const DIFF_BATCH_TAG: u64 = 1 << 63;
+
+/// Encode a batched diff message: the diffs of `pages.len()` *contiguous*
+/// pages starting at `first`, all homed on the target node — the flush-side
+/// counterpart of [`encode_page_batch_request`].
+///
+/// Layout: tagged first page id (8), page count (4), then per page an entry
+/// count (4) followed by its `(slot, value)` entries (10 each).
+///
+/// # Panics
+/// Panics if `pages` is empty.
+pub fn encode_diff_batch(first: PageId, pages: &[Vec<DiffEntry>]) -> Vec<u8> {
+    assert!(
+        !pages.is_empty(),
+        "a batched diff flushes at least one page"
+    );
+    let entries: usize = pages.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(12 + pages.len() * 4 + entries * 10);
+    out.extend_from_slice(&(first.0 | DIFF_BATCH_TAG).to_le_bytes());
+    out.extend_from_slice(&(pages.len() as u32).to_le_bytes());
+    for page_entries in pages {
+        out.extend_from_slice(&(page_entries.len() as u32).to_le_bytes());
+        for (slot, value) in page_entries {
+            out.extend_from_slice(&slot.to_le_bytes());
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decode a diff message in either form: the single-page message of
+/// [`encode_diff`] or the batched message of [`encode_diff_batch`].
+///
+/// # Panics
+/// Panics if the payload is malformed.
+pub fn decode_diff_message(payload: &[u8]) -> Vec<(PageId, Vec<DiffEntry>)> {
+    assert!(payload.len() >= 12, "diff payload too short");
+    let head = u64::from_le_bytes(payload[0..8].try_into().expect("8"));
+    if head & DIFF_BATCH_TAG == 0 {
+        let (page, entries) = decode_diff(payload);
+        return vec![(page, entries)];
+    }
+    let first = head & !DIFF_BATCH_TAG;
+    let pages = u32::from_le_bytes(payload[8..12].try_into().expect("4")) as usize;
+    let mut out = Vec::with_capacity(pages);
+    let mut off = 12usize;
+    for k in 0..pages {
+        assert!(off + 4 <= payload.len(), "batched diff truncated");
+        let count = u32::from_le_bytes(payload[off..off + 4].try_into().expect("4")) as usize;
+        off += 4;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            assert!(off + 10 <= payload.len(), "batched diff truncated");
+            let slot = u16::from_le_bytes(payload[off..off + 2].try_into().expect("2"));
+            let value = u64::from_le_bytes(payload[off + 2..off + 10].try_into().expect("8"));
+            entries.push((slot, value));
+            off += 10;
+        }
+        out.push((PageId(first + k as u64), entries));
+    }
+    assert_eq!(off, payload.len(), "batched diff length mismatch");
+    out
+}
+
+/// Encode a home-migration grant carried in a diff-apply reply: the id of
+/// the migrating page followed by the authoritative page snapshot the new
+/// home starts from.  An empty reply is a plain acknowledgement.
+pub fn encode_migration_grant(page: PageId, snapshot: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + snapshot.len());
+    out.extend_from_slice(&page.0.to_le_bytes());
+    out.extend_from_slice(snapshot);
+    out
+}
+
+/// Decode a diff-apply reply: `None` for a plain acknowledgement, or the
+/// migrating page's id for a migration grant.
+pub fn decode_migration_grant(reply: &[u8]) -> Option<PageId> {
+    if reply.is_empty() {
+        return None;
+    }
+    assert!(reply.len() > 8, "malformed migration grant");
+    Some(PageId(u64::from_le_bytes(
+        reply[0..8].try_into().expect("8"),
+    )))
+}
+
 /// Decode a diff message produced by [`encode_diff`].
 ///
 /// # Panics
@@ -151,6 +240,47 @@ mod tests {
         let mut enc = encode_diff(PageId(1), &[(1, 2), (3, 4)]);
         enc.pop();
         decode_diff(&enc);
+    }
+
+    #[test]
+    fn batched_diff_round_trip_and_single_form_interop() {
+        let pages = vec![vec![(0u16, 1u64), (7, 2)], vec![], vec![(511, u64::MAX)]];
+        let enc = encode_diff_batch(PageId(40), &pages);
+        let dec = decode_diff_message(&enc);
+        assert_eq!(dec.len(), 3);
+        assert_eq!(dec[0], (PageId(40), pages[0].clone()));
+        assert_eq!(dec[1], (PageId(41), Vec::new()));
+        assert_eq!(dec[2], (PageId(42), pages[2].clone()));
+
+        // The single-page form decodes as a batch of one.
+        let single = encode_diff(PageId(9), &[(3, 4)]);
+        assert_eq!(
+            decode_diff_message(&single),
+            vec![(PageId(9), vec![(3u16, 4u64)])]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn empty_diff_batch_rejected() {
+        let _ = encode_diff_batch(PageId(0), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncated_diff_batch_rejected() {
+        let mut enc = encode_diff_batch(PageId(1), &[vec![(1, 2)], vec![(3, 4)]]);
+        enc.pop();
+        let _ = decode_diff_message(&enc);
+    }
+
+    #[test]
+    fn migration_grant_round_trip() {
+        assert_eq!(decode_migration_grant(&[]), None);
+        let snapshot = vec![0u8; 64];
+        let enc = encode_migration_grant(PageId(12), &snapshot);
+        assert_eq!(enc.len(), 72);
+        assert_eq!(decode_migration_grant(&enc), Some(PageId(12)));
     }
 
     #[test]

@@ -33,5 +33,5 @@ pub mod protocol;
 pub mod table;
 
 pub use page::{AdMode, PageData, PageFrame};
-pub use protocol::{AdaptiveParams, DsmSystem, Locality, ProtocolKind};
+pub use protocol::{AdaptiveParams, DsmSystem, Locality, ProtocolKind, TransportConfig};
 pub use table::DsmStore;

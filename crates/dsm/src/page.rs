@@ -111,8 +111,9 @@ impl PageData {
 /// The per-(node, page) replication state used by both protocols.
 #[derive(Debug)]
 pub struct PageFrame {
-    /// True if this node is the page's home (the reference copy).
-    home: bool,
+    /// True if this node is the page's home (the reference copy).  Atomic
+    /// because home migration may promote/demote a frame mid-run.
+    home: AtomicBool,
     /// True if the node currently holds a valid copy of the page.
     present: AtomicBool,
     /// True if the page is access-protected on this node (`java_pf` only:
@@ -143,15 +144,35 @@ pub struct PageFrame {
     /// one) in which the page was accessed at least once.  Used to gate the
     /// prefetch window of batched fetches on re-access stability.
     ad_epoch_streak: AtomicU64,
+    /// Split-transaction transport: virtual completion time (picoseconds) of
+    /// an in-flight fetch whose data is installed but whose latency has not
+    /// been charged yet.  Zero means no transaction is in flight.
+    inflight_completion_ps: AtomicU64,
+    /// Split-transaction transport: virtual issue time of the in-flight
+    /// fetch (valid only while `inflight_completion_ps` is non-zero).
+    inflight_issue_ps: AtomicU64,
+    /// Home migration (home frames only): Boyer–Moore majority candidate for
+    /// the dominant diff writer, stored as `writer + 1` (0 = none).
+    mig_candidate: AtomicU64,
+    /// Home migration: the candidate's current majority count.
+    mig_count: AtomicU64,
+    /// Home migration: consecutive-dominance count required before the next
+    /// grant; doubled after each migration of this page so a ping-ponging
+    /// page migrates geometrically less often.
+    mig_required: AtomicU64,
+    /// Home migration (home frames only): the home node itself wrote this
+    /// page since the migration vote last looked.  Home writes produce no
+    /// diffs, so without this flag the vote would migrate pages away from
+    /// homes that are in fact their busiest writers.
+    home_wrote: AtomicBool,
 }
 
 impl PageFrame {
-    /// Create the frame for a page on its home node: present, unprotected.
-    pub fn new_home() -> Self {
+    fn new(home: bool, present: bool, protected: bool) -> Self {
         PageFrame {
-            home: true,
-            present: AtomicBool::new(true),
-            protected: AtomicBool::new(false),
+            home: AtomicBool::new(home),
+            present: AtomicBool::new(present),
+            protected: AtomicBool::new(protected),
             data: OnceLock::new(),
             dirty: std::array::from_fn(|_| AtomicU64::new(0)),
             fetch_lock: Mutex::new(()),
@@ -161,7 +182,18 @@ impl PageFrame {
             ad_avg_accesses: AtomicU64::new(0),
             ad_prefetched: AtomicBool::new(false),
             ad_epoch_streak: AtomicU64::new(0),
+            inflight_completion_ps: AtomicU64::new(0),
+            inflight_issue_ps: AtomicU64::new(0),
+            mig_candidate: AtomicU64::new(0),
+            mig_count: AtomicU64::new(0),
+            mig_required: AtomicU64::new(0),
+            home_wrote: AtomicBool::new(false),
         }
+    }
+
+    /// Create the frame for a page on its home node: present, unprotected.
+    pub fn new_home() -> Self {
+        Self::new(true, true, false)
     }
 
     /// Create the frame for a page on a non-home node: absent and (for
@@ -169,26 +201,20 @@ impl PageFrame {
     /// state.  Under `java_ad` fresh remote frames start in [`AdMode::Check`]
     /// — the cheap technique for a page whose re-access density is unknown.
     pub fn new_remote() -> Self {
-        PageFrame {
-            home: false,
-            present: AtomicBool::new(false),
-            protected: AtomicBool::new(true),
-            data: OnceLock::new(),
-            dirty: std::array::from_fn(|_| AtomicU64::new(0)),
-            fetch_lock: Mutex::new(()),
-            ad_mode: AtomicU8::new(AdMode::Check.as_u8()),
-            ad_epoch_accesses: AtomicU64::new(0),
-            ad_last_epoch_accesses: AtomicU64::new(0),
-            ad_avg_accesses: AtomicU64::new(0),
-            ad_prefetched: AtomicBool::new(false),
-            ad_epoch_streak: AtomicU64::new(0),
-        }
+        Self::new(false, false, true)
     }
 
     /// True if this node is the page's home.
     #[inline]
     pub fn is_home(&self) -> bool {
-        self.home
+        self.home.load(Ordering::Acquire)
+    }
+
+    /// Flip the home flag of this frame (home migration).  Only the
+    /// migration path in the protocol engine may call this, and only while
+    /// the `DsmStore`'s home overlay is updated in the same step.
+    pub fn set_home(&self, home: bool) {
+        self.home.store(home, Ordering::Release);
     }
 
     /// True if the node holds a valid copy.
@@ -226,8 +252,11 @@ impl PageFrame {
     /// page-fault protocol the frame is also re-protected so the next access
     /// faults.  Home frames are never invalidated.
     pub fn invalidate(&self, reprotect: bool) {
-        debug_assert!(!self.home, "home frames are never invalidated");
+        debug_assert!(!self.is_home(), "home frames are never invalidated");
         self.present.store(false, Ordering::Release);
+        // A fetch still in flight for this copy is abandoned with it: the
+        // issue costs were already charged, and nobody will use the data.
+        self.inflight_completion_ps.store(0, Ordering::Release);
         if reprotect {
             self.protected.store(true, Ordering::Release);
         }
@@ -245,9 +274,20 @@ impl PageFrame {
     #[inline]
     pub fn store_slot(&self, slot: usize, value: u64) {
         self.data().store(slot, value);
-        if !self.home {
+        if !self.is_home() {
             self.dirty[slot / 64].fetch_or(1u64 << (slot % 64), Ordering::Relaxed);
+        } else {
+            self.home_wrote.store(true, Ordering::Relaxed);
         }
+    }
+
+    /// Apply one slot of a *remote* node's diff to this (home) frame.
+    /// Unlike [`PageFrame::store_slot`] this neither records a dirty bit
+    /// nor counts as a home write for the migration vote — it is the remote
+    /// writer's store, merely landing here.
+    #[inline]
+    pub fn apply_diff_slot(&self, slot: usize, value: u64) {
+        self.data().store(slot, value);
     }
 
     /// True if any slot has been modified since the last flush.
@@ -328,6 +368,141 @@ impl PageFrame {
             self.ad_epoch_streak.store(0, Ordering::Relaxed);
         }
         avg
+    }
+
+    // ----- split-transaction transport --------------------------------------
+
+    /// Record an in-flight fetch transaction: the data is installed, the
+    /// issue costs are charged, and the round-trip completes (in virtual
+    /// time) at `completion_ps`.  The first real use of the page consumes
+    /// the ticket via [`PageFrame::take_inflight`].
+    pub fn begin_inflight(&self, issue_ps: u64, completion_ps: u64) {
+        self.inflight_issue_ps.store(issue_ps, Ordering::Relaxed);
+        self.inflight_completion_ps
+            .store(completion_ps.max(1), Ordering::Release);
+    }
+
+    /// Consume the in-flight ticket, if any: returns
+    /// `(issue_ps, completion_ps)` exactly once per transaction.
+    pub fn take_inflight(&self) -> Option<(u64, u64)> {
+        // Fast path: nothing in flight (the common case on every access).
+        if self.inflight_completion_ps.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let completion = self.inflight_completion_ps.swap(0, Ordering::AcqRel);
+        if completion == 0 {
+            return None; // another thread completed it first
+        }
+        Some((self.inflight_issue_ps.load(Ordering::Relaxed), completion))
+    }
+
+    /// True if a split fetch for this frame has been issued but not yet
+    /// completed at a use site.
+    pub fn has_inflight(&self) -> bool {
+        self.inflight_completion_ps.load(Ordering::Acquire) != 0
+    }
+
+    // ----- home migration ----------------------------------------------------
+
+    /// Observe one release-time diff from `writer` at this (home) frame and
+    /// decide whether the page's home should migrate to that writer.
+    ///
+    /// Dominance is tracked with a Boyer–Moore majority vote over the
+    /// stream of incoming diffs: alternating writers cancel each other out
+    /// and never trigger a migration, while a writer that dominates the
+    /// recent diff traffic accumulates a count.  A grant requires the count
+    /// to reach `required_base`, doubled once per previous migration of this
+    /// page (exponential back-off against ping-ponging homes).
+    pub fn mig_observe_writer(&self, writer: u64, required_base: u64) -> bool {
+        if self.home_wrote.swap(false, Ordering::Relaxed) {
+            // The home wrote the page itself since the vote last looked: it
+            // is an active writer whose accesses are already free, so no
+            // remote writer can *dominate* right now.  Reset the vote — a
+            // grant requires a fully home-quiet dominance window, which is
+            // exactly the period (e.g. the home stuck in a long search
+            // subtree) where handing the page over cannot cost the home
+            // anything.
+            self.mig_candidate.store(0, Ordering::Relaxed);
+            self.mig_count.store(0, Ordering::Relaxed);
+            return false;
+        }
+        let tagged = writer + 1;
+        let candidate = self.mig_candidate.load(Ordering::Relaxed);
+        if candidate == tagged {
+            let count = self.mig_count.fetch_add(1, Ordering::Relaxed) + 1;
+            let required = self.mig_required.load(Ordering::Relaxed).max(required_base);
+            if count >= required {
+                // Grant: reset the vote and double the bar for next time.
+                self.mig_candidate.store(0, Ordering::Relaxed);
+                self.mig_count.store(0, Ordering::Relaxed);
+                self.mig_required
+                    .store(required.saturating_mul(2), Ordering::Relaxed);
+                return true;
+            }
+        } else if candidate == 0 || self.mig_count.load(Ordering::Relaxed) <= 1 {
+            self.mig_candidate.store(tagged, Ordering::Relaxed);
+            self.mig_count.store(1, Ordering::Relaxed);
+        } else {
+            self.mig_count.fetch_sub(1, Ordering::Relaxed);
+        }
+        false
+    }
+
+    /// The doubled-per-migration dominance requirement currently in force
+    /// for this page (0 until the first migration).
+    pub fn mig_required(&self) -> u64 {
+        self.mig_required.load(Ordering::Relaxed)
+    }
+
+    /// Carry the page's migration back-off over to this frame (called on
+    /// the new home frame when a migration grant promotes it, so the bar
+    /// keeps doubling no matter which node currently hosts the page).
+    pub fn mig_inherit_required(&self, required: u64) {
+        self.mig_required.fetch_max(required, Ordering::Relaxed);
+        self.mig_candidate.store(0, Ordering::Relaxed);
+        self.mig_count.store(0, Ordering::Relaxed);
+    }
+
+    /// Promote this frame to be the page's home, merging the previous home's
+    /// authoritative snapshot into it.
+    ///
+    /// Slots this node has modified since its last flush (still marked
+    /// dirty) keep their local — newer — values; every other slot takes the
+    /// snapshot value.  The dirty bitmap is cleared afterwards: a home frame
+    /// never flushes, its writes *are* main memory.
+    pub fn promote_to_home(&self, snapshot: &[u8]) {
+        assert_eq!(
+            snapshot.len(),
+            SLOTS_PER_PAGE * 8,
+            "page snapshot has the wrong length"
+        );
+        // Flip home first so concurrent writes stop recording dirty bits
+        // (their values are kept either way: dirty bits only ever make us
+        // prefer the local value).
+        self.home.store(true, Ordering::Release);
+        let data = self.data();
+        for (i, chunk) in snapshot.chunks_exact(8).enumerate() {
+            let word = &self.dirty[i / 64];
+            if word.load(Ordering::Relaxed) & (1u64 << (i % 64)) == 0 {
+                let v = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+                data.store(i, v);
+            }
+        }
+        for word in &self.dirty {
+            word.store(0, Ordering::Relaxed);
+        }
+        self.inflight_completion_ps.store(0, Ordering::Release);
+        self.protected.store(false, Ordering::Release);
+        self.present.store(true, Ordering::Release);
+    }
+
+    /// Demote this (former home) frame to an ordinary cached copy.  The data
+    /// stays valid — it was main memory an instant ago — so the node keeps
+    /// reading it for free until its next cache invalidation.
+    pub fn demote_from_home(&self) {
+        self.home.store(false, Ordering::Release);
+        self.protected.store(false, Ordering::Release);
+        self.present.store(true, Ordering::Release);
     }
 
     /// Collect and clear the dirty slots, returning `(slot, value)` pairs.

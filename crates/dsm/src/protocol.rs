@@ -30,17 +30,18 @@
 //! [`DsmSystem::update_main_memory`], [`DsmSystem::get`] and
 //! [`DsmSystem::put`].
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use hyperion_model::{CpuModel, DsmCostModel, NodeStats, ThreadClock};
+use hyperion_model::{CpuModel, DsmCostModel, NodeStats, ThreadClock, VTime};
 use hyperion_pm2::{
     Cluster, GlobalAddr, Node, NodeId, PageId, RpcHandler, RpcReply, ServiceId, SLOTS_PER_PAGE,
 };
 
 use crate::diff::{
-    decode_diff, decode_page_fetch_request, encode_diff, encode_page_batch_request,
-    encode_page_request,
+    decode_diff_message, decode_migration_grant, decode_page_fetch_request, encode_diff,
+    encode_diff_batch, encode_migration_grant, encode_page_batch_request, encode_page_request,
+    DiffEntry,
 };
 use crate::page::{AdMode, PageFrame};
 use crate::table::DsmStore;
@@ -108,6 +109,13 @@ pub struct AdaptiveParams {
     /// Consecutive re-accessed epochs a page needs before history-driven
     /// prefetching may pull it into a neighbour's batch.
     pub min_prefetch_streak: u64,
+    /// Adapt the `hi`/`lo` thresholds online, per node, from the measured
+    /// switch and waste counters: a node whose pages flap between the two
+    /// techniques widens its own hysteresis band (up to 8× the configured
+    /// multiples), and a node that has stopped mispredicting relaxes back
+    /// towards them.  Off by default — the static thresholds are what the
+    /// ablation benchmarks sweep.
+    pub online_thresholds: bool,
 }
 
 impl Default for AdaptiveParams {
@@ -117,6 +125,67 @@ impl Default for AdaptiveParams {
             lo_multiple: 0.5,
             max_batch_pages: 8,
             min_prefetch_streak: 3,
+            online_thresholds: false,
+        }
+    }
+}
+
+/// Configuration of the split-transaction transport layer: how the wire
+/// path overlaps with compute and how write-shared pages are re-homed.
+///
+/// All three mechanisms are semantics-preserving — they change when latency
+/// is charged and how many RPCs carry the same bytes, never what a program
+/// computes — so they apply to every protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransportConfig {
+    /// Overlapped page fetches: an explicit prefetch (`loadIntoCache`) and
+    /// every speculative batch rider issue their RPC immediately but record
+    /// an in-flight ticket; the requester keeps computing and pays only the
+    /// *residual* latency when the page is first really used.  Off by
+    /// default (the paper's transport blocks on every fetch).
+    pub overlapped_fetches: bool,
+    /// Largest number of contiguous same-home dirty pages one diff-flush
+    /// RPC may carry at `updateMainMemory`; 1 disables batched flushing.
+    pub max_flush_batch_pages: usize,
+    /// Migrate a page's home to the writer that dominates its release-time
+    /// diff traffic, turning that writer's per-release diff RPC into plain
+    /// local stores.  Off by default.
+    pub home_migration: bool,
+    /// Majority count (Boyer–Moore vote over incoming diffs) a non-home
+    /// writer must reach before the home migrates to it.  Doubled per page
+    /// after each migration, so ping-ponging homes back off geometrically.
+    pub migration_streak: u32,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            overlapped_fetches: false,
+            max_flush_batch_pages: 8,
+            home_migration: false,
+            migration_streak: 3,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// The paper's blocking transport: no overlap, no flush batching, no
+    /// home migration.
+    pub fn blocking() -> Self {
+        TransportConfig {
+            overlapped_fetches: false,
+            max_flush_batch_pages: 1,
+            home_migration: false,
+            migration_streak: 3,
+        }
+    }
+
+    /// Every latency-hiding mechanism enabled.
+    pub fn latency_hiding() -> Self {
+        TransportConfig {
+            overlapped_fetches: true,
+            home_migration: true,
+            ..TransportConfig::default()
         }
     }
 }
@@ -209,15 +278,20 @@ impl RpcHandler for PageFetchService {
         let mut bytes = Vec::with_capacity(PAGE_BYTES * count as usize);
         for k in 0..count as u64 {
             let page = PageId(first.0 + k);
-            debug_assert_eq!(
-                self.store.home_of(page),
-                target.id(),
+            // Serve the *current* home's copy: normally that is `target`,
+            // but a concurrent home migration may have moved the page after
+            // the caller looked its home up, in which case the old home
+            // forwards the authoritative frame (the shared store gives the
+            // modelled handler direct access to it).
+            let home_now = self.store.home_of(page);
+            debug_assert!(
+                home_now == target.id() || self.store.page_migrated(page),
                 "page fetch sent to a node that is not the page's home"
             );
             bytes.extend_from_slice(
                 &self
                     .store
-                    .with_frame(target.id(), page, |f| f.data().snapshot_bytes()),
+                    .with_frame(home_now, page, |f| f.data().snapshot_bytes()),
             );
         }
         let service = self.cpu.cycles(
@@ -232,31 +306,74 @@ impl RpcHandler for PageFetchService {
     }
 }
 
-/// RPC service: apply a field-granularity diff to a home page.
+/// RPC service: apply one or more field-granularity diffs to home pages,
+/// and — when home migration is enabled — hand the home of a write-shared
+/// page over to the writer that dominates its diff traffic.
 struct DiffApplyService {
     store: Arc<DsmStore>,
     cpu: CpuModel,
     dsm: DsmCostModel,
+    transport: TransportConfig,
 }
 
 impl RpcHandler for DiffApplyService {
-    fn handle(&self, target: &Node, _caller: NodeId, payload: &[u8]) -> RpcReply {
-        let (page, entries) = decode_diff(payload);
-        debug_assert_eq!(
-            self.store.home_of(page),
-            target.id(),
-            "diff sent to a node that is not the page's home"
-        );
-        self.store.with_frame(target.id(), page, |f| {
-            debug_assert!(f.is_home());
-            for &(slot, value) in &entries {
-                f.store_slot(slot as usize, value);
+    fn handle(&self, target: &Node, caller: NodeId, payload: &[u8]) -> RpcReply {
+        let diffs = decode_diff_message(payload);
+        let mut slots = 0usize;
+        let mut grant: Option<(PageId, Vec<u8>)> = None;
+        for (page, entries) in &diffs {
+            slots += entries.len();
+            // Apply to the *current* home frame (see `PageFetchService` on
+            // why this may differ from `target` under concurrent migration).
+            let home_now = self.store.home_of(*page);
+            debug_assert!(
+                home_now == target.id() || self.store.page_migrated(*page),
+                "diff sent to a node that is not the page's home"
+            );
+            let migrate = self.store.with_frame(home_now, *page, |f| {
+                debug_assert!(f.is_home() || self.store.page_migrated(*page));
+                for &(slot, value) in entries {
+                    f.apply_diff_slot(slot as usize, value);
+                }
+                // Migration decision: one grant per message at most, only
+                // for genuinely remote writers, and only when the writer
+                // dominates the page's recent diff stream.
+                self.transport.home_migration
+                    && grant.is_none()
+                    && caller != home_now
+                    && f.mig_observe_writer(caller.0 as u64, self.transport.migration_streak as u64)
+            });
+            if migrate {
+                // Execute the hand-over while still inside the handler so no
+                // fetch can observe a half-migrated page: promote the
+                // writer's frame from the authoritative snapshot (keeping
+                // any newer local writes it has pending), then re-route the
+                // home and demote the old home to an ordinary cached copy.
+                let (snapshot, back_off) = self.store.with_frame(home_now, *page, |f| {
+                    (f.data().snapshot_bytes(), f.mig_required())
+                });
+                self.store.with_frame(caller, *page, |f| {
+                    f.promote_to_home(&snapshot);
+                    f.mig_inherit_required(back_off);
+                });
+                self.store.set_home(*page, caller);
+                self.store
+                    .with_frame(home_now, *page, |f| f.demote_from_home());
+                grant = Some((*page, snapshot));
             }
-        });
-        let service = self
-            .cpu
-            .cycles(self.dsm.diff_apply_cycles_per_slot * entries.len() as f64);
-        RpcReply::ack(service)
+        }
+        let service = self.cpu.cycles(
+            self.dsm.diff_apply_cycles_per_slot * slots as f64
+                + self.dsm.batch_flush_cycles * (diffs.len() - 1) as f64,
+        );
+        match grant {
+            // The grant reply carries the page snapshot so shipping the
+            // authoritative copy to the new home is charged on the wire.
+            Some((page, snapshot)) => {
+                RpcReply::with_data(encode_migration_grant(page, &snapshot), service)
+            }
+            None => RpcReply::ack(service),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -264,12 +381,34 @@ impl RpcHandler for DiffApplyService {
     }
 }
 
+/// Per-node online-adaptive threshold state (see
+/// [`AdaptiveParams::online_thresholds`]): the node's current `hi`/`lo`
+/// marks plus the counter snapshots of the current observation window.
+#[derive(Debug, Default)]
+struct NodeTuning {
+    hi: AtomicU64,
+    lo: AtomicU64,
+    window_epochs: AtomicU64,
+    switches_base: AtomicU64,
+    waste_base: AtomicU64,
+}
+
+/// Invalidation episodes per online-threshold observation window.
+const TUNING_WINDOW: u64 = 8;
+
+/// The widest the online tuner may stretch the hysteresis band, as a
+/// multiple of the configured thresholds.
+const TUNING_SPAN: u64 = 8;
+
 /// The DSM system of one cluster run: the protocol engine plus its services.
 pub struct DsmSystem {
     cluster: Arc<Cluster>,
     store: Arc<DsmStore>,
     kind: ProtocolKind,
     ad: AdaptiveTuning,
+    online: bool,
+    tuning: Vec<NodeTuning>,
+    transport: TransportConfig,
     page_fetch: ServiceId,
     diff_apply: ServiceId,
 }
@@ -285,16 +424,36 @@ impl DsmSystem {
 
     /// Build a DSM system with explicit adaptive-protocol parameters (they
     /// are resolved against the cluster's machine model and ignored by
-    /// `java_ic` / `java_pf`).
+    /// `java_ic` / `java_pf`) and the default transport.
     pub fn with_params(
         cluster: Arc<Cluster>,
         store: Arc<DsmStore>,
         kind: ProtocolKind,
         params: &AdaptiveParams,
     ) -> Arc<Self> {
+        Self::with_config(cluster, store, kind, params, &TransportConfig::default())
+    }
+
+    /// Build a DSM system with explicit adaptive-protocol parameters and an
+    /// explicit transport configuration.
+    pub fn with_config(
+        cluster: Arc<Cluster>,
+        store: Arc<DsmStore>,
+        kind: ProtocolKind,
+        params: &AdaptiveParams,
+        transport: &TransportConfig,
+    ) -> Arc<Self> {
         let cpu = cluster.machine().cpu.clone();
         let dsm = cluster.machine().dsm.clone();
         let ad = AdaptiveTuning::resolve(params, cluster.machine().adaptive_break_even());
+        let tuning = (0..cluster.num_nodes())
+            .map(|_| {
+                let t = NodeTuning::default();
+                t.hi.store(ad.hi, Ordering::Relaxed);
+                t.lo.store(ad.lo, Ordering::Relaxed);
+                t
+            })
+            .collect();
         let page_fetch = cluster.register_service(Arc::new(PageFetchService {
             store: Arc::clone(&store),
             cpu: cpu.clone(),
@@ -304,12 +463,16 @@ impl DsmSystem {
             store: Arc::clone(&store),
             cpu,
             dsm,
+            transport: transport.clone(),
         }));
         Arc::new(DsmSystem {
             cluster,
             store,
             kind,
             ad,
+            online: params.online_thresholds,
+            tuning,
+            transport: transport.clone(),
             page_fetch,
             diff_apply,
         })
@@ -323,8 +486,23 @@ impl DsmSystem {
 
     /// The resolved `java_ad` switching thresholds `(hi, lo)` in absolute
     /// accesses-per-epoch (for tests, tools and the ablation benchmarks).
+    /// These are the *configured* marks; with online tuning a node's current
+    /// marks may differ — see [`DsmSystem::adaptive_thresholds_on`].
     pub fn adaptive_thresholds(&self) -> (u64, u64) {
         (self.ad.hi, self.ad.lo)
+    }
+
+    /// The `hi`/`lo` marks node `node` currently switches on (equal to
+    /// [`DsmSystem::adaptive_thresholds`] unless online tuning has moved
+    /// them).
+    pub fn adaptive_thresholds_on(&self, node: NodeId) -> (u64, u64) {
+        let t = &self.tuning[node.index()];
+        (t.hi.load(Ordering::Relaxed), t.lo.load(Ordering::Relaxed))
+    }
+
+    /// The transport configuration of this system.
+    pub fn transport(&self) -> &TransportConfig {
+        &self.transport
     }
 
     /// The cluster this system runs on.
@@ -472,7 +650,7 @@ impl DsmSystem {
                 // page's epoch statistics alone.  The mprotect that opens
                 // the page is only due if the page was protection-detected.
                 let unprotect = frame.ad_mode() == AdMode::Protect;
-                self.fetch_page_adaptive(node, node_ref, clock, page, &frame, unprotect, 1);
+                self.fetch_page_adaptive(node, node_ref, clock, page, &frame, unprotect, 1, false);
             }
             _ => self.fetch_page(
                 node,
@@ -481,7 +659,52 @@ impl DsmSystem {
                 page,
                 &frame,
                 self.kind == ProtocolKind::JavaPf,
+                false,
             ),
+        }
+    }
+
+    /// Prefetch every absent page of the `pages` consecutive pages starting
+    /// at `first`: the span form of [`DsmSystem::load_into_cache`].
+    ///
+    /// The whole span is *certain* to be touched (the caller said so), so
+    /// under `java_ad` the remaining span rides along in batched fetches on
+    /// certainty alone — history speculation is suppressed, because piling
+    /// speculative riders onto an explicit prefetch would compound two
+    /// guesses and inflate page traffic the program never asked for.
+    pub fn prefetch_span(&self, node: NodeId, clock: &mut ThreadClock, first: PageId, pages: u64) {
+        let node_ref = self.cluster.node(node);
+        for k in 0..pages {
+            let page = PageId(first.0 + k);
+            let frame = self.store.frame(node, page);
+            if frame.is_home() || (frame.is_present() && !frame.is_protected()) {
+                continue;
+            }
+            match self.kind {
+                ProtocolKind::JavaAd => {
+                    let unprotect = frame.ad_mode() == AdMode::Protect;
+                    self.fetch_page_adaptive_inner(
+                        node,
+                        node_ref,
+                        clock,
+                        page,
+                        &frame,
+                        unprotect,
+                        (pages - k) as usize,
+                        false,
+                        false,
+                    );
+                }
+                _ => self.fetch_page(
+                    node,
+                    node_ref,
+                    clock,
+                    page,
+                    &frame,
+                    self.kind == ProtocolKind::JavaPf,
+                    false,
+                ),
+            }
         }
     }
 
@@ -497,6 +720,13 @@ impl DsmSystem {
         NodeStats::bump(&node_ref.stats.cache_invalidations);
 
         let adaptive = self.kind == ProtocolKind::JavaAd;
+        // With online tuning the node switches on its own current marks;
+        // otherwise on the configured ones.
+        let (hi, lo) = if adaptive && self.online {
+            self.adaptive_thresholds_on(node)
+        } else {
+            (self.ad.hi, self.ad.lo)
+        };
         let mut cached: Vec<(PageId, Arc<PageFrame>)> = Vec::new();
         let mut switches = 0u64;
         let mut wasted = 0u64;
@@ -517,11 +747,11 @@ impl DsmSystem {
                     wasted += 1;
                 }
                 match frame.ad_mode() {
-                    AdMode::Check if avg >= self.ad.hi => {
+                    AdMode::Check if avg >= hi => {
                         frame.ad_set_mode(AdMode::Protect);
                         switches += 1;
                     }
-                    AdMode::Protect if avg <= self.ad.lo => {
+                    AdMode::Protect if avg <= lo => {
                         frame.ad_set_mode(AdMode::Check);
                         switches += 1;
                     }
@@ -541,15 +771,26 @@ impl DsmSystem {
         if wasted > 0 {
             NodeStats::bump_by(&node_ref.stats.pages_prefetch_wasted, wasted);
         }
+        if adaptive && self.online {
+            self.tune_thresholds(node, node_ref);
+        }
         if cached.is_empty() {
             return;
         }
 
-        // Flush any pending modifications before dropping the copies.
-        for (page, frame) in &cached {
-            if frame.has_dirty_slots() {
-                self.flush_frame(node, node_ref, clock, *page, frame);
-            }
+        // Flush any pending modifications before dropping the copies
+        // (batched like `updateMainMemory`'s flush).
+        let dirty: Vec<(PageId, Arc<PageFrame>)> = cached
+            .iter()
+            .filter(|(_, frame)| frame.has_dirty_slots())
+            .map(|(page, frame)| (*page, Arc::clone(frame)))
+            .collect();
+        self.flush_frames(node, node_ref, clock, &dirty);
+        // A migration grant may have promoted one of these frames to home
+        // mid-invalidation; re-filter so the new main-memory copy survives.
+        cached.retain(|(_, frame)| !frame.is_home());
+        if cached.is_empty() {
+            return;
         }
 
         let mut reprotected = false;
@@ -591,9 +832,7 @@ impl DsmSystem {
                 dirty.push((page, self.store.frame(node, page)));
             }
         });
-        for (page, frame) in dirty {
-            self.flush_frame(node, node_ref, clock, page, &frame);
-        }
+        self.flush_frames(node, node_ref, clock, &dirty);
     }
 
     /// True if `node` currently holds an accessible copy of `page`.
@@ -631,13 +870,17 @@ impl DsmSystem {
         frame: &PageFrame,
         bulk_pages: usize,
     ) {
+        // First real use of an overlapped fetch completes the transaction:
+        // merge the completion timestamp (the residual latency) before the
+        // access proceeds.
+        self.complete_inflight(node_ref, clock, frame);
         match self.kind {
             ProtocolKind::JavaIc => {
                 // Every access pays the in-line locality check, local or not.
                 NodeStats::bump(&node_ref.stats.locality_checks);
                 clock.advance(self.cluster.machine().cpu.locality_check());
                 if !frame.is_home() && !frame.is_present() {
-                    self.fetch_page(node, node_ref, clock, page, frame, false);
+                    self.fetch_page(node, node_ref, clock, page, frame, false, true);
                 }
             }
             ProtocolKind::JavaPf => {
@@ -649,7 +892,7 @@ impl DsmSystem {
                 // the page for subsequent accesses.
                 NodeStats::bump(&node_ref.stats.page_faults);
                 clock.advance(self.cluster.machine().dsm.page_fault);
-                self.fetch_page(node, node_ref, clock, page, frame, true);
+                self.fetch_page(node, node_ref, clock, page, frame, true, true);
             }
             ProtocolKind::JavaAd => {
                 if frame.is_home() {
@@ -666,7 +909,7 @@ impl DsmSystem {
                         clock.advance(self.cluster.machine().cpu.locality_check());
                         if !frame.is_present() {
                             self.fetch_page_adaptive(
-                                node, node_ref, clock, page, frame, false, bulk_pages,
+                                node, node_ref, clock, page, frame, false, bulk_pages, true,
                             );
                         }
                     }
@@ -678,7 +921,7 @@ impl DsmSystem {
                         NodeStats::bump(&node_ref.stats.page_faults);
                         clock.advance(self.cluster.machine().dsm.page_fault);
                         self.fetch_page_adaptive(
-                            node, node_ref, clock, page, frame, true, bulk_pages,
+                            node, node_ref, clock, page, frame, true, bulk_pages, true,
                         );
                     }
                 }
@@ -687,6 +930,13 @@ impl DsmSystem {
     }
 
     /// Bring a page into the local cache from its home node.
+    ///
+    /// `demand` distinguishes a fetch triggered by an access (the access is
+    /// the first use, so the transaction completes on the spot and the full
+    /// round trip is charged, exactly as the blocking transport does) from
+    /// an explicit prefetch, which under the overlapped transport records an
+    /// in-flight ticket and lets the caller keep computing.
+    #[allow(clippy::too_many_arguments)]
     fn fetch_page(
         &self,
         node: NodeId,
@@ -695,6 +945,7 @@ impl DsmSystem {
         page: PageId,
         frame: &PageFrame,
         unprotect_after: bool,
+        demand: bool,
     ) {
         let guard = frame.fetch_lock().lock();
         if frame.is_present() && !frame.is_protected() {
@@ -706,15 +957,42 @@ impl DsmSystem {
         NodeStats::bump(&node_ref.stats.page_loads);
         let home = self.store.home_of(page);
         let payload = encode_page_request(page);
-        let bytes = self
-            .cluster
-            .rpc(clock, node, home, self.page_fetch, &payload);
+        let machine = self.cluster.machine();
+        let (bytes, mut completion) =
+            self.cluster
+                .rpc_split(clock, node, home, self.page_fetch, &payload);
+        // Hidden latency is measured from the end of the issue path: that is
+        // the instant a blocking transport would have started stalling.
+        let issue = clock.now();
+        if frame.is_home() {
+            // A concurrent migration grant promoted this frame to home while
+            // the fetch was in flight: the frame already holds the
+            // authoritative copy, so installing the (pre-migration) snapshot
+            // would erase newer home writes.  Keep the round trip charged —
+            // it really happened — and drop the stale bytes.
+            drop(guard);
+            clock.merge(completion);
+            return;
+        }
         frame.install_copy(&bytes);
-        drop(guard);
 
         if unprotect_after {
             NodeStats::bump(&node_ref.stats.mprotect_calls);
-            clock.advance(self.cluster.machine().dsm.mprotect_call);
+        }
+        if demand || !self.transport.overlapped_fetches {
+            drop(guard);
+            clock.merge(completion);
+            if unprotect_after {
+                clock.advance(machine.dsm.mprotect_call);
+            }
+        } else {
+            // The mprotect that opens the page happens when the copy lands,
+            // so it extends the transaction rather than the issue path.
+            if unprotect_after {
+                completion += machine.dsm.mprotect_call;
+            }
+            frame.begin_inflight(issue.as_ps(), completion.as_ps());
+            drop(guard);
         }
     }
 
@@ -738,6 +1016,35 @@ impl DsmSystem {
         frame: &PageFrame,
         unprotect_after: bool,
         bulk_pages: usize,
+        demand: bool,
+    ) {
+        self.fetch_page_adaptive_inner(
+            node,
+            node_ref,
+            clock,
+            page,
+            frame,
+            unprotect_after,
+            bulk_pages,
+            demand,
+            true,
+        );
+    }
+
+    /// [`DsmSystem::fetch_page_adaptive`] with explicit control over
+    /// history-driven speculation (suppressed by span prefetches).
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_page_adaptive_inner(
+        &self,
+        node: NodeId,
+        node_ref: &Node,
+        clock: &mut ThreadClock,
+        page: PageId,
+        frame: &PageFrame,
+        unprotect_after: bool,
+        bulk_pages: usize,
+        demand: bool,
+        speculate: bool,
     ) {
         let guard = frame.fetch_lock().lock();
         if frame.is_present() && !frame.is_protected() {
@@ -760,7 +1067,7 @@ impl DsmSystem {
             .pages_prefetch_speculative
             .load(Ordering::Relaxed);
         let waste = node_ref.stats.pages_prefetch_wasted.load(Ordering::Relaxed);
-        let may_speculate = waste.saturating_mul(16) <= speculated.max(16);
+        let may_speculate = speculate && waste.saturating_mul(16) <= speculated.max(16);
 
         // Candidate phase: grow the contiguous window page by page.
         let num_pages = self.store.allocator().num_pages();
@@ -809,11 +1116,19 @@ impl DsmSystem {
             clock.advance(machine.batch_request_overhead((count - 1) as u64));
             encode_page_batch_request(page, count as u32)
         };
-        let bytes = self
-            .cluster
-            .rpc(clock, node, home, self.page_fetch, &payload);
+        let (bytes, wire_completion) =
+            self.cluster
+                .rpc_split(clock, node, home, self.page_fetch, &payload);
+        let issue = clock.now();
         assert_eq!(bytes.len(), PAGE_BYTES * count, "batched fetch reply size");
-        frame.install_copy(&bytes[0..PAGE_BYTES]);
+        // A concurrent migration grant may have promoted any frame of the
+        // run to home while the fetch was in flight; such a frame already
+        // holds the authoritative copy and must not be overwritten with the
+        // pre-migration snapshot (see `fetch_page`).
+        let promoted = frame.is_home();
+        if !promoted {
+            frame.install_copy(&bytes[0..PAGE_BYTES]);
+        }
         // Installing a rider that was protection-detected clears its access
         // protection, which costs an mprotect just as the demanded page's
         // fault path does — without it java_ad's modeled cost would be
@@ -821,6 +1136,9 @@ impl DsmSystem {
         let mut riders_protected = false;
         let mut speculative_riders = 0u64;
         for (i, (qf, speculative)) in candidates.iter().take(batch).enumerate() {
+            if qf.is_home() {
+                continue;
+            }
             riders_protected |= qf.ad_mode() == AdMode::Protect;
             qf.install_copy(&bytes[(i + 1) * PAGE_BYTES..(i + 2) * PAGE_BYTES]);
             if *speculative {
@@ -834,42 +1152,171 @@ impl DsmSystem {
                 speculative_riders,
             );
         }
-        drop(guards);
-        drop(guard);
 
-        if unprotect_after || riders_protected {
+        let needs_mprotect = unprotect_after || riders_protected;
+        if needs_mprotect {
             // One mprotect call opens the whole contiguous run.
             NodeStats::bump(&node_ref.stats.mprotect_calls);
-            clock.advance(machine.dsm.mprotect_call);
+        }
+        let overlapped = self.transport.overlapped_fetches;
+        if demand || !overlapped {
+            clock.merge(wire_completion);
+            if needs_mprotect {
+                clock.advance(machine.dsm.mprotect_call);
+            }
+            if overlapped {
+                // The demanded page completed here, but its riders are live
+                // split transactions finishing with this batch.  The thread
+                // stalled for the whole round trip on the demanded page, so
+                // the riders hid nothing — their tickets carry `done` as
+                // both issue and completion (zero residual, zero hidden),
+                // and only make a slower thread that touches a rider first
+                // wait until the batch had actually arrived.
+                let done = clock.now();
+                for (qf, _) in candidates.iter().take(batch) {
+                    if !qf.is_home() {
+                        qf.begin_inflight(done.as_ps(), done.as_ps());
+                    }
+                }
+            }
+        } else {
+            let completion = if needs_mprotect {
+                wire_completion + machine.dsm.mprotect_call
+            } else {
+                wire_completion
+            };
+            if !promoted {
+                frame.begin_inflight(issue.as_ps(), completion.as_ps());
+            }
+            for (qf, _) in candidates.iter().take(batch) {
+                if !qf.is_home() {
+                    qf.begin_inflight(issue.as_ps(), completion.as_ps());
+                }
+            }
+        }
+        drop(guards);
+        drop(guard);
+    }
+
+    /// Complete an in-flight split fetch transaction on its first real use:
+    /// merge the completion timestamp (charging the residual latency) and
+    /// account the part of the round trip that compute already covered.
+    fn complete_inflight(&self, node_ref: &Node, clock: &mut ThreadClock, frame: &PageFrame) {
+        let Some((issue_ps, completion_ps)) = frame.take_inflight() else {
+            return;
+        };
+        let hidden_ps = clock
+            .now()
+            .as_ps()
+            .min(completion_ps)
+            .saturating_sub(issue_ps);
+        if hidden_ps > 0 {
+            let cycles = hidden_ps as f64 / self.cluster.machine().cpu.ps_per_cycle();
+            NodeStats::bump_by(
+                &node_ref.stats.fetch_overlap_cycles_hidden,
+                (cycles as u64).max(1),
+            );
+        }
+        clock.merge(VTime::from_ps(completion_ps));
+    }
+
+    /// Online threshold tuning (see [`AdaptiveParams::online_thresholds`]):
+    /// every [`TUNING_WINDOW`] invalidation episodes, look at how many
+    /// detection-mode switches and wasted prefetches the node accumulated.
+    /// A flapping or mispredicting node doubles its `hi` mark and halves its
+    /// `lo` mark — demanding much stronger evidence before the next switch —
+    /// bounded to [`TUNING_SPAN`]× the configured band; a clean window
+    /// relaxes the marks halfway back towards the configured ones.
+    fn tune_thresholds(&self, node: NodeId, node_ref: &Node) {
+        let t = &self.tuning[node.index()];
+        let epochs = t.window_epochs.fetch_add(1, Ordering::Relaxed) + 1;
+        if epochs < TUNING_WINDOW {
+            return;
+        }
+        t.window_epochs.store(0, Ordering::Relaxed);
+        let switches_now = node_ref.stats.protocol_switches.load(Ordering::Relaxed);
+        let waste_now = node_ref.stats.pages_prefetch_wasted.load(Ordering::Relaxed);
+        let d_switches =
+            switches_now.saturating_sub(t.switches_base.swap(switches_now, Ordering::Relaxed));
+        let d_waste = waste_now.saturating_sub(t.waste_base.swap(waste_now, Ordering::Relaxed));
+        let (hi0, lo0) = (self.ad.hi, self.ad.lo);
+        let hi = t.hi.load(Ordering::Relaxed);
+        let lo = t.lo.load(Ordering::Relaxed);
+        // The EWMA smoothing already caps how fast a single page can flap
+        // (crossing both marks takes ≥ 4 epochs), so even two switches per
+        // window is sustained mode churn rather than one-off adaptation.
+        if d_switches >= TUNING_WINDOW / 4 || d_waste >= TUNING_WINDOW {
+            let new_hi = (hi.saturating_mul(2)).min(hi0.saturating_mul(TUNING_SPAN));
+            let new_lo = (lo / 2).max(lo0 / TUNING_SPAN);
+            t.hi.store(new_hi, Ordering::Relaxed);
+            t.lo.store(new_lo.min(new_hi - 1), Ordering::Relaxed);
+        } else if d_switches == 0 && d_waste == 0 && (hi != hi0 || lo != lo0) {
+            let new_hi = hi0 + (hi - hi0) / 2;
+            let new_lo = lo + (lo0.saturating_sub(lo)).div_ceil(2);
+            t.hi.store(new_hi, Ordering::Relaxed);
+            t.lo.store(new_lo.min(new_hi - 1), Ordering::Relaxed);
         }
     }
 
-    /// Send one page's dirty slots to its home node and clear the bitmap.
-    fn flush_frame(
+    /// Flush the dirty slots of `dirty` (page-id ordered) to their home
+    /// nodes, coalescing runs of contiguous same-home pages into one diff
+    /// RPC (up to [`TransportConfig::max_flush_batch_pages`]) exactly like
+    /// batched page fetches coalesce the opposite direction.
+    fn flush_frames(
         &self,
         node: NodeId,
         node_ref: &Node,
         clock: &mut ThreadClock,
-        page: PageId,
-        frame: &PageFrame,
+        dirty: &[(PageId, Arc<PageFrame>)],
     ) {
-        let entries = frame.take_dirty();
-        if entries.is_empty() {
-            return;
-        }
         let machine = self.cluster.machine();
-        NodeStats::bump(&node_ref.stats.diff_messages);
-        NodeStats::bump_by(&node_ref.stats.diff_slots_flushed, entries.len() as u64);
-        clock.advance(
-            machine
-                .cpu
-                .cycles(machine.dsm.diff_record_cycles_per_slot * entries.len() as f64),
-        );
-        let home = self.store.home_of(page);
-        let payload = encode_diff(page, &entries);
-        let _ = self
-            .cluster
-            .rpc(clock, node, home, self.diff_apply, &payload);
+        let max_batch = self.transport.max_flush_batch_pages.max(1);
+        let mut i = 0usize;
+        while i < dirty.len() {
+            let (first, _) = dirty[i];
+            let home = self.store.home_of(first);
+            let mut j = i + 1;
+            while j < dirty.len()
+                && j - i < max_batch
+                && dirty[j].0 .0 == first.0 + (j - i) as u64
+                && self.store.home_of(dirty[j].0) == home
+            {
+                j += 1;
+            }
+            let per_page: Vec<Vec<DiffEntry>> =
+                dirty[i..j].iter().map(|(_, f)| f.take_dirty()).collect();
+            let slots: usize = per_page.iter().map(Vec::len).sum();
+            if slots == 0 {
+                // Every page in the run was flushed by someone else already.
+                i = j;
+                continue;
+            }
+            let pages = per_page.len();
+            NodeStats::bump(&node_ref.stats.diff_messages);
+            NodeStats::bump_by(&node_ref.stats.diff_slots_flushed, slots as u64);
+            clock.advance(
+                machine
+                    .cpu
+                    .cycles(machine.dsm.diff_record_cycles_per_slot * slots as f64),
+            );
+            let payload = if pages == 1 {
+                encode_diff(first, &per_page[0])
+            } else {
+                NodeStats::bump(&node_ref.stats.batched_flushes);
+                clock.advance(machine.batch_flush_overhead((pages - 1) as u64));
+                encode_diff_batch(first, &per_page)
+            };
+            NodeStats::bump_by(&node_ref.stats.diff_bytes, payload.len() as u64);
+            let reply = self
+                .cluster
+                .rpc(clock, node, home, self.diff_apply, &payload);
+            if decode_migration_grant(&reply).is_some() {
+                // The home handler promoted this node's frame already; the
+                // grant reply is the accounting record of the hand-over.
+                NodeStats::bump(&node_ref.stats.pages_migrated);
+            }
+            i = j;
+        }
     }
 }
 
@@ -886,7 +1333,7 @@ impl std::fmt::Debug for DsmSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hyperion_model::{myrinet_200, VTime};
+    use hyperion_model::myrinet_200;
     use hyperion_pm2::IsoAllocator;
 
     struct Fixture {
@@ -896,10 +1343,24 @@ mod tests {
     }
 
     fn fixture(nodes: usize, kind: ProtocolKind) -> Fixture {
+        fixture_with(
+            nodes,
+            kind,
+            &AdaptiveParams::default(),
+            &TransportConfig::default(),
+        )
+    }
+
+    fn fixture_with(
+        nodes: usize,
+        kind: ProtocolKind,
+        params: &AdaptiveParams,
+        transport: &TransportConfig,
+    ) -> Fixture {
         let cluster = Cluster::new(myrinet_200().machine, nodes);
         let alloc = Arc::new(IsoAllocator::new(nodes));
         let store = DsmStore::new(Arc::clone(&alloc), nodes);
-        let dsm = DsmSystem::new(Arc::clone(&cluster), store, kind);
+        let dsm = DsmSystem::with_config(Arc::clone(&cluster), store, kind, params, transport);
         Fixture {
             cluster,
             alloc,
@@ -1478,6 +1939,7 @@ mod tests {
             lo_multiple: 0.25,
             max_batch_pages: 1,
             min_prefetch_streak: 2,
+            online_thresholds: false,
         };
         let dsm = DsmSystem::with_params(cluster, store, ProtocolKind::JavaAd, &tuned);
         let n_star = myrinet_200().machine.adaptive_break_even();
@@ -1489,5 +1951,333 @@ mod tests {
         let defaults = AdaptiveParams::default();
         assert_eq!(defaults.hi_multiple, 1.0);
         assert!(defaults.lo_multiple < defaults.hi_multiple);
+    }
+
+    // ----- split-transaction transport --------------------------------------
+
+    #[test]
+    fn overlapped_prefetch_hides_latency_behind_compute() {
+        let overlapped = TransportConfig {
+            overlapped_fetches: true,
+            ..TransportConfig::default()
+        };
+        for kind in ProtocolKind::all_extended() {
+            let blocking = fixture(2, kind);
+            let split = fixture_with(2, kind, &AdaptiveParams::default(), &overlapped);
+            let a_b = blocking.alloc.alloc(8, NodeId(1));
+            let a_s = split.alloc.alloc(8, NodeId(1));
+            blocking
+                .dsm
+                .put(NodeId(1), &mut ThreadClock::new(), a_b, 11);
+            split.dsm.put(NodeId(1), &mut ThreadClock::new(), a_s, 11);
+
+            // Prefetch, then compute for a while, then use the value.
+            let compute = VTime::from_us(20);
+            let mut c_b = ThreadClock::new();
+            blocking
+                .dsm
+                .load_into_cache(NodeId(0), &mut c_b, a_b.page());
+            c_b.advance(compute);
+            assert_eq!(blocking.dsm.get(NodeId(0), &mut c_b, a_b), 11);
+
+            let mut c_s = ThreadClock::new();
+            split.dsm.load_into_cache(NodeId(0), &mut c_s, a_s.page());
+            c_s.advance(compute);
+            assert_eq!(split.dsm.get(NodeId(0), &mut c_s, a_s), 11, "{kind:?}");
+
+            assert!(
+                c_s.now() < c_b.now(),
+                "{kind:?}: overlap must hide the compute window: {} vs {}",
+                c_s.now(),
+                c_b.now()
+            );
+            // The blocking run stalls at the prefetch; the split run hides
+            // exactly the compute window inside the round trip.
+            assert!(c_b.now() >= c_s.now() + compute - VTime::from_ns(1));
+            let s = split.cluster.node_stats(NodeId(0));
+            assert!(s.fetch_overlap_cycles_hidden > 0, "{kind:?}");
+            assert_eq!(
+                blocking
+                    .cluster
+                    .node_stats(NodeId(0))
+                    .fetch_overlap_cycles_hidden,
+                0
+            );
+            // Identical protocol traffic either way.
+            assert_eq!(
+                s.page_loads,
+                blocking.cluster.node_stats(NodeId(0)).page_loads
+            );
+        }
+    }
+
+    #[test]
+    fn overlapped_ticket_completes_exactly_once_and_clears_on_invalidate() {
+        let overlapped = TransportConfig {
+            overlapped_fetches: true,
+            ..TransportConfig::default()
+        };
+        let f = fixture_with(
+            2,
+            ProtocolKind::JavaPf,
+            &AdaptiveParams::default(),
+            &overlapped,
+        );
+        let addr = f.alloc.alloc(8, NodeId(1));
+        let mut clock = ThreadClock::new();
+
+        // Prefetch and never use: the invalidation abandons the ticket and
+        // no hidden cycles are recorded.
+        f.dsm.load_into_cache(NodeId(0), &mut clock, addr.page());
+        let frame = f.dsm.store().frame(NodeId(0), addr.page());
+        assert!(frame.has_inflight());
+        f.dsm.invalidate_cache(NodeId(0), &mut clock);
+        assert!(!frame.has_inflight());
+        assert_eq!(
+            f.cluster.node_stats(NodeId(0)).fetch_overlap_cycles_hidden,
+            0
+        );
+
+        // Prefetch and use twice: the ticket is consumed exactly once (the
+        // second access is an ordinary cached hit).
+        f.dsm.load_into_cache(NodeId(0), &mut clock, addr.page());
+        clock.advance(VTime::from_us(5));
+        let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+        let hidden = f.cluster.node_stats(NodeId(0)).fetch_overlap_cycles_hidden;
+        assert!(hidden > 0);
+        let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+        assert_eq!(
+            f.cluster.node_stats(NodeId(0)).fetch_overlap_cycles_hidden,
+            hidden
+        );
+    }
+
+    #[test]
+    fn batched_flush_coalesces_contiguous_same_home_dirty_pages() {
+        let batched = fixture(2, ProtocolKind::JavaIc);
+        let unbatched = fixture_with(
+            2,
+            ProtocolKind::JavaIc,
+            &AdaptiveParams::default(),
+            &TransportConfig::blocking(),
+        );
+        let slots = SLOTS_PER_PAGE * 3;
+        let values: Vec<u64> = (0..slots as u64).map(|v| v * 7 + 1).collect();
+
+        let run = |f: &Fixture| -> (VTime, u64, u64, u64, u64) {
+            let addr = f.alloc.alloc_page_aligned(slots, NodeId(1));
+            let mut clock = ThreadClock::new();
+            f.dsm.write_slice(NodeId(0), &mut clock, addr, &values);
+            f.dsm.update_main_memory(NodeId(0), &mut clock);
+            // The home sees every slot either way.
+            let mut out = vec![0u64; slots];
+            f.dsm
+                .read_slice(NodeId(1), &mut ThreadClock::new(), addr, &mut out);
+            assert_eq!(out, values);
+            let s = f.cluster.node_stats(NodeId(0));
+            (
+                clock.now(),
+                s.diff_messages,
+                s.batched_flushes,
+                s.diff_slots_flushed,
+                s.diff_bytes,
+            )
+        };
+
+        let (t_b, msgs_b, batches_b, slots_b, bytes_b) = run(&batched);
+        let (t_u, msgs_u, batches_u, slots_u, bytes_u) = run(&unbatched);
+        assert_eq!(msgs_b, 1, "three contiguous pages share one diff RPC");
+        assert_eq!(batches_b, 1);
+        assert_eq!(msgs_u, 3);
+        assert_eq!(batches_u, 0);
+        assert_eq!(slots_b, slots_u);
+        assert!(bytes_b > 0 && bytes_u > 0);
+        assert!(
+            t_b < t_u,
+            "one RPC must beat three round trips: {t_b} vs {t_u}"
+        );
+    }
+
+    #[test]
+    fn flush_batches_never_cross_home_boundaries() {
+        let f = fixture(3, ProtocolKind::JavaIc);
+        let a = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE, NodeId(1));
+        let b = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE, NodeId(2));
+        assert_eq!(b.page().index(), a.page().index() + 1);
+        let mut clock = ThreadClock::new();
+        f.dsm.put(NodeId(0), &mut clock, a, 1);
+        f.dsm.put(NodeId(0), &mut clock, b, 2);
+        f.dsm.update_main_memory(NodeId(0), &mut clock);
+        let s = f.cluster.node_stats(NodeId(0));
+        assert_eq!(s.diff_messages, 2, "different homes, different RPCs");
+        assert_eq!(s.batched_flushes, 0);
+    }
+
+    // ----- home migration ----------------------------------------------------
+
+    #[test]
+    fn home_migrates_to_the_dominant_writer() {
+        let transport = TransportConfig {
+            home_migration: true,
+            migration_streak: 3,
+            ..TransportConfig::default()
+        };
+        let f = fixture_with(
+            2,
+            ProtocolKind::JavaPf,
+            &AdaptiveParams::default(),
+            &transport,
+        );
+        let addr = f.alloc.alloc(8, NodeId(0));
+        let page = addr.page();
+        assert_eq!(f.dsm.locality(NodeId(0), page), Locality::Local);
+
+        // Node 1 dominates the page's diff traffic: write + release, thrice.
+        let mut w = ThreadClock::new();
+        for i in 0..3u64 {
+            f.dsm.put(NodeId(1), &mut w, addr, 100 + i);
+            f.dsm.update_main_memory(NodeId(1), &mut w);
+        }
+        let s1 = f.cluster.node_stats(NodeId(1));
+        assert_eq!(s1.diff_messages, 3);
+        assert_eq!(s1.pages_migrated, 1, "third consecutive diff wins the home");
+        assert_eq!(f.dsm.locality(NodeId(1), page), Locality::Local);
+        assert_eq!(f.dsm.store().home_of(page), NodeId(1));
+        assert_eq!(f.dsm.store().migrated_pages(), 1);
+
+        // The new home's writes are plain local stores: no further diffs.
+        f.dsm.put(NodeId(1), &mut w, addr, 999);
+        f.dsm.update_main_memory(NodeId(1), &mut w);
+        assert_eq!(f.cluster.node_stats(NodeId(1)).diff_messages, 3);
+
+        // The old home still reads the value it held, and re-fetches the
+        // authoritative copy from the new home after its next acquire.
+        let mut r = ThreadClock::new();
+        f.dsm.invalidate_cache(NodeId(0), &mut r);
+        assert_eq!(f.dsm.get(NodeId(0), &mut r, addr), 999);
+        assert_eq!(f.dsm.locality(NodeId(0), page), Locality::CachedRemote);
+
+        // And the old home's writes now flush towards the new home.
+        f.dsm.put(NodeId(0), &mut r, addr.offset(1), 7);
+        f.dsm.update_main_memory(NodeId(0), &mut r);
+        assert_eq!(f.dsm.get(NodeId(1), &mut w, addr.offset(1)), 7);
+    }
+
+    #[test]
+    fn alternating_writers_never_migrate_the_home() {
+        let transport = TransportConfig {
+            home_migration: true,
+            migration_streak: 3,
+            ..TransportConfig::default()
+        };
+        let f = fixture_with(
+            3,
+            ProtocolKind::JavaIc,
+            &AdaptiveParams::default(),
+            &transport,
+        );
+        let addr = f.alloc.alloc(8, NodeId(0));
+        let mut c1 = ThreadClock::new();
+        let mut c2 = ThreadClock::new();
+        for i in 0..10u64 {
+            f.dsm.put(NodeId(1), &mut c1, addr, i);
+            f.dsm.update_main_memory(NodeId(1), &mut c1);
+            f.dsm.put(NodeId(2), &mut c2, addr.offset(1), i);
+            f.dsm.update_main_memory(NodeId(2), &mut c2);
+        }
+        // The Boyer–Moore vote never settles on either writer.
+        assert_eq!(f.dsm.store().home_of(addr.page()), NodeId(0));
+        assert_eq!(f.dsm.store().migrated_pages(), 0);
+        let total = f.cluster.total_stats();
+        assert_eq!(total.pages_migrated, 0);
+    }
+
+    #[test]
+    fn repeated_migrations_back_off_geometrically() {
+        let transport = TransportConfig {
+            home_migration: true,
+            migration_streak: 2,
+            ..TransportConfig::default()
+        };
+        let f = fixture_with(
+            2,
+            ProtocolKind::JavaIc,
+            &AdaptiveParams::default(),
+            &transport,
+        );
+        let addr = f.alloc.alloc(8, NodeId(0));
+        let page = addr.page();
+        let burst = |node: NodeId, n: u64| {
+            let mut c = ThreadClock::new();
+            for i in 0..n {
+                f.dsm.put(node, &mut c, addr, i);
+                f.dsm.update_main_memory(node, &mut c);
+                f.dsm.invalidate_cache(node, &mut c);
+            }
+        };
+        burst(NodeId(1), 2);
+        assert_eq!(f.dsm.store().home_of(page), NodeId(1));
+        // Moving it back now requires a doubled streak from node 0.
+        burst(NodeId(0), 2);
+        assert_eq!(f.dsm.store().home_of(page), NodeId(1), "bar doubled to 4");
+        burst(NodeId(0), 2);
+        assert_eq!(f.dsm.store().home_of(page), NodeId(0));
+    }
+
+    // ----- online-adaptive thresholds ---------------------------------------
+
+    #[test]
+    fn online_thresholds_widen_when_a_workload_flaps() {
+        let params = AdaptiveParams {
+            online_thresholds: true,
+            ..AdaptiveParams::default()
+        };
+        let online = fixture_with(
+            2,
+            ProtocolKind::JavaAd,
+            &params,
+            &TransportConfig::default(),
+        );
+        let f_static = fixture(2, ProtocolKind::JavaAd);
+        let (hi0, lo0) = online.dsm.adaptive_thresholds();
+        assert_eq!(online.dsm.adaptive_thresholds_on(NodeId(0)), (hi0, lo0));
+
+        // A mispredicting workload: one dense epoch followed by four idle
+        // epochs, repeatedly.  Under the static thresholds every dense epoch
+        // flips the page to protection and the idle decay flips it back —
+        // sustained flapping that pays a switch plus an mprotect/fault pair
+        // per cycle for re-access that never materialises.
+        let run = |f: &Fixture| {
+            let addr = f.alloc.alloc(8, NodeId(1));
+            let mut clock = ThreadClock::new();
+            for cycle in 0..8 {
+                for _ in 0..4 * hi0 {
+                    let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+                }
+                f.dsm.invalidate_cache(NodeId(0), &mut clock);
+                for _ in 0..4 {
+                    f.dsm.invalidate_cache(NodeId(0), &mut clock);
+                }
+                let _ = cycle;
+            }
+            f.cluster.node_stats(NodeId(0)).protocol_switches
+        };
+        let switches_static = run(&f_static);
+        let switches_online = run(&online);
+
+        // The node tightened its own hysteresis: the band is wider than the
+        // configured one...
+        let (hi_now, lo_now) = online.dsm.adaptive_thresholds_on(NodeId(0));
+        assert!(
+            hi_now > hi0 && lo_now <= lo0,
+            "band must widen: ({hi_now}, {lo_now}) vs ({hi0}, {lo0})"
+        );
+        // ...and the flapping stopped, while the static run kept switching.
+        assert!(
+            switches_online < switches_static,
+            "online tuning must cut mode churn: {switches_online} vs {switches_static}"
+        );
+        // The configured thresholds are untouched.
+        assert_eq!(online.dsm.adaptive_thresholds(), (hi0, lo0));
     }
 }

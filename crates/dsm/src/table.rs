@@ -5,6 +5,7 @@
 //! the page; the other nodes' frames are caches.  Frame tables grow lazily as
 //! pages are allocated.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use hyperion_pm2::{IsoAllocator, NodeId, PageId};
@@ -44,6 +45,15 @@ impl NodeFrames {
 pub struct DsmStore {
     allocator: Arc<IsoAllocator>,
     nodes: Vec<NodeFrames>,
+    /// Pages whose home has *ever* migrated away from the allocator's
+    /// static assignment (home migration).  An entry stays even when a page
+    /// migrates back to its static home, so per-page "has this page ever
+    /// moved" queries stay answerable.
+    home_overrides: RwLock<HashMap<u64, NodeId>>,
+    /// Number of entries in `home_overrides`, readable without the lock so
+    /// the migration-free common case of [`DsmStore::home_of`] stays a
+    /// plain array index.
+    num_overrides: std::sync::atomic::AtomicUsize,
 }
 
 impl DsmStore {
@@ -54,6 +64,8 @@ impl DsmStore {
         Arc::new(DsmStore {
             allocator,
             nodes: (0..num_nodes).map(|_| NodeFrames::new()).collect(),
+            home_overrides: RwLock::new(HashMap::new()),
+            num_overrides: std::sync::atomic::AtomicUsize::new(0),
         })
     }
 
@@ -67,10 +79,45 @@ impl DsmStore {
         self.nodes.len()
     }
 
-    /// Home node of `page` (delegates to the allocator).
+    /// Home node of `page`: the allocator's static assignment unless the
+    /// page's home has migrated.  With migration disabled (or before the
+    /// first grant) this is a lock-free array index.
     #[inline]
     pub fn home_of(&self, page: PageId) -> NodeId {
+        if self
+            .num_overrides
+            .load(std::sync::atomic::Ordering::Acquire)
+            > 0
+        {
+            let overrides = self.home_overrides.read();
+            if let Some(&home) = overrides.get(&page.0) {
+                return home;
+            }
+        }
         self.allocator.home_of(page)
+    }
+
+    /// Re-home `page` on `node` (home migration).  The caller is responsible
+    /// for flipping the two affected frames' home flags in the same step.
+    pub fn set_home(&self, page: PageId, node: NodeId) {
+        let mut overrides = self.home_overrides.write();
+        overrides.insert(page.0, node);
+        self.num_overrides
+            .store(overrides.len(), std::sync::atomic::Ordering::Release);
+    }
+
+    /// Number of pages whose home has ever migrated away from (and possibly
+    /// back to) their allocation-time node.
+    pub fn migrated_pages(&self) -> usize {
+        self.num_overrides
+            .load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// True if `page`'s home has ever migrated (used to scope the handler
+    /// routing assertions: a stale route is only legitimate for a page that
+    /// actually moved).
+    pub fn page_migrated(&self, page: PageId) -> bool {
+        self.migrated_pages() > 0 && self.home_overrides.read().contains_key(&page.0)
     }
 
     /// Run `f` on node `node`'s frame for `page`, creating the frame (and any
@@ -126,11 +173,13 @@ impl DsmStore {
             page.index() < allocated,
             "page {page:?} accessed before being allocated ({allocated} pages exist)"
         );
-        let homes = self.allocator.page_homes();
         let mut frames = self.nodes[node.index()].frames.write();
         while frames.len() <= page.index() {
             let pid = frames.len();
-            let frame = if homes[pid] == node {
+            // Consult the (possibly migrated) current home, not the
+            // allocator's static table: a node materialising its frame after
+            // a migration must see the page's present-day home.
+            let frame = if self.home_of(PageId(pid as u64)) == node {
                 PageFrame::new_home()
             } else {
                 PageFrame::new_remote()

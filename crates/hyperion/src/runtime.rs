@@ -12,7 +12,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use hyperion_dsm::{AdaptiveParams, DsmStore, DsmSystem, Locality, ProtocolKind};
+use hyperion_dsm::{AdaptiveParams, DsmStore, DsmSystem, Locality, ProtocolKind, TransportConfig};
 use hyperion_model::vtime::TimeWatermark;
 use hyperion_model::{
     ClusterSpec, CpuModel, MachineModel, NodeStats, OpCounts, StatsSnapshot, ThreadClock, VTime,
@@ -35,6 +35,10 @@ pub struct HyperionConfig {
     /// [`ProtocolKind::JavaAd`]): switching-hysteresis multiples of the
     /// machine model's break-even and the batched-fetch window.
     pub adaptive: AdaptiveParams,
+    /// Split-transaction transport configuration: overlapped page fetches,
+    /// batched diff flushing and home migration.  Applies to every protocol
+    /// (the mechanisms are semantics-preserving).
+    pub transport: TransportConfig,
     /// Application threads per node.  The paper uses one ("we used only one
     /// application thread per node", §4.3); larger values exercise the
     /// computation/communication-overlap extension.
@@ -65,6 +69,7 @@ impl HyperionConfig {
             nodes,
             protocol,
             adaptive: AdaptiveParams::default(),
+            transport: TransportConfig::default(),
             threads_per_node: 1,
             pacing_window: Some(VTime::from_us(500)),
         }
@@ -111,6 +116,12 @@ impl HyperionConfig {
         self
     }
 
+    /// Builder-style override of [`HyperionConfig::transport`].
+    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = transport;
+        self
+    }
+
     /// Total number of application (computation) threads the standard SPMD
     /// benchmarks create.
     pub fn total_app_threads(&self) -> usize {
@@ -144,6 +155,16 @@ impl HyperionConfig {
                 "switching hysteresis needs 0 <= lo_multiple < hi_multiple",
             ));
         }
+        if self.transport.max_flush_batch_pages == 0 {
+            return Err(ConfigError::InvalidTransport(
+                "max_flush_batch_pages must be at least 1 (1 disables batching)",
+            ));
+        }
+        if self.transport.migration_streak == 0 {
+            return Err(ConfigError::InvalidTransport(
+                "migration_streak must be at least 1",
+            ));
+        }
         Ok(())
     }
 }
@@ -157,6 +178,7 @@ pub struct ConfigBuilder {
     nodes: Option<usize>,
     protocol: Option<ProtocolKind>,
     adaptive: Option<AdaptiveParams>,
+    transport: Option<TransportConfig>,
     threads_per_node: Option<usize>,
     pacing_window: Option<Option<VTime>>,
 }
@@ -188,6 +210,14 @@ impl ConfigBuilder {
         self
     }
 
+    /// Split-transaction transport configuration (overlapped fetches,
+    /// batched diff flushing, home migration).  Defaults to
+    /// [`TransportConfig::default`].
+    pub fn transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
     /// Application threads per node.  Defaults to 1, as in the paper.
     pub fn threads_per_node(mut self, threads: usize) -> Self {
         self.threads_per_node = Some(threads);
@@ -214,6 +244,9 @@ impl ConfigBuilder {
         let mut config = HyperionConfig::new(cluster, nodes, protocol);
         if let Some(adaptive) = self.adaptive {
             config.adaptive = adaptive;
+        }
+        if let Some(transport) = self.transport {
+            config.transport = transport;
         }
         if let Some(threads) = self.threads_per_node {
             config.threads_per_node = threads;
@@ -245,6 +278,8 @@ pub enum ConfigError {
     },
     /// The adaptive-protocol parameters are out of range.
     InvalidAdaptive(&'static str),
+    /// The transport parameters are out of range.
+    InvalidTransport(&'static str),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -266,6 +301,9 @@ impl std::fmt::Display for ConfigError {
             ),
             ConfigError::InvalidAdaptive(reason) => {
                 write!(f, "invalid adaptive-protocol parameters: {reason}")
+            }
+            ConfigError::InvalidTransport(reason) => {
+                write!(f, "invalid transport parameters: {reason}")
             }
         }
     }
@@ -344,11 +382,12 @@ impl HyperionRuntime {
         let cluster = Cluster::new(config.cluster.machine.clone(), config.nodes);
         let allocator = Arc::new(IsoAllocator::new(config.nodes));
         let store = DsmStore::new(Arc::clone(&allocator), config.nodes);
-        let dsm = DsmSystem::with_params(
+        let dsm = DsmSystem::with_config(
             Arc::clone(&cluster),
             store,
             config.protocol,
             &config.adaptive,
+            &config.transport,
         );
         let balancer = LoadBalancer::new(config.nodes);
         Ok(HyperionRuntime {
@@ -708,6 +747,27 @@ impl ThreadCtx {
             .load_into_cache(self.node, &mut self.clock, addr.page());
     }
 
+    /// Prefetch every page of the `slots` consecutive slots starting at
+    /// `addr`: one `loadIntoCache` per touched page.
+    ///
+    /// Under the blocking transport this pays each fetch up front, exactly
+    /// as fetching at first use would; under
+    /// [`hyperion_dsm::TransportConfig::overlapped_fetches`] the fetches are
+    /// issued as split transactions and only their *residual* latency is
+    /// charged when the data is first really used — this is the call a
+    /// latency-hiding kernel places as early as its consistency window
+    /// allows (right after the acquire that invalidated the cache).
+    pub fn prefetch_slots(&mut self, addr: GlobalAddr, slots: usize) {
+        if slots == 0 {
+            return;
+        }
+        let first = addr.page();
+        let last = addr.offset(slots as u64 - 1).page();
+        self.shared
+            .dsm
+            .prefetch_span(self.node, &mut self.clock, first, last.0 - first.0 + 1);
+    }
+
     /// Classify the locality of `addr` as seen from this thread's node.
     ///
     /// Under `java_ic` this *is* one in-line locality check and is charged
@@ -1013,6 +1073,7 @@ mod tests {
             lo_multiple: 1.0,
             max_batch_pages: 4,
             min_prefetch_streak: 1,
+            online_thresholds: false,
         };
         let built = HyperionConfig::builder()
             .cluster(myrinet_200())

@@ -206,6 +206,12 @@ impl MachineModel {
     pub fn batch_request_overhead(&self, extra: u64) -> VTime {
         self.cpu.cycles(self.dsm.batch_page_cycles * extra as f64)
     }
+
+    /// Requester-side marshalling overhead of a batched diff flush carrying
+    /// `extra` pages beyond the first one.
+    pub fn batch_flush_overhead(&self, extra: u64) -> VTime {
+        self.cpu.cycles(self.dsm.batch_flush_cycles * extra as f64)
+    }
 }
 
 #[cfg(test)]

@@ -140,6 +140,10 @@ pub struct DsmCostModel {
     /// by a batched page-fetch request (the first page is covered by the
     /// ordinary per-request protocol cycles).
     pub batch_page_cycles: f64,
+    /// Requester- and home-side marshalling cycles per *extra* page carried
+    /// by a batched diff-flush RPC (the first page is covered by the
+    /// ordinary per-request protocol cycles).
+    pub batch_flush_cycles: f64,
 }
 
 /// A homogeneous cluster node: CPU + NIC + DSM event costs.
@@ -217,6 +221,7 @@ pub fn myrinet_200() -> ClusterSpec {
                 thread_create_cycles: 2_000.0,
                 protocol_switch_cycles: 40.0,
                 batch_page_cycles: 60.0,
+                batch_flush_cycles: 50.0,
             },
         },
         max_nodes: 12,
@@ -268,6 +273,7 @@ pub fn sci_450() -> ClusterSpec {
                 thread_create_cycles: 2_000.0,
                 protocol_switch_cycles: 40.0,
                 batch_page_cycles: 60.0,
+                batch_flush_cycles: 50.0,
             },
         },
         max_nodes: 6,

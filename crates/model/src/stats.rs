@@ -111,6 +111,14 @@ define_stats! {
     pages_prefetch_speculative,
     /// Prefetched pages invalidated untouched (`java_ad` speculation throttle).
     pages_prefetch_wasted,
+    /// Diff RPCs that carried more than one page (batched flushing).
+    batched_flushes,
+    /// Payload bytes of diff messages sent by this node.
+    diff_bytes,
+    /// Pages whose home migrated *to* this node (write-shared home migration).
+    pages_migrated,
+    /// Fetch round-trip cycles hidden behind compute by overlapped transport.
+    fetch_overlap_cycles_hidden,
 }
 
 impl NodeStats {
@@ -214,7 +222,15 @@ mod tests {
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
-        assert_eq!(names.len(), 27);
+        assert_eq!(names.len(), 31);
+        for added in [
+            "batched_flushes",
+            "diff_bytes",
+            "pages_migrated",
+            "fetch_overlap_cycles_hidden",
+        ] {
+            assert!(names.contains(&added), "missing {added}");
+        }
     }
 
     #[test]

@@ -104,6 +104,33 @@ impl Cluster {
         service: ServiceId,
         payload: &[u8],
     ) -> Vec<u8> {
+        let (data, completion) = self.rpc_split(clock, from, to, service, payload);
+        clock.merge(completion);
+        data
+    }
+
+    /// Split-transaction form of [`Cluster::rpc`]: issue the request,
+    /// charging only the requester-side issue costs (marshalling, protocol
+    /// software, NIC send overhead) to `clock`, and return the reply payload
+    /// together with the virtual instant at which the reply *arrives back*
+    /// at the requester.
+    ///
+    /// The caller decides when the transaction completes: a blocking caller
+    /// merges the completion time immediately (that is what [`Cluster::rpc`]
+    /// does), an overlapping caller keeps computing and merges it at the
+    /// first real use of the reply, paying only the residual latency.  The
+    /// reply *bytes* are available immediately — the simulation executes the
+    /// handler synchronously — but consuming them before merging the
+    /// completion time would let a thread observe data "from the future" in
+    /// virtual time, so don't.
+    pub fn rpc_split(
+        &self,
+        clock: &mut ThreadClock,
+        from: NodeId,
+        to: NodeId,
+        service: ServiceId,
+        payload: &[u8],
+    ) -> (Vec<u8>, VTime) {
         let handler = {
             let services = self.services.read();
             Arc::clone(
@@ -130,9 +157,9 @@ impl Cluster {
         let server_cpu = cpu.cycles(dsm.protocol_server_cycles);
 
         if from == to {
-            // Local invocation: protocol software only.
+            // Local invocation: protocol software only, nothing to overlap.
             clock.advance(request_cpu + server_cpu + reply.service);
-            return reply.data;
+            return (reply.data, clock.now());
         }
 
         let req_bytes = MSG_HEADER_BYTES + payload.len() as u64;
@@ -152,9 +179,8 @@ impl Cluster {
 
         // 4. + 5. reply crosses the wire and is absorbed by the caller.
         let reply_arrival = done + net.latency + net.transfer(reply_bytes) + net.recv_overhead;
-        clock.merge(reply_arrival);
 
-        reply.data
+        (reply.data, reply_arrival)
     }
 
     /// One-way virtual cost of a minimal control message between two distinct
@@ -314,6 +340,36 @@ mod tests {
         assert_eq!(c.node(NodeId(1)).server.free_at(), VTime::ZERO);
         // Services survive a reset.
         assert_eq!(c.num_services(), 1);
+    }
+
+    #[test]
+    fn rpc_split_defers_the_completion_merge() {
+        let c = test_cluster(2);
+        let svc = c.register_service(Arc::new(|_n: &Node, _c: NodeId, _p: &[u8]| {
+            RpcReply::with_data(vec![7u8; 64], VTime::from_us(5))
+        }));
+
+        // Blocking reference call.
+        let mut blocking = ThreadClock::new();
+        let _ = c.rpc(&mut blocking, NodeId(0), NodeId(1), svc, &[1]);
+
+        // Split call from a fresh, identical state (reset the server clock
+        // so both calls see an idle home).
+        c.reset();
+        let mut split = ThreadClock::new();
+        let (data, completion) = c.rpc_split(&mut split, NodeId(0), NodeId(1), svc, &[1]);
+        assert_eq!(data, vec![7u8; 64]);
+        // Only the issue costs were charged; the completion matches the
+        // blocking call's final time exactly.
+        assert!(split.now() < completion);
+        assert_eq!(completion, blocking.now());
+        split.merge(completion);
+        assert_eq!(split.now(), blocking.now());
+
+        // Local split calls complete immediately.
+        let mut local = ThreadClock::new();
+        let (_, done) = c.rpc_split(&mut local, NodeId(1), NodeId(1), svc, &[]);
+        assert_eq!(done, local.now());
     }
 
     #[test]

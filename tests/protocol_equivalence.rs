@@ -22,7 +22,7 @@
 use hyperion_workspace::apps::common::Benchmark;
 use hyperion_workspace::apps::{asp, barnes, jacobi, pi, tsp};
 use hyperion_workspace::prelude::*;
-use hyperion_workspace::{HyperionConfig, ProtocolKind};
+use hyperion_workspace::{HyperionConfig, ProtocolKind, TransportConfig};
 
 const NODES: usize = 3;
 
@@ -37,10 +37,38 @@ fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
 }
 
 fn execute(bench: &dyn Benchmark, protocol: ProtocolKind) -> (f64, RunReport) {
+    execute_with(bench, protocol, &TransportConfig::default())
+}
+
+fn execute_with(
+    bench: &dyn Benchmark,
+    protocol: ProtocolKind,
+    transport: &TransportConfig,
+) -> (f64, RunReport) {
     let config = HyperionConfig::builder()
         .cluster(myrinet_200())
         .nodes(NODES)
         .protocol(protocol)
+        .transport(transport.clone())
+        .build()
+        .expect("valid test configuration");
+    bench.execute(config)
+}
+
+/// Like [`execute_with`] but with conservative pacing disabled — used for
+/// wall-time comparisons of the statically partitioned apps, where pacing
+/// only injects host-scheduling noise into the modeled times.
+fn execute_unpaced(
+    bench: &dyn Benchmark,
+    protocol: ProtocolKind,
+    transport: &TransportConfig,
+) -> (f64, RunReport) {
+    let config = HyperionConfig::builder()
+        .cluster(myrinet_200())
+        .nodes(NODES)
+        .protocol(protocol)
+        .transport(transport.clone())
+        .pacing_window(None)
         .build()
         .expect("valid test configuration");
     bench.execute(config)
@@ -122,7 +150,7 @@ fn adaptive_page_loads_never_exceed_the_worse_fixed_protocol() {
         }
         let mut worst_total = 0u64;
         let mut ad_total = 0u64;
-        for _ in 0..3 {
+        for _ in 0..5 {
             let (w, a) = round();
             worst_total += w;
             ad_total += a;
@@ -130,7 +158,137 @@ fn adaptive_page_loads_never_exceed_the_worse_fixed_protocol() {
         assert!(
             ad_total <= worst_total,
             "{}: java_ad page loads {ad_total} exceed the worse of ic/pf \
-             {worst_total} aggregated over 3 rounds",
+             {worst_total} aggregated over 5 rounds",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn all_three_protocols_compute_identical_results_under_latency_hiding_transport() {
+    // Overlapped fetches, batched diff flushing and home migration all on:
+    // the transport may change *when* latency is charged and *how many*
+    // RPCs carry the bytes, never what a program computes.
+    let transport = TransportConfig::latency_hiding();
+    for bench in all_benchmarks() {
+        let (ic, _) = execute_with(bench.as_ref(), ProtocolKind::JavaIc, &transport);
+        let (pf, _) = execute_with(bench.as_ref(), ProtocolKind::JavaPf, &transport);
+        let (ad, _) = execute_with(bench.as_ref(), ProtocolKind::JavaAd, &transport);
+        // And each must agree with the blocking transport's answer.
+        let (blocking, _) = execute(bench.as_ref(), ProtocolKind::JavaIc);
+        let tolerance = ic.abs().max(1.0) * 1e-9;
+        for (label, v) in [("pf", pf), ("ad", ad), ("blocking ic", blocking)] {
+            assert!(
+                (ic - v).abs() <= tolerance,
+                "{}: overlapped ic {ic} vs {label} {v}",
+                bench.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn overlapped_transport_never_costs_wall_time_over_blocking() {
+    // The split transactions only defer when fetch latency is charged, so
+    // the modeled wall time with overlap must not exceed the blocking
+    // baseline on any app.  The claim decomposes per app:
+    //
+    // * Pi, TSP and Barnes-Hut open no prefetch windows under `java_pf`, so
+    //   the two transports run a mechanism-identical engine — the property
+    //   holds by construction, which the run itself proves by recording
+    //   zero split transactions.  (A raw time comparison would only compare
+    //   two draws of their schedule-chaotic exploration.)
+    // * Jacobi and ASP do open windows; their modeled times are compared
+    //   directly, unpaced (they divide work statically, so pacing only adds
+    //   host-scheduling noise), strictly first and in aggregate on a miss.
+    let overlapped = TransportConfig {
+        overlapped_fetches: true,
+        ..TransportConfig::default()
+    };
+    for bench in [
+        Box::new(pi::PiParams::quick()) as Box<dyn Benchmark>,
+        Box::new(tsp::TspParams::quick()),
+        Box::new(barnes::BarnesParams::quick()),
+    ] {
+        let (_, split) = execute_with(bench.as_ref(), ProtocolKind::JavaPf, &overlapped);
+        assert_eq!(
+            split.total_stats().fetch_overlap_cycles_hidden,
+            0,
+            "{}: no prefetch windows, so the overlapped transport must have \
+             run identically to the blocking one",
+            bench.name()
+        );
+    }
+    for bench in [
+        Box::new(jacobi::JacobiParams::quick()) as Box<dyn Benchmark>,
+        Box::new(asp::AspParams::quick()),
+    ] {
+        let round = || {
+            let (_, blocking) = execute_unpaced(
+                bench.as_ref(),
+                ProtocolKind::JavaPf,
+                &TransportConfig::default(),
+            );
+            let (_, split) = execute_unpaced(bench.as_ref(), ProtocolKind::JavaPf, &overlapped);
+            (
+                blocking.execution_time.as_secs_f64(),
+                split.execution_time.as_secs_f64(),
+            )
+        };
+        let (blocking, split) = round();
+        if split <= blocking * 1.02 {
+            continue;
+        }
+        let mut blocking_total = 0.0;
+        let mut split_total = 0.0;
+        for _ in 0..5 {
+            let (b, s) = round();
+            blocking_total += b;
+            split_total += s;
+        }
+        assert!(
+            split_total <= blocking_total * 1.02,
+            "{}: overlapped transport cost {split_total:.6}s exceeds the blocking \
+             baseline {blocking_total:.6}s aggregated over 5 rounds",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn home_migration_preserves_results_and_bounds_diff_inflation() {
+    // The strict *reduction* property lives in the fig7 gate, which runs
+    // the central-structure apps at 4 nodes where a remote writer can
+    // actually dominate.  Migration is a heuristic: on a workload whose
+    // writers rotate faster than the dominance vote can track (TSP at 3
+    // nodes, where the home owns a third of the queue traffic), a grant
+    // made during a home-quiet burst turns some of the home's later writes
+    // into diffs.  What must hold *unconditionally* is that the answers are
+    // unchanged and that the per-page exponential back-off keeps any such
+    // inflation bounded — the diff traffic may not blow past 2× the
+    // baseline on any app.
+    let migrating = TransportConfig {
+        home_migration: true,
+        ..TransportConfig::default()
+    };
+    for bench in all_benchmarks() {
+        let mut base_total = 0u64;
+        let mut mig_total = 0u64;
+        for _ in 0..3 {
+            let (d0, base) = execute(bench.as_ref(), ProtocolKind::JavaAd);
+            let (d1, mig) = execute_with(bench.as_ref(), ProtocolKind::JavaAd, &migrating);
+            assert!(
+                (d0 - d1).abs() <= d0.abs().max(1.0) * 1e-9,
+                "{}: migration changed the answer",
+                bench.name()
+            );
+            base_total += base.total_stats().diff_messages;
+            mig_total += mig.total_stats().diff_messages;
+        }
+        assert!(
+            mig_total <= base_total * 2 + 16,
+            "{}: migration inflated diff RPCs past the back-off bound \
+             ({mig_total} vs {base_total})",
             bench.name()
         );
     }
