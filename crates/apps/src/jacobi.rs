@@ -467,6 +467,44 @@ mod tests {
         assert_eq!(bulk.result, bulk_ic.result);
     }
 
+    #[test]
+    fn element_mode_boundary_rows_consume_directory_hints() {
+        // At size 80 with 4 threads each block holds 20 rows of 80 slots,
+        // so the north boundary row (the last row of each block) spans two
+        // pages.  Element-mode workers demand-miss those two pages in the
+        // same order every step; from the second epoch on the home's
+        // directory has learned the successor pair and hints the second
+        // page while the first is being served — the later demand miss
+        // completes an RPC that is already in flight.
+        let params = JacobiParams { size: 80, steps: 5 };
+        let config = HyperionConfig::builder()
+            .cluster(myrinet_200())
+            .nodes(4)
+            .protocol(ProtocolKind::JavaPf)
+            .transport(hyperion::TransportConfig::directory())
+            .build()
+            .unwrap();
+        let out = run_with(config, &params, AccessMode::Element);
+        let (expected_sum, _) = sequential(&params);
+        assert!(
+            (out.result.interior_sum - expected_sum).abs() < 1e-6,
+            "hints must not change the answer: {} vs {expected_sum}",
+            out.result.interior_sum
+        );
+        let total = out.report.total_stats();
+        assert!(total.hints_sent > 0, "row-spanning misses must draw hints");
+        assert!(
+            total.hinted_fetches_completed > 0,
+            "demand misses must complete hinted in-flight fetches"
+        );
+        assert!(
+            total.hinted_fetches_wasted * 8 <= total.hints_sent.max(16),
+            "hint waste {} exceeds 1/8 of {} hints sent",
+            total.hinted_fetches_wasted,
+            total.hints_sent
+        );
+    }
+
     /// A size where compute dominates the per-step communication, as in the
     /// paper's 1024×1024 runs (the `quick` instance is kept tiny for the
     /// correctness tests and is too communication-bound to show the effect).

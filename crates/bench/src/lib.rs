@@ -425,11 +425,132 @@ pub fn transport_pair(app: BenchmarkName, scale: Scale) -> Option<TransportPair>
     }
 }
 
+/// The figure number used for the prefetch-directory comparison (hinted
+/// overlapped demand misses + deferred release flushing vs the plain
+/// split-transaction transport).
+pub const DIRECTORY_FIGURE: usize = 8;
+
+/// One paired comparison of the figure-8 directory sweep: the same
+/// (app, protocol, nodes) point under a baseline and a prefetch-directory /
+/// deferred-flush transport configuration.
+#[derive(Clone, Debug)]
+pub struct DirectoryPair {
+    /// What the pair demonstrates (`"directory"` or `"deferred"`).
+    pub mechanism: &'static str,
+    /// The point with the mechanism disabled.
+    pub baseline: FigureRow,
+    /// The point with the mechanism enabled.
+    pub enabled: FigureRow,
+}
+
+/// Figure 8 (extension): the prefetch-directory transport against the
+/// split-transaction transport of figure 7, on the Myrinet cluster at
+/// [`ADAPTIVE_NODES`] nodes.
+///
+/// *Directory* pairs run the barrier apps (Jacobi, ASP) under `java_pf`,
+/// unpaced (both divide work statically): the baseline is figure 7's
+/// overlapped transport, the enabled side adds the cluster-wide prefetch
+/// directory and deferred release flushing
+/// ([`hyperion::TransportConfig::directory`]) — hinted demand misses
+/// complete already in-flight RPCs, ASP's pivot loop issues its fetch a
+/// statement-window early, and per-barrier release flushes complete at the
+/// next acquire instead of stalling the releaser.  *Deferred* pairs isolate
+/// deferred flushing alone (default transport vs default + deferred) on all
+/// five apps — the mechanism only moves when latency is charged, so it must
+/// never make an app slower.
+pub fn sweep_directory(scale: Scale) -> Vec<DirectoryPair> {
+    let mut pairs: Vec<DirectoryPair> = [BenchmarkName::Jacobi, BenchmarkName::Asp]
+        .into_iter()
+        .filter_map(|app| directory_pair(app, scale))
+        .collect();
+    pairs.extend(
+        BenchmarkName::all()
+            .into_iter()
+            .map(|app| deferred_pair(app, scale)),
+    );
+    pairs
+}
+
+/// Build one figure-8 *directory* pair for `app` (see [`sweep_directory`]);
+/// `None` for apps outside the directory comparison.
+pub fn directory_pair(app: BenchmarkName, scale: Scale) -> Option<DirectoryPair> {
+    if !matches!(app, BenchmarkName::Jacobi | BenchmarkName::Asp) {
+        return None;
+    }
+    let cluster = myrinet_200();
+    let ad = AdaptiveParams::default();
+    let point = |transport: &TransportConfig, variant: &'static str| {
+        let mut row = run_figure_point(
+            app,
+            scale,
+            &cluster,
+            ProtocolKind::JavaPf,
+            ADAPTIVE_NODES,
+            &ad,
+            transport,
+            variant,
+            true,
+        );
+        row.figure = DIRECTORY_FIGURE;
+        row
+    };
+    Some(DirectoryPair {
+        mechanism: "directory",
+        baseline: point(
+            &TransportConfig {
+                overlapped_fetches: true,
+                ..TransportConfig::default()
+            },
+            "+ov",
+        ),
+        enabled: point(&TransportConfig::directory(), "+dir"),
+    })
+}
+
+/// Build one figure-8 *deferred* pair for `app` (see [`sweep_directory`]).
+pub fn deferred_pair(app: BenchmarkName, scale: Scale) -> DirectoryPair {
+    let cluster = myrinet_200();
+    let ad = AdaptiveParams::default();
+    // The statically divided apps are compared unpaced (pacing only adds
+    // host-scheduling noise); the dynamically scheduled ones keep pacing so
+    // virtual time, not the host scheduler, divides their work.
+    let unpaced = matches!(
+        app,
+        BenchmarkName::Pi | BenchmarkName::Jacobi | BenchmarkName::Asp
+    );
+    let point = |transport: &TransportConfig, variant: &'static str| {
+        let mut row = run_figure_point(
+            app,
+            scale,
+            &cluster,
+            ProtocolKind::JavaPf,
+            ADAPTIVE_NODES,
+            &ad,
+            transport,
+            variant,
+            unpaced,
+        );
+        row.figure = DIRECTORY_FIGURE;
+        row
+    };
+    DirectoryPair {
+        mechanism: "deferred",
+        baseline: point(&TransportConfig::default(), "+sync"),
+        enabled: point(
+            &TransportConfig {
+                deferred_flush: true,
+                ..TransportConfig::default()
+            },
+            "+dfl",
+        ),
+    }
+}
+
 /// The CI-tracked sweep behind `BENCH_<run>.json`: all five apps under all
 /// three protocols on the Myrinet cluster at [`ADAPTIVE_NODES`] nodes, plus
 /// the figure-7 transport-variant rows (overlapped fetches on Jacobi/ASP,
-/// home migration on TSP/Barnes) so their deltas are tracked by the
-/// baseline gate too.
+/// home migration on TSP/Barnes) and the figure-8 directory/deferred rows,
+/// so their deltas are tracked by the baseline gate too.
 pub fn bench_report_rows(scale: Scale) -> Vec<FigureRow> {
     let cluster = myrinet_200();
     let mut rows = Vec::new();
@@ -442,6 +563,12 @@ pub fn bench_report_rows(scale: Scale) -> Vec<FigureRow> {
     }
     for pair in sweep_transport(scale) {
         rows.push(pair.baseline);
+        rows.push(pair.enabled);
+    }
+    // Figure-8 rows: only the *enabled* sides are added — the directory
+    // baseline duplicates figure 7's `+ov` row and the deferred baseline
+    // duplicates the plain `java_pf` row, and report keys must stay unique.
+    for pair in sweep_directory(scale) {
         rows.push(pair.enabled);
     }
     rows

@@ -6,8 +6,10 @@
 //!         [--quick] [--json] [--baseline PATH] [--out DIR]
 //! ```
 //!
-//! * `--fig N`     regenerate figure N (1–5, or 6 for the ic/pf/ad adaptive
-//!   comparison); may be repeated.  Default: all of 1–5.
+//! * `--fig N`     regenerate figure N (1–5 from the paper, 6 for the
+//!   ic/pf/ad adaptive comparison, 7 for the split-transaction transport,
+//!   8 for the prefetch directory & deferred release); may be repeated.
+//!   Default: all of 1–5.
 //! * `--tables`    print Table 1 (module inventory) and Table 2 (primitives).
 //! * `--claims`    print the derived `java_ic` → `java_pf` improvements that
 //!   correspond to the quantitative claims of §4.3.
@@ -18,7 +20,9 @@
 //!   `local`).
 //! * `--baseline PATH` compare the CI-tracked sweep against a committed
 //!   baseline report and exit non-zero if a tracked metric (modeled wall
-//!   time, page loads, invalidated pages) regressed more than 10%.
+//!   time, page loads, invalidated pages) regressed more than 10%; the
+//!   per-app delta table is appended to `$GITHUB_STEP_SUMMARY` when that
+//!   variable is set.
 //! * `--runs N`    repeat the CI-tracked sweep N times and report the
 //!   per-row envelope (max of each tracked metric) — used when refreshing
 //!   `bench/baseline.json` so the dynamically scheduled apps' run-to-run
@@ -30,9 +34,9 @@ use std::io::Write;
 use hyperion::prelude::*;
 use hyperion_apps::common::BenchmarkName;
 use hyperion_bench::{
-    bench_report_rows, improvement_summary, report, sweep_adaptive, sweep_figure, sweep_transport,
-    table1_modules, table2_primitives, threshold_ablation, FigureRow, Scale, ADAPTIVE_FIGURE,
-    TRANSPORT_FIGURE,
+    bench_report_rows, improvement_summary, report, sweep_adaptive, sweep_directory, sweep_figure,
+    sweep_transport, table1_modules, table2_primitives, threshold_ablation, FigureRow, Scale,
+    ADAPTIVE_FIGURE, DIRECTORY_FIGURE, TRANSPORT_FIGURE,
 };
 
 struct Options {
@@ -65,9 +69,9 @@ fn parse_args() -> Options {
                 let n: usize = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--fig needs a number between 1 and 7"));
-                if !(1..=TRANSPORT_FIGURE).contains(&n) {
-                    die("--fig needs a number between 1 and 7");
+                    .unwrap_or_else(|| die("--fig needs a number between 1 and 8"));
+                if !(1..=DIRECTORY_FIGURE).contains(&n) {
+                    die("--fig needs a number between 1 and 8");
                 }
                 opts.figures.push(n);
                 any_selector = true;
@@ -226,6 +230,50 @@ fn print_transport_figure(scale: Scale) -> Vec<FigureRow> {
     rows
 }
 
+/// Figure 8: the prefetch-directory transport (cluster-wide hints +
+/// deferred release flushing) against figure 7's split-transaction
+/// transport, plus the deferred-only comparison on all five apps.
+fn print_directory_figure(scale: Scale) -> Vec<FigureRow> {
+    let pairs = sweep_directory(scale);
+    println!(
+        "== Figure 8 (extension): prefetch directory & deferred release, {} nodes ==",
+        hyperion_bench::ADAPTIVE_NODES
+    );
+    println!(
+        "{:<12} {:<10} {:<14} {:>12} {:>7} {:>9} {:>8} {:>9} {:>14}",
+        "App",
+        "mechanism",
+        "variant",
+        "exec (s)",
+        "hints",
+        "hinted",
+        "wasted",
+        "deferred",
+        "flush hidden"
+    );
+    let mut rows = Vec::new();
+    for pair in pairs {
+        for r in [&pair.baseline, &pair.enabled] {
+            println!(
+                "{:<12} {:<10} {:<14} {:>12.4} {:>7} {:>9} {:>8} {:>9} {:>14}",
+                r.app.to_string(),
+                pair.mechanism,
+                r.protocol_label(),
+                r.seconds,
+                r.stats.hints_sent,
+                r.stats.hinted_fetches_completed,
+                r.stats.hinted_fetches_wasted,
+                r.stats.deferred_flushes,
+                r.stats.flush_overlap_cycles_hidden,
+            );
+        }
+        rows.push(pair.baseline);
+        rows.push(pair.enabled);
+    }
+    println!();
+    rows
+}
+
 /// The `--json` / `--baseline` path: run the CI-tracked sweep, optionally
 /// write `BENCH_<run>.json`, optionally gate against a committed baseline.
 /// Returns `true` if the baseline gate failed.
@@ -259,6 +307,22 @@ fn run_bench_report(opts: &Options) -> bool {
         }
     };
     let regressions = report::compare_to_baseline(&rows, &baseline, report::DEFAULT_TOLERANCE);
+    // Surface the per-app deltas where a CI reader will see them: the job's
+    // step summary (or an explicit --summary path), not just an opaque
+    // pass/fail exit code.
+    let summary = report::markdown_summary(&rows, &baseline, &regressions);
+    if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        if !path.is_empty() {
+            use std::io::Write as _;
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = f.write_all(summary.as_bytes());
+            }
+        }
+    }
     if regressions.is_empty() {
         println!(
             "baseline gate: {} rows within {:.0}% of {baseline_path}",
@@ -363,7 +427,9 @@ fn print_claims(all_rows: &[FigureRow]) {
 
 fn write_csv(dir: &str, rows: &[FigureRow]) {
     let fig = rows.first().map(|r| r.figure).unwrap_or(0);
-    let app = if fig == TRANSPORT_FIGURE {
+    let app = if fig == DIRECTORY_FIGURE {
+        "directory".to_string()
+    } else if fig == TRANSPORT_FIGURE {
         "transport".to_string()
     } else if fig == ADAPTIVE_FIGURE {
         "adaptive".to_string()
@@ -395,7 +461,9 @@ fn main() {
 
     let mut all_rows = Vec::new();
     for &fig in &opts.figures {
-        let rows = if fig == TRANSPORT_FIGURE {
+        let rows = if fig == DIRECTORY_FIGURE {
+            print_directory_figure(opts.scale)
+        } else if fig == TRANSPORT_FIGURE {
             print_transport_figure(opts.scale)
         } else if fig == ADAPTIVE_FIGURE {
             print_adaptive_figure(opts.scale)

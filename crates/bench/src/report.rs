@@ -82,6 +82,18 @@ pub struct ReportRow {
     pub pages_migrated: u64,
     /// Informational: fetch latency cycles hidden by overlapped transport.
     pub fetch_overlap_cycles_hidden: u64,
+    /// Informational: pages hinted by home nodes on fetch replies.
+    pub hints_sent: u64,
+    /// Informational: hint-driven split-transaction fetches issued.
+    pub hinted_fetches_issued: u64,
+    /// Informational: hinted fetches completed by a real use.
+    pub hinted_fetches_completed: u64,
+    /// Informational: hinted fetches invalidated untouched (wasted hints).
+    pub hinted_fetches_wasted: u64,
+    /// Informational: release flushes handed to the deferred queue.
+    pub deferred_flushes: u64,
+    /// Informational: flush latency cycles hidden by deferred release.
+    pub flush_overlap_cycles_hidden: u64,
 }
 
 /// Loads (or similar counters) per epoch, with an epoch-free run counting
@@ -123,6 +135,12 @@ impl From<&FigureRow> for ReportRow {
             batched_flushes: row.stats.batched_flushes,
             pages_migrated: row.stats.pages_migrated,
             fetch_overlap_cycles_hidden: row.stats.fetch_overlap_cycles_hidden,
+            hints_sent: row.stats.hints_sent,
+            hinted_fetches_issued: row.stats.hinted_fetches_issued,
+            hinted_fetches_completed: row.stats.hinted_fetches_completed,
+            hinted_fetches_wasted: row.stats.hinted_fetches_wasted,
+            deferred_flushes: row.stats.deferred_flushes,
+            flush_overlap_cycles_hidden: row.stats.flush_overlap_cycles_hidden,
         }
     }
 }
@@ -164,6 +182,16 @@ pub fn envelope(runs: &[Vec<FigureRow>]) -> Vec<ReportRow> {
             acc.fetch_overlap_cycles_hidden = acc
                 .fetch_overlap_cycles_hidden
                 .max(next.fetch_overlap_cycles_hidden);
+            acc.hints_sent = acc.hints_sent.max(next.hints_sent);
+            acc.hinted_fetches_issued = acc.hinted_fetches_issued.max(next.hinted_fetches_issued);
+            acc.hinted_fetches_completed = acc
+                .hinted_fetches_completed
+                .max(next.hinted_fetches_completed);
+            acc.hinted_fetches_wasted = acc.hinted_fetches_wasted.max(next.hinted_fetches_wasted);
+            acc.deferred_flushes = acc.deferred_flushes.max(next.deferred_flushes);
+            acc.flush_overlap_cycles_hidden = acc
+                .flush_overlap_cycles_hidden
+                .max(next.flush_overlap_cycles_hidden);
         }
     }
     out
@@ -185,7 +213,10 @@ pub fn report_to_json(run: &str, scale: &str, rows: &[ReportRow]) -> String {
              \"page_faults\": {}, \"locality_checks\": {}, \"mprotect_calls\": {}, \
              \"batched_fetches\": {}, \"protocol_switches\": {}, \"diff_messages\": {}, \
              \"batched_flushes\": {}, \"pages_migrated\": {}, \
-             \"fetch_overlap_cycles_hidden\": {}}}{}\n",
+             \"fetch_overlap_cycles_hidden\": {}, \"hints_sent\": {}, \
+             \"hinted_fetches_issued\": {}, \"hinted_fetches_completed\": {}, \
+             \"hinted_fetches_wasted\": {}, \"deferred_flushes\": {}, \
+             \"flush_overlap_cycles_hidden\": {}}}{}\n",
             quote(&r.app),
             quote(&r.protocol),
             quote(&r.cluster),
@@ -206,6 +237,12 @@ pub fn report_to_json(run: &str, scale: &str, rows: &[ReportRow]) -> String {
             r.batched_flushes,
             r.pages_migrated,
             r.fetch_overlap_cycles_hidden,
+            r.hints_sent,
+            r.hinted_fetches_issued,
+            r.hinted_fetches_completed,
+            r.hinted_fetches_wasted,
+            r.deferred_flushes,
+            r.flush_overlap_cycles_hidden,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -288,6 +325,12 @@ pub fn parse_report(json: &str) -> Result<Vec<ReportRow>, String> {
                 batched_flushes: counter("batched_flushes").unwrap_or(0),
                 pages_migrated: counter("pages_migrated").unwrap_or(0),
                 fetch_overlap_cycles_hidden: counter("fetch_overlap_cycles_hidden").unwrap_or(0),
+                hints_sent: counter("hints_sent").unwrap_or(0),
+                hinted_fetches_issued: counter("hinted_fetches_issued").unwrap_or(0),
+                hinted_fetches_completed: counter("hinted_fetches_completed").unwrap_or(0),
+                hinted_fetches_wasted: counter("hinted_fetches_wasted").unwrap_or(0),
+                deferred_flushes: counter("deferred_flushes").unwrap_or(0),
+                flush_overlap_cycles_hidden: counter("flush_overlap_cycles_hidden").unwrap_or(0),
             })
         })
         .collect()
@@ -383,6 +426,101 @@ pub fn compare_to_baseline(
         }
     }
     regressions
+}
+
+/// Render a measured sweep against its baseline as a GitHub-flavoured
+/// markdown table (written to `$GITHUB_STEP_SUMMARY` by the CI gate), so a
+/// failing — or passing — bench gate shows its per-app deltas instead of
+/// only an exit code.
+///
+/// One row per (app, protocol, nodes) key of the *current* sweep, with the
+/// relative delta of the headline metrics against the baseline envelope and
+/// a status column; baseline rows that were not measured at all are listed
+/// after the table (they are gate failures).
+pub fn markdown_summary(
+    current: &[ReportRow],
+    baseline: &[ReportRow],
+    regressions: &[String],
+) -> String {
+    let base: HashMap<(String, String, u64), &ReportRow> =
+        baseline.iter().map(|row| (row.key(), row)).collect();
+    let delta = |b: f64, n: f64| -> String {
+        if b == 0.0 {
+            if n == 0.0 {
+                "—".to_string()
+            } else {
+                format!("+{n:.0}")
+            }
+        } else {
+            format!("{:+.1}%", (n - b) / b * 100.0)
+        }
+    };
+    let mut out = String::new();
+    out.push_str("## Bench gate: per-app deltas vs committed baseline\n\n");
+    out.push_str(&format!(
+        "{} row(s) measured, {} baseline row(s), {} regression(s).\n\n",
+        current.len(),
+        baseline.len(),
+        regressions.len()
+    ));
+    out.push_str(
+        "| app | protocol | nodes | exec (s) | Δ exec | page loads | Δ loads | Δ loads/epoch | status |\n\
+         |---|---|---|---|---|---|---|---|---|\n",
+    );
+    for row in current {
+        let key = row.key();
+        let status = if regressions.iter().any(|r| {
+            r.starts_with(&format!(
+                "{}/{} @ {} nodes",
+                row.app, row.protocol, row.nodes
+            ))
+        }) {
+            "❌ regressed"
+        } else if base.contains_key(&key) {
+            "✅"
+        } else {
+            "🆕 no baseline"
+        };
+        match base.get(&key) {
+            Some(b) => out.push_str(&format!(
+                "| {} | {} | {} | {:.4} | {} | {} | {} | {} | {} |\n",
+                row.app,
+                row.protocol,
+                row.nodes,
+                row.exec_seconds,
+                delta(b.exec_seconds, row.exec_seconds),
+                row.page_loads,
+                delta(b.page_loads as f64, row.page_loads as f64),
+                delta(b.loads_per_epoch, row.loads_per_epoch),
+                status
+            )),
+            None => out.push_str(&format!(
+                "| {} | {} | {} | {:.4} | — | {} | — | — | {} |\n",
+                row.app, row.protocol, row.nodes, row.exec_seconds, row.page_loads, status
+            )),
+        }
+    }
+    let measured: HashMap<(String, String, u64), &ReportRow> =
+        current.iter().map(|row| (row.key(), row)).collect();
+    let dropped: Vec<&ReportRow> = baseline
+        .iter()
+        .filter(|b| !measured.contains_key(&b.key()))
+        .collect();
+    if !dropped.is_empty() {
+        out.push_str("\n**Baseline rows not measured (gate failures):**\n\n");
+        for b in dropped {
+            out.push_str(&format!("- {}/{} @ {} nodes\n", b.app, b.protocol, b.nodes));
+        }
+    }
+    if !regressions.is_empty() {
+        out.push_str("\n<details><summary>Regression detail</summary>\n\n");
+        for r in regressions {
+            out.push_str(&format!("- {r}\n"));
+        }
+        out.push_str("\n</details>\n");
+    }
+    out.push('\n');
+    out
 }
 
 // ----- a minimal JSON value + parser ---------------------------------------
@@ -700,6 +838,12 @@ mod tests {
             batched_flushes: 0,
             pages_migrated: 0,
             fetch_overlap_cycles_hidden: 0,
+            hints_sent: 0,
+            hinted_fetches_issued: 0,
+            hinted_fetches_completed: 0,
+            hinted_fetches_wasted: 0,
+            deferred_flushes: 0,
+            flush_overlap_cycles_hidden: 0,
         });
         let findings = compare_to_baseline(&rows, &baseline, DEFAULT_TOLERANCE);
         assert!(findings.iter().any(|f| f.contains("not measured")));

@@ -5,14 +5,26 @@
 //! §3.1), so two nodes writing different fields of the same page never
 //! overwrite each other's updates (no false sharing at flush time).
 
-use hyperion_pm2::PageId;
+use hyperion_pm2::{PageId, SLOTS_PER_PAGE};
 
 /// One modified slot: `(slot index within the page, new value)`.
 pub type DiffEntry = (u16, u64);
 
+/// Tag bit on the leading page id of a fetch request marking it as
+/// *hint-suppressed*: the home must not piggyback prefetch-directory hints
+/// on the reply.  Hint-driven fetches set it so one hint can never recurse
+/// into a chain of further hints.  Real page numbers never use the top bit.
+const FETCH_NOHINT_TAG: u64 = 1 << 63;
+
 /// Encode a page-fetch request.
 pub fn encode_page_request(page: PageId) -> Vec<u8> {
     page.0.to_le_bytes().to_vec()
+}
+
+/// Encode a hint-suppressed page-fetch request (issued when converting a
+/// prefetch-directory hint into a split-transaction fetch).
+pub fn encode_page_request_nohint(page: PageId) -> Vec<u8> {
+    (page.0 | FETCH_NOHINT_TAG).to_le_bytes().to_vec()
 }
 
 /// Decode a page-fetch request.
@@ -21,7 +33,7 @@ pub fn encode_page_request(page: PageId) -> Vec<u8> {
 /// Panics if the payload is malformed.
 pub fn decode_page_request(payload: &[u8]) -> PageId {
     assert_eq!(payload.len(), 8, "malformed page request");
-    PageId(u64::from_le_bytes(payload.try_into().expect("8 bytes")))
+    PageId(u64::from_le_bytes(payload.try_into().expect("8 bytes")) & !FETCH_NOHINT_TAG)
 }
 
 /// Encode a batched page-fetch request: `count` contiguous pages starting at
@@ -39,21 +51,93 @@ pub fn encode_page_batch_request(first: PageId, count: u32) -> Vec<u8> {
 
 /// Decode a page-fetch request in either form: the 8-byte single-page
 /// request of [`encode_page_request`] (count 1) or the 12-byte batched
-/// request of [`encode_page_batch_request`].
+/// request of [`encode_page_batch_request`].  The third component is `true`
+/// when the home may piggyback prefetch-directory hints on the reply
+/// (cleared by [`encode_page_request_nohint`]).
 ///
 /// # Panics
 /// Panics if the payload is malformed.
-pub fn decode_page_fetch_request(payload: &[u8]) -> (PageId, u32) {
+pub fn decode_page_fetch_request(payload: &[u8]) -> (PageId, u32, bool) {
     match payload.len() {
-        8 => (decode_page_request(payload), 1),
+        8 => {
+            let raw = u64::from_le_bytes(payload.try_into().expect("8 bytes"));
+            (
+                PageId(raw & !FETCH_NOHINT_TAG),
+                1,
+                raw & FETCH_NOHINT_TAG == 0,
+            )
+        }
         12 => {
-            let first = PageId(u64::from_le_bytes(payload[0..8].try_into().expect("8")));
+            let raw = u64::from_le_bytes(payload[0..8].try_into().expect("8"));
             let count = u32::from_le_bytes(payload[8..12].try_into().expect("4"));
             assert!(count > 0, "malformed batched page request: zero pages");
-            (first, count)
+            (
+                PageId(raw & !FETCH_NOHINT_TAG),
+                count,
+                raw & FETCH_NOHINT_TAG == 0,
+            )
         }
         _ => panic!("malformed page fetch request ({} bytes)", payload.len()),
     }
+}
+
+/// One prefetch-directory hint: a run of `1`-or-more contiguous pages
+/// (starting at the id) the home predicts the requester will touch soon.
+pub type HintRun = (PageId, u16);
+
+/// Bytes one encoded hint entry occupies on the wire.
+const HINT_ENTRY_BYTES: usize = 10;
+
+/// Append a prefetch-directory hint trailer to a page-fetch reply: `hints`
+/// entries of 10 bytes each (8-byte first page id + 2-byte run length)
+/// followed by a 2-byte entry count.  The requester knows where the page
+/// data ends (it knows how many pages it asked for), so the trailer is
+/// parsed from the end of the reply.
+pub fn append_fetch_hints(reply: &mut Vec<u8>, hints: &[HintRun]) {
+    if hints.is_empty() {
+        return;
+    }
+    for (first, run) in hints {
+        assert!(*run > 0, "a hint run covers at least one page");
+        reply.extend_from_slice(&first.0.to_le_bytes());
+        reply.extend_from_slice(&run.to_le_bytes());
+    }
+    reply.extend_from_slice(&(hints.len() as u16).to_le_bytes());
+}
+
+/// Split a page-fetch reply into the raw page data of the `pages` requested
+/// pages and the hint trailer appended by [`append_fetch_hints`] (empty when
+/// the home sent none).
+///
+/// # Panics
+/// Panics if the reply is malformed.
+pub fn split_fetch_reply(reply: &[u8], pages: usize) -> (&[u8], Vec<HintRun>) {
+    let data_len = pages * SLOTS_PER_PAGE * 8;
+    if reply.len() == data_len {
+        return (reply, Vec::new());
+    }
+    assert!(
+        reply.len() >= data_len + 2,
+        "fetch reply too short for a hint trailer"
+    );
+    let n = u16::from_le_bytes(reply[reply.len() - 2..].try_into().expect("2")) as usize;
+    assert_eq!(
+        reply.len(),
+        data_len + n * HINT_ENTRY_BYTES + 2,
+        "fetch reply hint trailer length mismatch"
+    );
+    let mut hints = Vec::with_capacity(n);
+    let mut off = data_len;
+    for _ in 0..n {
+        let first = PageId(u64::from_le_bytes(
+            reply[off..off + 8].try_into().expect("8"),
+        ));
+        let run = u16::from_le_bytes(reply[off + 8..off + 10].try_into().expect("2"));
+        assert!(run > 0, "malformed hint run of zero pages");
+        hints.push((first, run));
+        off += HINT_ENTRY_BYTES;
+    }
+    (&reply[..data_len], hints)
 }
 
 /// Encode a diff message: page id followed by `(slot, value)` pairs.
@@ -199,10 +283,52 @@ mod tests {
     fn batched_page_request_round_trip() {
         let enc = encode_page_batch_request(PageId(7), 4);
         assert_eq!(enc.len(), 12);
-        assert_eq!(decode_page_fetch_request(&enc), (PageId(7), 4));
+        assert_eq!(decode_page_fetch_request(&enc), (PageId(7), 4, true));
         // The single-page form decodes as a batch of one.
         let single = encode_page_request(PageId(9));
-        assert_eq!(decode_page_fetch_request(&single), (PageId(9), 1));
+        assert_eq!(decode_page_fetch_request(&single), (PageId(9), 1, true));
+    }
+
+    #[test]
+    fn nohint_request_round_trips_and_suppresses_hints() {
+        let enc = encode_page_request_nohint(PageId(11));
+        assert_eq!(enc.len(), 8);
+        assert_eq!(decode_page_fetch_request(&enc), (PageId(11), 1, false));
+        // The plain decoder masks the tag off, too.
+        assert_eq!(decode_page_request(&enc), PageId(11));
+    }
+
+    #[test]
+    fn fetch_reply_hint_trailer_round_trips() {
+        let page = SLOTS_PER_PAGE * 8;
+        let mut reply = vec![7u8; page * 2];
+        // No hints: the reply is pure page data.
+        append_fetch_hints(&mut reply, &[]);
+        let (data, hints) = split_fetch_reply(&reply, 2);
+        assert_eq!(data.len(), page * 2);
+        assert!(hints.is_empty());
+        // Two hint runs survive the round trip and leave the data intact.
+        append_fetch_hints(&mut reply, &[(PageId(40), 3), (PageId(90), 1)]);
+        let (data, hints) = split_fetch_reply(&reply, 2);
+        assert_eq!(data.len(), page * 2);
+        assert!(data.iter().all(|&b| b == 7));
+        assert_eq!(hints, vec![(PageId(40), 3), (PageId(90), 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_length_hint_run_rejected() {
+        let mut reply = Vec::new();
+        append_fetch_hints(&mut reply, &[(PageId(1), 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn truncated_hint_trailer_rejected() {
+        let mut reply = vec![0u8; SLOTS_PER_PAGE * 8];
+        append_fetch_hints(&mut reply, &[(PageId(3), 2)]);
+        reply.remove(SLOTS_PER_PAGE * 8); // drop one trailer byte
+        let _ = split_fetch_reply(&reply, 1);
     }
 
     #[test]

@@ -33,5 +33,7 @@ pub mod protocol;
 pub mod table;
 
 pub use page::{AdMode, PageData, PageFrame};
-pub use protocol::{AdaptiveParams, DsmSystem, Locality, ProtocolKind, TransportConfig};
+pub use protocol::{
+    AdaptiveParams, DeferredFlush, DsmSystem, Locality, ProtocolKind, TransportConfig,
+};
 pub use table::DsmStore;

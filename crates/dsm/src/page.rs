@@ -151,6 +151,29 @@ pub struct PageFrame {
     /// Split-transaction transport: virtual issue time of the in-flight
     /// fetch (valid only while `inflight_completion_ps` is non-zero).
     inflight_issue_ps: AtomicU64,
+    /// True if the current in-flight ticket was issued by converting a
+    /// prefetch-directory hint (valid only while `inflight_completion_ps` is
+    /// non-zero).  A hinted ticket still pending at invalidation time means
+    /// the hint was wasted.
+    inflight_hinted: AtomicBool,
+    /// Prefetch directory (home frames only): home-node fetch sequence
+    /// number at the most recent fetch of this page (0 = never fetched).
+    dir_last_seq: AtomicU64,
+    /// Prefetch directory: the node that performed that fetch, stored as
+    /// `node + 1` (0 = none).
+    dir_last_req: AtomicU64,
+    /// Prefetch directory: sequence number of the fetch before that.
+    dir_prev_seq: AtomicU64,
+    /// Prefetch directory: the requester before the most recent one.
+    dir_prev_req: AtomicU64,
+    /// Prefetch directory: the page (id + 1, 0 = none) some requester
+    /// fetched from this home *right after* fetching this page — a learned
+    /// successor pair, not necessarily contiguous (e.g. the two pages a
+    /// boundary row spans, re-fetched in order every epoch).
+    dir_next_page: AtomicU64,
+    /// Prefetch directory: sequence number at which that successor pair was
+    /// last observed.
+    dir_next_seq: AtomicU64,
     /// Home migration (home frames only): Boyer–Moore majority candidate for
     /// the dominant diff writer, stored as `writer + 1` (0 = none).
     mig_candidate: AtomicU64,
@@ -184,6 +207,13 @@ impl PageFrame {
             ad_epoch_streak: AtomicU64::new(0),
             inflight_completion_ps: AtomicU64::new(0),
             inflight_issue_ps: AtomicU64::new(0),
+            inflight_hinted: AtomicBool::new(false),
+            dir_last_seq: AtomicU64::new(0),
+            dir_last_req: AtomicU64::new(0),
+            dir_prev_seq: AtomicU64::new(0),
+            dir_prev_req: AtomicU64::new(0),
+            dir_next_page: AtomicU64::new(0),
+            dir_next_seq: AtomicU64::new(0),
             mig_candidate: AtomicU64::new(0),
             mig_count: AtomicU64::new(0),
             mig_required: AtomicU64::new(0),
@@ -257,6 +287,7 @@ impl PageFrame {
         // A fetch still in flight for this copy is abandoned with it: the
         // issue costs were already charged, and nobody will use the data.
         self.inflight_completion_ps.store(0, Ordering::Release);
+        self.inflight_hinted.store(false, Ordering::Relaxed);
         if reprotect {
             self.protected.store(true, Ordering::Release);
         }
@@ -377,14 +408,25 @@ impl PageFrame {
     /// time) at `completion_ps`.  The first real use of the page consumes
     /// the ticket via [`PageFrame::take_inflight`].
     pub fn begin_inflight(&self, issue_ps: u64, completion_ps: u64) {
+        self.inflight_hinted.store(false, Ordering::Relaxed);
+        self.inflight_issue_ps.store(issue_ps, Ordering::Relaxed);
+        self.inflight_completion_ps
+            .store(completion_ps.max(1), Ordering::Release);
+    }
+
+    /// [`PageFrame::begin_inflight`] for a ticket issued by converting a
+    /// prefetch-directory hint, so its completion and waste are accounted
+    /// separately.
+    pub fn begin_inflight_hinted(&self, issue_ps: u64, completion_ps: u64) {
+        self.inflight_hinted.store(true, Ordering::Relaxed);
         self.inflight_issue_ps.store(issue_ps, Ordering::Relaxed);
         self.inflight_completion_ps
             .store(completion_ps.max(1), Ordering::Release);
     }
 
     /// Consume the in-flight ticket, if any: returns
-    /// `(issue_ps, completion_ps)` exactly once per transaction.
-    pub fn take_inflight(&self) -> Option<(u64, u64)> {
+    /// `(issue_ps, completion_ps, hinted)` exactly once per transaction.
+    pub fn take_inflight(&self) -> Option<(u64, u64, bool)> {
         // Fast path: nothing in flight (the common case on every access).
         if self.inflight_completion_ps.load(Ordering::Acquire) == 0 {
             return None;
@@ -393,13 +435,84 @@ impl PageFrame {
         if completion == 0 {
             return None; // another thread completed it first
         }
-        Some((self.inflight_issue_ps.load(Ordering::Relaxed), completion))
+        Some((
+            self.inflight_issue_ps.load(Ordering::Relaxed),
+            completion,
+            self.inflight_hinted.swap(false, Ordering::Relaxed),
+        ))
     }
 
     /// True if a split fetch for this frame has been issued but not yet
     /// completed at a use site.
     pub fn has_inflight(&self) -> bool {
         self.inflight_completion_ps.load(Ordering::Acquire) != 0
+    }
+
+    /// True if the pending in-flight ticket (if any) was hint-issued.  Read
+    /// at invalidation time, when a still-pending hinted ticket means the
+    /// hint never paid off.
+    pub fn inflight_is_hinted(&self) -> bool {
+        self.has_inflight() && self.inflight_hinted.load(Ordering::Relaxed)
+    }
+
+    // ----- home-side prefetch directory --------------------------------------
+
+    /// Record one fetch of this (home) page by `requester` at home-fetch
+    /// sequence `seq`, shifting the previous observation into the
+    /// second-most-recent slot.
+    pub fn dir_record_fetch(&self, requester: u64, seq: u64) {
+        let last_req = self.dir_last_req.load(Ordering::Relaxed);
+        let last_seq = self.dir_last_seq.load(Ordering::Relaxed);
+        self.dir_prev_req.store(last_req, Ordering::Relaxed);
+        self.dir_prev_seq.store(last_seq, Ordering::Relaxed);
+        self.dir_last_req.store(requester + 1, Ordering::Relaxed);
+        self.dir_last_seq.store(seq, Ordering::Relaxed);
+    }
+
+    /// Record that a requester fetched page `next` from this home right
+    /// after fetching this page (a successor pair learned at sequence
+    /// `seq`).
+    pub fn dir_record_next(&self, next: u64, seq: u64) {
+        self.dir_next_page.store(next + 1, Ordering::Relaxed);
+        self.dir_next_seq.store(seq, Ordering::Relaxed);
+    }
+
+    /// The page id some requester followed this page with, if that
+    /// observation is within the last `window` home-fetch events before
+    /// `now_seq`.
+    pub fn dir_recent_next(&self, now_seq: u64, window: u64) -> Option<u64> {
+        let next = self.dir_next_page.load(Ordering::Relaxed);
+        let seq = self.dir_next_seq.load(Ordering::Relaxed);
+        if next != 0 && seq != 0 && now_seq.saturating_sub(seq) <= window {
+            Some(next - 1)
+        } else {
+            None
+        }
+    }
+
+    /// The up-to-two most recent fetchers of this page observed within the
+    /// last `window` home-fetch events before `now_seq`, as `node + 1` tags
+    /// (0 = empty slot).  The directory's co-fetch predicate intersects
+    /// these across neighbouring pages: a hint for `q` is only justified by
+    /// a node that fetched *both* the demanded page and `q` recently.
+    pub fn dir_recent_fetchers(&self, now_seq: u64, window: u64) -> [u64; 2] {
+        let pick = |seq: u64, req: u64| {
+            if req != 0 && seq != 0 && now_seq.saturating_sub(seq) <= window {
+                req
+            } else {
+                0
+            }
+        };
+        [
+            pick(
+                self.dir_last_seq.load(Ordering::Relaxed),
+                self.dir_last_req.load(Ordering::Relaxed),
+            ),
+            pick(
+                self.dir_prev_seq.load(Ordering::Relaxed),
+                self.dir_prev_req.load(Ordering::Relaxed),
+            ),
+        ]
     }
 
     // ----- home migration ----------------------------------------------------
@@ -492,6 +605,7 @@ impl PageFrame {
             word.store(0, Ordering::Relaxed);
         }
         self.inflight_completion_ps.store(0, Ordering::Release);
+        self.inflight_hinted.store(false, Ordering::Relaxed);
         self.protected.store(false, Ordering::Release);
         self.present.store(true, Ordering::Release);
     }
@@ -655,6 +769,54 @@ mod tests {
         frame.ad_mark_prefetched();
         frame.ad_record_access();
         assert!(!frame.ad_take_wasted_prefetch());
+    }
+
+    #[test]
+    fn inflight_tickets_distinguish_hinted_from_plain() {
+        let frame = PageFrame::new_remote();
+        assert!(frame.take_inflight().is_none());
+
+        frame.begin_inflight(10, 20);
+        assert!(frame.has_inflight());
+        assert!(!frame.inflight_is_hinted());
+        assert_eq!(frame.take_inflight(), Some((10, 20, false)));
+        assert!(frame.take_inflight().is_none(), "ticket consumed once");
+
+        frame.begin_inflight_hinted(30, 40);
+        assert!(frame.inflight_is_hinted());
+        assert_eq!(frame.take_inflight(), Some((30, 40, true)));
+        assert!(!frame.inflight_is_hinted());
+
+        // Invalidation abandons a pending hinted ticket entirely.
+        frame.begin_inflight_hinted(50, 60);
+        frame.invalidate(false);
+        assert!(!frame.has_inflight());
+        assert!(!frame.inflight_is_hinted());
+    }
+
+    #[test]
+    fn directory_tracks_the_last_two_fetchers() {
+        let frame = PageFrame::new_home();
+        // Never fetched: nothing is recent.
+        assert_eq!(frame.dir_recent_fetchers(10, 100), [0, 0]);
+
+        frame.dir_record_fetch(1, 5);
+        assert_eq!(frame.dir_recent_fetchers(6, 8), [2, 0], "node 1 as tag 2");
+        assert_eq!(
+            frame.dir_recent_fetchers(50, 8),
+            [0, 0],
+            "stale observation"
+        );
+
+        // The previous fetcher is remembered one observation deep.
+        frame.dir_record_fetch(2, 7);
+        assert_eq!(frame.dir_recent_fetchers(8, 8), [3, 2]);
+        frame.dir_record_fetch(2, 9);
+        assert_eq!(
+            frame.dir_recent_fetchers(10, 8),
+            [3, 3],
+            "node 1 aged out of the two-deep history"
+        );
     }
 
     #[test]

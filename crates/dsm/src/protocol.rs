@@ -41,7 +41,7 @@ use hyperion_pm2::{
 use crate::diff::{
     decode_diff_message, decode_migration_grant, decode_page_fetch_request, encode_diff,
     encode_diff_batch, encode_migration_grant, encode_page_batch_request, encode_page_request,
-    DiffEntry,
+    encode_page_request_nohint, split_fetch_reply, DiffEntry, HintRun,
 };
 use crate::page::{AdMode, PageFrame};
 use crate::table::DsmStore;
@@ -155,6 +155,24 @@ pub struct TransportConfig {
     /// writer must reach before the home migrates to it.  Doubled per page
     /// after each migration, so ping-ponging homes back off geometrically.
     pub migration_streak: u32,
+    /// Cluster-wide prefetch directory: each home keeps a small per-page
+    /// fetch history and piggybacks "a neighbour also fetched p..p+k" hints
+    /// on fetch replies; requesters convert hints into split-transaction
+    /// tickets, so a later demand miss on a hinted page completes an
+    /// already in-flight RPC instead of issuing one.  Requires
+    /// [`TransportConfig::overlapped_fetches`]; off by default.
+    pub prefetch_hints: bool,
+    /// Largest number of contiguous pages one reply's hint run may name.
+    pub hint_window: usize,
+    /// Deferred release flushing: `updateMainMemory` at a monitor exit
+    /// hands its coalesced diff batches to a per-monitor deferred-flush
+    /// queue as split transactions; the flush only has to complete before
+    /// the *next acquire of the same monitor*, which is where the residual
+    /// latency is charged (the JMM's release/acquire edge is exactly
+    /// per-monitor, so deferring to the hand-off preserves happens-before).
+    /// Release points with thread-level edges (`Thread.start`, `join`,
+    /// migration, program exit) always flush blocking.  Off by default.
+    pub deferred_flush: bool,
 }
 
 impl Default for TransportConfig {
@@ -164,23 +182,27 @@ impl Default for TransportConfig {
             max_flush_batch_pages: 8,
             home_migration: false,
             migration_streak: 3,
+            prefetch_hints: false,
+            hint_window: 4,
+            deferred_flush: false,
         }
     }
 }
 
 impl TransportConfig {
     /// The paper's blocking transport: no overlap, no flush batching, no
-    /// home migration.
+    /// home migration, no prefetch directory, no deferred flushing.
     pub fn blocking() -> Self {
         TransportConfig {
             overlapped_fetches: false,
             max_flush_batch_pages: 1,
-            home_migration: false,
-            migration_streak: 3,
+            ..TransportConfig::default()
         }
     }
 
-    /// Every latency-hiding mechanism enabled.
+    /// The latency-hiding transport of the split-transaction PR: overlapped
+    /// fetches, batched flushing and home migration (the prefetch directory
+    /// and deferred flushing stay off — see [`TransportConfig::directory`]).
     pub fn latency_hiding() -> Self {
         TransportConfig {
             overlapped_fetches: true,
@@ -188,6 +210,32 @@ impl TransportConfig {
             ..TransportConfig::default()
         }
     }
+
+    /// The prefetch-directory transport: overlapped fetches plus
+    /// cluster-wide hints and deferred release flushing (home migration is
+    /// left off so directory effects are measured in isolation).
+    pub fn directory() -> Self {
+        TransportConfig {
+            overlapped_fetches: true,
+            prefetch_hints: true,
+            deferred_flush: true,
+            ..TransportConfig::default()
+        }
+    }
+}
+
+/// The record a deferred release flush leaves behind: the virtual instant
+/// the flush RPCs were issued and the instant the last of them completes.
+/// The monitor that performed the release stores it and merges `completion`
+/// into the next acquirer's clock (see [`TransportConfig::deferred_flush`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeferredFlush {
+    /// Virtual time at which the releasing thread finished issuing the
+    /// flush RPCs (everything before this was charged at the release).
+    pub issue: VTime,
+    /// Virtual time at which the last flush RPC completes; the next acquire
+    /// of the same monitor can not happen before this.
+    pub completion: VTime,
 }
 
 /// The thresholds of [`AdaptiveParams`] resolved against a concrete machine
@@ -265,17 +313,114 @@ impl std::fmt::Display for Locality {
     }
 }
 
-/// RPC service: ship a copy of a home page to a requesting node.
+/// How many home-fetch events back a directory observation still counts as
+/// "recent" for the neighbour-also-fetched predicate.  Small enough that an
+/// observation from several invalidation epochs ago (whose prediction the
+/// next acquire would kill anyway) no longer generates hints.
+const HINT_RECENT_WINDOW: u64 = 6;
+
+/// RPC service: ship a copy of a home page to a requesting node and, when
+/// the prefetch directory is enabled, piggyback "a neighbour also fetched
+/// p..p+k" hints derived from the home's per-page fetch history.
 struct PageFetchService {
     store: Arc<DsmStore>,
     cpu: CpuModel,
     dsm: DsmCostModel,
+    transport: TransportConfig,
+}
+
+impl PageFetchService {
+    /// Consult the directory for a hint run following the served span
+    /// `[first, first + count)`: contiguous same-home pages that the
+    /// requester is predicted to touch soon, because either
+    ///
+    /// * the request extended the requester's own stride run (`stride`:
+    ///   the page before `first` was the previous page this home served
+    ///   the caller — scans keep scanning), or
+    /// * a *neighbour co-fetched* the run: some other node recently
+    ///   fetched both the demanded span and the candidate page, so a node
+    ///   that is now where the neighbour was is predicted to follow it.
+    ///
+    /// Requiring the *same* neighbour on both sides is what keeps the
+    /// directory from hinting pages that merely happen to be busy (e.g.
+    /// another node's private boundary row that the requester never reads).
+    fn hint_run(
+        &self,
+        home: NodeId,
+        caller: NodeId,
+        first: PageId,
+        count: u32,
+        stride: bool,
+        seq: u64,
+    ) -> u16 {
+        let num_pages = self.store.allocator().num_pages();
+        let caller_tag = caller.0 as u64 + 1;
+        // Neighbours that recently fetched the tail of the demanded span.
+        let last = PageId(first.0 + count as u64 - 1);
+        let neighbours: Vec<u64> = self
+            .store
+            .with_frame(home, last, |f| {
+                f.dir_recent_fetchers(seq, HINT_RECENT_WINDOW)
+            })
+            .into_iter()
+            .filter(|&t| t != 0 && t != caller_tag)
+            .collect();
+        if !stride && neighbours.is_empty() {
+            return 0;
+        }
+        let next = first.0 + count as u64;
+        let mut run = 0u16;
+        for k in 0..self.transport.hint_window as u64 {
+            let q = PageId(next + k);
+            if q.index() >= num_pages || self.store.home_of(q) != home {
+                break;
+            }
+            let co_fetched = !neighbours.is_empty()
+                && self.store.with_frame(home, q, |f| {
+                    f.dir_recent_fetchers(seq, HINT_RECENT_WINDOW)
+                        .iter()
+                        .any(|t| neighbours.contains(t))
+                });
+            if !stride && !co_fetched {
+                break;
+            }
+            run += 1;
+        }
+        run
+    }
 }
 
 impl RpcHandler for PageFetchService {
-    fn handle(&self, target: &Node, _caller: NodeId, payload: &[u8]) -> RpcReply {
-        let (first, count) = decode_page_fetch_request(payload);
+    fn handle(&self, target: &Node, caller: NodeId, payload: &[u8]) -> RpcReply {
+        let (first, count, hints_ok) = decode_page_fetch_request(payload);
         let mut bytes = Vec::with_capacity(PAGE_BYTES * count as usize);
+        let home = target.id();
+        let last = PageId(first.0 + count as u64 - 1);
+        // Directory bookkeeping exists only for the hint path: with hints
+        // off, the fetch handler does exactly what the plain split-
+        // transaction transport did (no stamps, no history writes).
+        let hints = self.transport.prefetch_hints;
+        let mut stride = false;
+        let mut seq = 0u64;
+        if hints {
+            // One directory stamp per request: the pages of a batch arrive
+            // together, so they share one "fetch event".
+            seq = self.store.next_fetch_seq(home);
+            let prev = self.store.swap_last_fetch(home, caller, last);
+            stride = prev != 0 && prev == first.0; // prev stores page id + 1
+            if prev != 0 && prev - 1 != first.0 && prev - 1 != last.0 {
+                // Learn the successor pair: the caller followed its previous
+                // page from this home with this span.  This is what lets the
+                // directory predict non-contiguous re-fetch sequences (e.g.
+                // the two pages a boundary row spans) from the second epoch
+                // on.
+                self.store.with_frame(
+                    self.store.home_of(PageId(prev - 1)),
+                    PageId(prev - 1),
+                    |f| f.dir_record_next(first.0, seq),
+                );
+            }
+        }
         for k in 0..count as u64 {
             let page = PageId(first.0 + k);
             // Serve the *current* home's copy: normally that is `target`,
@@ -288,15 +433,40 @@ impl RpcHandler for PageFetchService {
                 home_now == target.id() || self.store.page_migrated(page),
                 "page fetch sent to a node that is not the page's home"
             );
-            bytes.extend_from_slice(
-                &self
-                    .store
-                    .with_frame(home_now, page, |f| f.data().snapshot_bytes()),
-            );
+            bytes.extend_from_slice(&self.store.with_frame(home_now, page, |f| {
+                if hints {
+                    f.dir_record_fetch(caller.0 as u64, seq);
+                }
+                f.data().snapshot_bytes()
+            }));
+        }
+        let mut hint_entries = 0u16;
+        if self.transport.prefetch_hints && hints_ok {
+            let run = self.hint_run(home, caller, first, count, stride, seq);
+            if run > 0 {
+                crate::diff::append_fetch_hints(
+                    &mut bytes,
+                    &[(PageId(first.0 + count as u64), run)],
+                );
+                hint_entries = 1;
+                NodeStats::bump_by(&target.stats.hints_sent, run as u64);
+            } else if let Some(next) = self
+                .store
+                .with_frame(home, last, |f| f.dir_recent_next(seq, HINT_RECENT_WINDOW))
+                .filter(|&n| n != first.0 && n != last.0)
+            {
+                // No contiguous run, but the directory has seen a requester
+                // follow this page with another one (a learned successor
+                // pair): hint that single page.
+                crate::diff::append_fetch_hints(&mut bytes, &[(PageId(next), 1)]);
+                hint_entries = 1;
+                NodeStats::bump(&target.stats.hints_sent);
+            }
         }
         let service = self.cpu.cycles(
             self.dsm.page_copy_cycles_per_slot * (SLOTS_PER_PAGE * count as usize) as f64
-                + self.dsm.batch_page_cycles * (count - 1) as f64,
+                + self.dsm.batch_page_cycles * (count - 1) as f64
+                + self.dsm.hint_entry_cycles * hint_entries as f64,
         );
         RpcReply::with_data(bytes, service)
     }
@@ -458,6 +628,7 @@ impl DsmSystem {
             store: Arc::clone(&store),
             cpu: cpu.clone(),
             dsm: dsm.clone(),
+            transport: transport.clone(),
         }));
         let diff_apply = cluster.register_service(Arc::new(DiffApplyService {
             store: Arc::clone(&store),
@@ -794,6 +965,7 @@ impl DsmSystem {
         }
 
         let mut reprotected = false;
+        let mut hint_waste = 0u64;
         for (_, frame) in &cached {
             let reprotect = match self.kind {
                 ProtocolKind::JavaIc => false,
@@ -803,7 +975,16 @@ impl DsmSystem {
                 ProtocolKind::JavaAd => frame.ad_mode() == AdMode::Protect,
             };
             reprotected |= reprotect;
+            // A hinted ticket still pending here means the predicted demand
+            // miss never came: the hint was wasted.  The counter feeds the
+            // requester-side throttle in `issue_hint_fetches`.
+            if frame.inflight_is_hinted() {
+                hint_waste += 1;
+            }
             frame.invalidate(reprotect);
+        }
+        if hint_waste > 0 {
+            NodeStats::bump_by(&node_ref.stats.hinted_fetches_wasted, hint_waste);
         }
 
         let n = cached.len() as u64;
@@ -826,13 +1007,48 @@ impl DsmSystem {
     /// monitor exit.
     pub fn update_main_memory(&self, node: NodeId, clock: &mut ThreadClock) {
         let node_ref = self.cluster.node(node);
+        let dirty = self.collect_dirty(node);
+        self.flush_frames(node, node_ref, clock, &dirty);
+    }
+
+    /// All non-home frames of `node` holding unflushed modifications, in
+    /// page-id order (the shape `flush_frames` batches over).
+    fn collect_dirty(&self, node: NodeId) -> Vec<(PageId, Arc<PageFrame>)> {
         let mut dirty: Vec<(PageId, Arc<PageFrame>)> = Vec::new();
         self.store.for_each_frame(node, |page, frame| {
             if !frame.is_home() && frame.has_dirty_slots() {
                 dirty.push((page, self.store.frame(node, page)));
             }
         });
-        self.flush_frames(node, node_ref, clock, &dirty);
+        dirty
+    }
+
+    /// Deferred-release form of [`DsmSystem::update_main_memory`]: the diff
+    /// batches are issued as split transactions, the caller is charged only
+    /// the issue path, and the returned [`DeferredFlush`] names the virtual
+    /// instant the last flush RPC completes.  The caller (the monitor layer)
+    /// must make the *next acquire of the same monitor* merge that instant —
+    /// that is exactly the happens-before edge the JMM requires of a
+    /// release, so deferring to the hand-off is semantics-preserving.
+    ///
+    /// With [`TransportConfig::deferred_flush`] disabled (or nothing dirty)
+    /// this falls back to the blocking flush and returns `None`.
+    pub fn update_main_memory_deferred(
+        &self,
+        node: NodeId,
+        clock: &mut ThreadClock,
+    ) -> Option<DeferredFlush> {
+        if !self.transport.deferred_flush {
+            self.update_main_memory(node, clock);
+            return None;
+        }
+        let node_ref = self.cluster.node(node);
+        let dirty = self.collect_dirty(node);
+        let completion = self.flush_frames_inner(node, node_ref, clock, &dirty, true)?;
+        Some(DeferredFlush {
+            issue: clock.now(),
+            completion,
+        })
     }
 
     /// True if `node` currently holds an accessible copy of `page`.
@@ -964,6 +1180,7 @@ impl DsmSystem {
         // Hidden latency is measured from the end of the issue path: that is
         // the instant a blocking transport would have started stalling.
         let issue = clock.now();
+        let (data, hints) = split_fetch_reply(&bytes, 1);
         if frame.is_home() {
             // A concurrent migration grant promoted this frame to home while
             // the fetch was in flight: the frame already holds the
@@ -974,7 +1191,7 @@ impl DsmSystem {
             clock.merge(completion);
             return;
         }
-        frame.install_copy(&bytes);
+        frame.install_copy(data);
 
         if unprotect_after {
             NodeStats::bump(&node_ref.stats.mprotect_calls);
@@ -993,6 +1210,89 @@ impl DsmSystem {
             }
             frame.begin_inflight(issue.as_ps(), completion.as_ps());
             drop(guard);
+        }
+        self.issue_hint_fetches(node, node_ref, clock, &hints);
+    }
+
+    /// Convert prefetch-directory hints carried on a fetch reply into
+    /// split-transaction tickets: issue one overlapped single-page fetch per
+    /// absent hinted page, so the later demand miss completes an RPC that is
+    /// already in flight instead of paying a fresh round trip.
+    ///
+    /// Hint conversion is throttled by its own measured accuracy — once more
+    /// than 1/16 of the node's hint-driven fetches turn out wasted
+    /// (invalidated untouched), further hints are ignored until the accuracy
+    /// recovers — and hint-issued requests are tagged so their replies never
+    /// carry further hints (no cascades).
+    fn issue_hint_fetches(
+        &self,
+        node: NodeId,
+        node_ref: &Node,
+        clock: &mut ThreadClock,
+        hints: &[HintRun],
+    ) {
+        if hints.is_empty() || !self.transport.overlapped_fetches || !self.transport.prefetch_hints
+        {
+            return;
+        }
+        let machine = self.cluster.machine();
+        let num_pages = self.store.allocator().num_pages();
+        for &(first, run) in hints {
+            for k in 0..run as u64 {
+                let page = PageId(first.0 + k);
+                if page.index() >= num_pages {
+                    break;
+                }
+                let issued = node_ref.stats.hinted_fetches_issued.load(Ordering::Relaxed);
+                let wasted = node_ref.stats.hinted_fetches_wasted.load(Ordering::Relaxed);
+                // The low floor makes the throttle bite after a single early
+                // waste: a node must prove hint accuracy on a healthy issued
+                // count before any further misprediction is tolerated.
+                if wasted.saturating_mul(16) > issued.max(8) {
+                    return;
+                }
+                let frame = self.store.frame(node, page);
+                if frame.is_home() || frame.is_present() {
+                    continue;
+                }
+                // A contended fetch lock means another thread is already
+                // loading the page; the hint has nothing left to add.
+                let Some(guard) = frame.fetch_lock().try_lock() else {
+                    continue;
+                };
+                if frame.is_present() {
+                    drop(guard);
+                    continue;
+                }
+                let unprotect = match self.kind {
+                    ProtocolKind::JavaIc => false,
+                    ProtocolKind::JavaPf => true,
+                    ProtocolKind::JavaAd => frame.ad_mode() == AdMode::Protect,
+                };
+                NodeStats::bump(&node_ref.stats.page_loads);
+                NodeStats::bump(&node_ref.stats.hinted_fetches_issued);
+                let home = self.store.home_of(page);
+                let payload = encode_page_request_nohint(page);
+                let (bytes, mut completion) =
+                    self.cluster
+                        .rpc_split(clock, node, home, self.page_fetch, &payload);
+                let issue = clock.now();
+                if frame.is_home() {
+                    // Concurrent migration promoted the frame (see
+                    // `fetch_page`): charge the round trip, drop the bytes.
+                    drop(guard);
+                    clock.merge(completion);
+                    continue;
+                }
+                let (data, _) = split_fetch_reply(&bytes, 1);
+                frame.install_copy(data);
+                if unprotect {
+                    NodeStats::bump(&node_ref.stats.mprotect_calls);
+                    completion += machine.dsm.mprotect_call;
+                }
+                frame.begin_inflight_hinted(issue.as_ps(), completion.as_ps());
+                drop(guard);
+            }
         }
     }
 
@@ -1120,14 +1420,14 @@ impl DsmSystem {
             self.cluster
                 .rpc_split(clock, node, home, self.page_fetch, &payload);
         let issue = clock.now();
-        assert_eq!(bytes.len(), PAGE_BYTES * count, "batched fetch reply size");
+        let (data, hints) = split_fetch_reply(&bytes, count);
         // A concurrent migration grant may have promoted any frame of the
         // run to home while the fetch was in flight; such a frame already
         // holds the authoritative copy and must not be overwritten with the
         // pre-migration snapshot (see `fetch_page`).
         let promoted = frame.is_home();
         if !promoted {
-            frame.install_copy(&bytes[0..PAGE_BYTES]);
+            frame.install_copy(&data[0..PAGE_BYTES]);
         }
         // Installing a rider that was protection-detected clears its access
         // protection, which costs an mprotect just as the demanded page's
@@ -1140,7 +1440,7 @@ impl DsmSystem {
                 continue;
             }
             riders_protected |= qf.ad_mode() == AdMode::Protect;
-            qf.install_copy(&bytes[(i + 1) * PAGE_BYTES..(i + 2) * PAGE_BYTES]);
+            qf.install_copy(&data[(i + 1) * PAGE_BYTES..(i + 2) * PAGE_BYTES]);
             if *speculative {
                 qf.ad_mark_prefetched();
                 speculative_riders += 1;
@@ -1196,15 +1496,21 @@ impl DsmSystem {
         }
         drop(guards);
         drop(guard);
+        self.issue_hint_fetches(node, node_ref, clock, &hints);
     }
 
     /// Complete an in-flight split fetch transaction on its first real use:
     /// merge the completion timestamp (charging the residual latency) and
     /// account the part of the round trip that compute already covered.
     fn complete_inflight(&self, node_ref: &Node, clock: &mut ThreadClock, frame: &PageFrame) {
-        let Some((issue_ps, completion_ps)) = frame.take_inflight() else {
+        let Some((issue_ps, completion_ps, hinted)) = frame.take_inflight() else {
             return;
         };
+        if hinted {
+            // This demand miss finished an RPC the prefetch directory had
+            // already put in flight.
+            NodeStats::bump(&node_ref.stats.hinted_fetches_completed);
+        }
         let hidden_ps = clock
             .now()
             .as_ps()
@@ -1269,8 +1575,25 @@ impl DsmSystem {
         clock: &mut ThreadClock,
         dirty: &[(PageId, Arc<PageFrame>)],
     ) {
+        self.flush_frames_inner(node, node_ref, clock, dirty, false);
+    }
+
+    /// [`DsmSystem::flush_frames`] with an explicit completion mode: with
+    /// `deferred` set, each diff RPC is issued as a split transaction (only
+    /// the issue path is charged to `clock`) and the watermark of the batch
+    /// completion times is returned; blocking mode merges each completion on
+    /// the spot and returns `None`.
+    fn flush_frames_inner(
+        &self,
+        node: NodeId,
+        node_ref: &Node,
+        clock: &mut ThreadClock,
+        dirty: &[(PageId, Arc<PageFrame>)],
+        deferred: bool,
+    ) -> Option<VTime> {
         let machine = self.cluster.machine();
         let max_batch = self.transport.max_flush_batch_pages.max(1);
+        let mut watermark: Option<VTime> = None;
         let mut i = 0usize;
         while i < dirty.len() {
             let (first, _) = dirty[i];
@@ -1307,9 +1630,18 @@ impl DsmSystem {
                 encode_diff_batch(first, &per_page)
             };
             NodeStats::bump_by(&node_ref.stats.diff_bytes, payload.len() as u64);
-            let reply = self
-                .cluster
-                .rpc(clock, node, home, self.diff_apply, &payload);
+            let (reply, completion) =
+                self.cluster
+                    .rpc_split(clock, node, home, self.diff_apply, &payload);
+            if deferred {
+                // Hand the transaction to the deferred queue: the caller
+                // stores the completion watermark on the releasing monitor
+                // and the next acquire of that monitor merges it.
+                NodeStats::bump(&node_ref.stats.deferred_flushes);
+                watermark = Some(watermark.map_or(completion, |w| w.max(completion)));
+            } else {
+                clock.merge(completion);
+            }
             if decode_migration_grant(&reply).is_some() {
                 // The home handler promoted this node's frame already; the
                 // grant reply is the accounting record of the hand-over.
@@ -1317,6 +1649,7 @@ impl DsmSystem {
             }
             i = j;
         }
+        watermark
     }
 }
 
@@ -2279,5 +2612,269 @@ mod tests {
         );
         // The configured thresholds are untouched.
         assert_eq!(online.dsm.adaptive_thresholds(), (hi0, lo0));
+    }
+
+    // ----- prefetch directory ------------------------------------------------
+
+    fn directory_fixture(nodes: usize, kind: ProtocolKind) -> Fixture {
+        fixture_with(
+            nodes,
+            kind,
+            &AdaptiveParams::default(),
+            &TransportConfig::directory(),
+        )
+    }
+
+    #[test]
+    fn neighbour_fetch_piggybacks_a_hint_that_becomes_a_ticket() {
+        let f = directory_fixture(3, ProtocolKind::JavaPf);
+        let addr = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE * 2, NodeId(2));
+        let second = addr.offset(SLOTS_PER_PAGE as u64);
+        f.dsm.put(NodeId(2), &mut ThreadClock::new(), second, 77);
+
+        // Node 0 touches both pages: the home's directory now knows that a
+        // fetch of the first page is followed by the second.
+        let mut c0 = ThreadClock::new();
+        let _ = f.dsm.get(NodeId(0), &mut c0, addr);
+        let _ = f.dsm.get(NodeId(0), &mut c0, second);
+
+        // Node 1 demand-misses the first page only: the reply carries the
+        // "your neighbour also fetched the next page" hint, which node 1
+        // converts into an in-flight split transaction.
+        let mut c1 = ThreadClock::new();
+        let _ = f.dsm.get(NodeId(1), &mut c1, addr);
+        let s1 = f.cluster.node_stats(NodeId(1));
+        assert!(f.cluster.node_stats(NodeId(2)).hints_sent >= 1);
+        assert_eq!(s1.hinted_fetches_issued, 1);
+        assert_eq!(s1.page_loads, 2, "demand fetch + hinted fetch");
+        let frame = f.dsm.store().frame(NodeId(1), second.page());
+        assert!(frame.has_inflight());
+        assert!(frame.inflight_is_hinted());
+
+        // The later demand miss completes the in-flight RPC instead of
+        // issuing one: no new page load, ticket consumed, value correct.
+        assert_eq!(f.dsm.get(NodeId(1), &mut c1, second), 77);
+        let s1 = f.cluster.node_stats(NodeId(1));
+        assert_eq!(s1.page_loads, 2);
+        assert_eq!(s1.hinted_fetches_completed, 1);
+        assert!(!frame.has_inflight());
+    }
+
+    #[test]
+    fn stride_run_extends_hints_across_the_window() {
+        let f = directory_fixture(2, ProtocolKind::JavaIc);
+        let addr = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE * 4, NodeId(1));
+        let page = |k: u64| addr.offset(SLOTS_PER_PAGE as u64 * k);
+
+        let mut clock = ThreadClock::new();
+        let _ = f.dsm.get(NodeId(0), &mut clock, page(0));
+        // The second fetch extends a stride run: the home hints the rest of
+        // the same-home span and node 0 puts both remaining pages in flight.
+        let _ = f.dsm.get(NodeId(0), &mut clock, page(1));
+        let s = f.cluster.node_stats(NodeId(0));
+        assert_eq!(s.hinted_fetches_issued, 2);
+        assert_eq!(s.page_loads, 4);
+        assert_eq!(f.cluster.node_stats(NodeId(1)).hints_sent, 2);
+        // Scanning on completes the tickets without further loads.
+        let _ = f.dsm.get(NodeId(0), &mut clock, page(2));
+        let _ = f.dsm.get(NodeId(0), &mut clock, page(3));
+        let s = f.cluster.node_stats(NodeId(0));
+        assert_eq!(s.page_loads, 4);
+        assert_eq!(s.hinted_fetches_completed, 2);
+    }
+
+    #[test]
+    fn learned_successor_pairs_hint_non_contiguous_pages() {
+        let f = directory_fixture(2, ProtocolKind::JavaIc);
+        let addr = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE * 3, NodeId(1));
+        let third = addr.offset(SLOTS_PER_PAGE as u64 * 2);
+        let mut clock = ThreadClock::new();
+
+        // One epoch of the non-contiguous pattern (first page, then the
+        // third — the middle page is never touched) teaches the home the
+        // successor pair.
+        let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+        let _ = f.dsm.get(NodeId(0), &mut clock, third);
+        f.dsm.invalidate_cache(NodeId(0), &mut clock);
+        let before = f.cluster.node_stats(NodeId(0));
+        assert_eq!(before.hinted_fetches_issued, 0, "no hints while learning");
+
+        // Second epoch: the miss on the first page is answered with a hint
+        // for its learned (non-contiguous) successor, which the node puts
+        // in flight; the later demand miss completes that RPC.
+        let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+        let s = f.cluster.node_stats(NodeId(0));
+        assert_eq!(s.hinted_fetches_issued, before.hinted_fetches_issued + 1);
+        let loads_before = s.page_loads;
+        let _ = f.dsm.get(NodeId(0), &mut clock, third);
+        let s = f.cluster.node_stats(NodeId(0));
+        assert_eq!(s.page_loads, loads_before, "hinted page served in flight");
+        assert_eq!(s.hinted_fetches_completed, 1);
+        // The untouched middle page was never speculated on.
+        assert!(!f
+            .dsm
+            .is_cached(NodeId(0), addr.offset(SLOTS_PER_PAGE as u64).page()));
+    }
+
+    #[test]
+    fn unused_hints_are_counted_as_waste_at_invalidation() {
+        let f = directory_fixture(3, ProtocolKind::JavaPf);
+        let addr = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE * 2, NodeId(2));
+        let second = addr.offset(SLOTS_PER_PAGE as u64);
+
+        let mut c0 = ThreadClock::new();
+        let _ = f.dsm.get(NodeId(0), &mut c0, addr);
+        let _ = f.dsm.get(NodeId(0), &mut c0, second);
+        let mut c1 = ThreadClock::new();
+        let _ = f.dsm.get(NodeId(1), &mut c1, addr);
+        assert_eq!(f.cluster.node_stats(NodeId(1)).hinted_fetches_issued, 1);
+
+        // Node 1 never touches the hinted page: the acquire-side
+        // invalidation books the pending ticket as waste.
+        f.dsm.invalidate_cache(NodeId(1), &mut c1);
+        let s1 = f.cluster.node_stats(NodeId(1));
+        assert_eq!(s1.hinted_fetches_wasted, 1);
+        assert_eq!(s1.hinted_fetches_completed, 0);
+    }
+
+    #[test]
+    fn hint_conversion_is_throttled_by_measured_waste() {
+        let f = directory_fixture(3, ProtocolKind::JavaPf);
+        let addr = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE * 2, NodeId(2));
+        let second = addr.offset(SLOTS_PER_PAGE as u64);
+        let mut c0 = ThreadClock::new();
+        let mut c1 = ThreadClock::new();
+
+        // Round after round, node 1 receives the hint, wastes it, and
+        // invalidates.  The measured-waste throttle must stop the node from
+        // converting hints long before the rounds run out.
+        for _ in 0..12 {
+            let _ = f.dsm.get(NodeId(0), &mut c0, addr);
+            let _ = f.dsm.get(NodeId(0), &mut c0, second);
+            f.dsm.invalidate_cache(NodeId(0), &mut c0);
+            let _ = f.dsm.get(NodeId(1), &mut c1, addr);
+            f.dsm.invalidate_cache(NodeId(1), &mut c1);
+        }
+        let s1 = f.cluster.node_stats(NodeId(1));
+        assert!(
+            s1.hinted_fetches_issued <= 2,
+            "throttle must stop hint conversion: issued {}",
+            s1.hinted_fetches_issued
+        );
+        assert_eq!(s1.hinted_fetches_wasted, s1.hinted_fetches_issued);
+    }
+
+    #[test]
+    fn hints_require_the_directory_transport() {
+        // Default transport: the same access pattern produces no hints.
+        let f = fixture(3, ProtocolKind::JavaPf);
+        let addr = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE * 2, NodeId(2));
+        let second = addr.offset(SLOTS_PER_PAGE as u64);
+        let mut c0 = ThreadClock::new();
+        let _ = f.dsm.get(NodeId(0), &mut c0, addr);
+        let _ = f.dsm.get(NodeId(0), &mut c0, second);
+        let mut c1 = ThreadClock::new();
+        let _ = f.dsm.get(NodeId(1), &mut c1, addr);
+        let total = f.cluster.total_stats();
+        assert_eq!(total.hints_sent, 0);
+        assert_eq!(total.hinted_fetches_issued, 0);
+        assert_eq!(f.cluster.node_stats(NodeId(1)).page_loads, 1);
+    }
+
+    #[test]
+    fn hinted_fetches_never_change_observed_values() {
+        // The same scan, with and without the directory: identical values.
+        let run = |transport: &TransportConfig| -> Vec<u64> {
+            let f = fixture_with(
+                2,
+                ProtocolKind::JavaIc,
+                &AdaptiveParams::default(),
+                transport,
+            );
+            let slots = SLOTS_PER_PAGE * 4;
+            let addr = f.alloc.alloc_page_aligned(slots, NodeId(1));
+            let mut home = ThreadClock::new();
+            for k in 0..slots as u64 {
+                f.dsm.put(NodeId(1), &mut home, addr.offset(k), k * 3 + 1);
+            }
+            let mut clock = ThreadClock::new();
+            (0..slots as u64)
+                .map(|k| f.dsm.get(NodeId(0), &mut clock, addr.offset(k)))
+                .collect()
+        };
+        assert_eq!(
+            run(&TransportConfig::default()),
+            run(&TransportConfig::directory())
+        );
+    }
+
+    // ----- deferred release flushing -----------------------------------------
+
+    #[test]
+    fn deferred_flush_returns_a_watermark_and_applies_the_diffs() {
+        let f = directory_fixture(2, ProtocolKind::JavaIc);
+        let addr = f.alloc.alloc(8, NodeId(1));
+        let mut w = ThreadClock::new();
+        f.dsm.put(NodeId(0), &mut w, addr, 41);
+
+        let d = f
+            .dsm
+            .update_main_memory_deferred(NodeId(0), &mut w)
+            .expect("dirty pages under a deferred transport");
+        // Only the issue path was charged; the completion lies ahead.
+        assert_eq!(d.issue, w.now());
+        assert!(d.completion > w.now());
+        let s0 = f.cluster.node_stats(NodeId(0));
+        assert_eq!(s0.deferred_flushes, 1);
+        assert_eq!(s0.diff_messages, 1);
+        // The home already holds the value (the wire carried it; only the
+        // latency accounting is deferred).
+        let mut h = ThreadClock::new();
+        assert_eq!(f.dsm.get(NodeId(1), &mut h, addr), 41);
+        // Nothing dirty: a second deferred flush is a no-op.
+        assert!(f
+            .dsm
+            .update_main_memory_deferred(NodeId(0), &mut w)
+            .is_none());
+    }
+
+    #[test]
+    fn deferred_flush_falls_back_to_blocking_without_the_transport() {
+        let f = fixture(2, ProtocolKind::JavaIc);
+        let addr = f.alloc.alloc(8, NodeId(1));
+        let mut w = ThreadClock::new();
+        f.dsm.put(NodeId(0), &mut w, addr, 9);
+        let before = w.now();
+        assert!(f
+            .dsm
+            .update_main_memory_deferred(NodeId(0), &mut w)
+            .is_none());
+        assert!(w.now() > before, "blocking fallback charges the round trip");
+        assert_eq!(f.cluster.node_stats(NodeId(0)).deferred_flushes, 0);
+        let mut h = ThreadClock::new();
+        assert_eq!(f.dsm.get(NodeId(1), &mut h, addr), 9);
+    }
+
+    #[test]
+    fn deferred_flush_issue_path_is_cheaper_than_blocking() {
+        let blocking = fixture(2, ProtocolKind::JavaIc);
+        let deferred = directory_fixture(2, ProtocolKind::JavaIc);
+        let run = |f: &Fixture, defer: bool| -> VTime {
+            let addr = f.alloc.alloc(8, NodeId(1));
+            let mut w = ThreadClock::new();
+            f.dsm.put(NodeId(0), &mut w, addr, 1);
+            if defer {
+                let _ = f.dsm.update_main_memory_deferred(NodeId(0), &mut w);
+            } else {
+                f.dsm.update_main_memory(NodeId(0), &mut w);
+            }
+            w.now()
+        };
+        let t_blocking = run(&blocking, false);
+        let t_deferred = run(&deferred, true);
+        assert!(
+            t_deferred < t_blocking,
+            "deferred release must not stall: {t_deferred} vs {t_blocking}"
+        );
     }
 }

@@ -17,6 +17,8 @@
 //! page afterwards.  This module centralises the two actions so the monitor,
 //! `Thread.join` and the barrier all apply identical semantics.
 
+use hyperion_dsm::DeferredFlush;
+
 use crate::runtime::ThreadCtx;
 
 /// The consistency action performed at a synchronisation boundary.
@@ -42,6 +44,22 @@ pub fn release(ctx: &mut ThreadCtx) {
     let node = ctx.node();
     let shared = std::sync::Arc::clone(&ctx.shared);
     shared.dsm.update_main_memory(node, ctx.clock_mut());
+}
+
+/// Perform the release action with deferred flushing: the diff batches are
+/// issued as split transactions and only the issue path is charged here.
+/// The returned [`DeferredFlush`] (if any) must be stored on the monitor
+/// being released so its *next acquire* merges the completion — the JMM's
+/// release/acquire edge is per-monitor, which is exactly why the deferral
+/// is legal.  Only the monitor layer may call this; every release with a
+/// thread-level happens-before edge (`Thread.start`, `join`, migration,
+/// program termination) uses the blocking [`release`].
+pub fn release_deferred(ctx: &mut ThreadCtx) -> Option<DeferredFlush> {
+    let node = ctx.node();
+    let shared = std::sync::Arc::clone(&ctx.shared);
+    shared
+        .dsm
+        .update_main_memory_deferred(node, ctx.clock_mut())
 }
 
 /// Perform one of the two actions (convenience for tests and tools).

@@ -79,7 +79,7 @@ pub use runtime::{
 pub use thread::{HThreadHandle, LoadBalancer};
 
 // Re-export the pieces of the lower layers that appear in this crate's API.
-pub use hyperion_dsm::{AdaptiveParams, Locality, ProtocolKind, TransportConfig};
+pub use hyperion_dsm::{AdaptiveParams, DeferredFlush, Locality, ProtocolKind, TransportConfig};
 pub use hyperion_model::{
     myrinet_200, sci_450, ClusterSpec, MachineModel, Op, OpCounts, StatsSnapshot, VTime,
     WorkEstimate,
@@ -97,7 +97,9 @@ pub mod prelude {
     pub use crate::runtime::{
         ConfigBuilder, HyperionConfig, HyperionRuntime, RunOutcome, RunReport, ThreadCtx,
     };
-    pub use hyperion_dsm::{AdaptiveParams, Locality, ProtocolKind, TransportConfig};
+    pub use hyperion_dsm::{
+        AdaptiveParams, DeferredFlush, Locality, ProtocolKind, TransportConfig,
+    };
     pub use hyperion_model::{
         myrinet_200, sci_450, ClusterSpec, Op, OpCounts, VTime, WorkEstimate,
     };

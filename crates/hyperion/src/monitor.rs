@@ -35,6 +35,54 @@ struct MonitorState {
     last_release: VTime,
     notify_epoch: u64,
     notify_time: VTime,
+    /// Deferred release flushing: virtual completion watermark of flush
+    /// RPCs handed off by previous releases of this monitor and not yet
+    /// absorbed by an acquire.  [`VTime::ZERO`] means nothing is pending.
+    deferred_completion: VTime,
+    /// Virtual instant the latest pending deferred flush was issued (used
+    /// to account how much of the round trip compute managed to hide).
+    deferred_issue: VTime,
+}
+
+impl MonitorState {
+    /// Take the pending deferred-flush record, leaving none behind.  The
+    /// caller (an acquiring thread) must merge the completion into its
+    /// clock — this is the hand-off where the residual latency is charged.
+    fn take_deferred(&mut self) -> (VTime, VTime) {
+        let taken = (self.deferred_issue, self.deferred_completion);
+        self.deferred_issue = VTime::ZERO;
+        self.deferred_completion = VTime::ZERO;
+        taken
+    }
+
+    /// Stack one more deferred flush onto the pending record.
+    fn push_deferred(&mut self, d: hyperion_dsm::DeferredFlush) {
+        self.deferred_completion = self.deferred_completion.max(d.completion);
+        self.deferred_issue = self.deferred_issue.max(d.issue);
+    }
+}
+
+/// Merge a pending deferred-flush completion into the acquiring thread's
+/// clock, crediting the cycles the overlap hid (the part of the flush round
+/// trip that elapsed before the hand-off).
+fn absorb_deferred(ctx: &mut ThreadCtx, issue: VTime, completion: VTime) {
+    if completion == VTime::ZERO {
+        return;
+    }
+    let hidden_ps = ctx
+        .now()
+        .as_ps()
+        .min(completion.as_ps())
+        .saturating_sub(issue.as_ps());
+    if hidden_ps > 0 {
+        let cycles = hidden_ps as f64 / ctx.cpu().ps_per_cycle();
+        let node_ref = ctx.shared.cluster.node(ctx.node());
+        NodeStats::bump_by(
+            &node_ref.stats.flush_overlap_cycles_hidden,
+            (cycles as u64).max(1),
+        );
+    }
+    ctx.clock_mut().merge(completion);
 }
 
 #[derive(Debug)]
@@ -63,6 +111,8 @@ impl HMonitor {
                     last_release: VTime::ZERO,
                     notify_epoch: 0,
                     notify_time: VTime::ZERO,
+                    deferred_completion: VTime::ZERO,
+                    deferred_issue: VTime::ZERO,
                 }),
                 cv: Condvar::new(),
             }),
@@ -102,8 +152,13 @@ impl HMonitor {
             }
             st.held = true;
             let release = st.last_release;
+            // Deferred release flushing: a flush handed off by a previous
+            // release of *this* monitor must complete no later than this
+            // acquire — merge its completion here, charging the residual.
+            let (issue, completion) = st.take_deferred();
             drop(st);
             ctx.clock_mut().merge(release);
+            absorb_deferred(ctx, issue, completion);
         }
         ctx.charge(machine.cpu.cycles(machine.dsm.monitor_local_cycles));
 
@@ -112,8 +167,14 @@ impl HMonitor {
 
     /// Exit the monitor (`monitorexit`): perform the JMM release action, then
     /// release the lock.
+    ///
+    /// Under [`hyperion_dsm::TransportConfig::deferred_flush`] the release
+    /// flush is issued as split transactions and its completion watermark is
+    /// parked on this monitor; the releasing thread keeps computing and the
+    /// *next acquire of this monitor* pays whatever latency compute did not
+    /// hide.
     pub fn exit(&self, ctx: &mut ThreadCtx) {
-        jmm::release(ctx);
+        let deferred = jmm::release_deferred(ctx);
         let machine = ctx.machine().clone();
         ctx.charge(machine.cpu.cycles(machine.dsm.monitor_local_cycles));
 
@@ -124,6 +185,9 @@ impl HMonitor {
         assert!(st.held, "exit of a monitor that is not held");
         st.held = false;
         st.last_release = st.last_release.max(ctx.now());
+        if let Some(d) = deferred {
+            st.push_deferred(d);
+        }
         drop(st);
         self.inner.cv.notify_all();
     }
@@ -144,17 +208,21 @@ impl HMonitor {
     /// notification, then re-acquire it.  The caller must hold the monitor.
     pub fn wait_monitor(&self, ctx: &mut ThreadCtx) {
         // Release actions first: our writes must be visible to whoever will
-        // notify us.
-        jmm::release(ctx);
+        // notify us.  Like `exit`, the flush may be deferred onto this
+        // monitor — the thread that acquires it next absorbs the completion.
+        let deferred = jmm::release_deferred(ctx);
         let machine = ctx.machine().clone();
         // Waiting on a notification places no pacing constraint on others.
         ctx.mark_blocked();
 
-        let (release_seen, notify_seen) = {
+        let (release_seen, notify_seen, pending) = {
             let mut st = self.inner.state.lock();
             assert!(st.held, "wait on a monitor that is not held");
             st.held = false;
             st.last_release = st.last_release.max(ctx.now());
+            if let Some(d) = deferred {
+                st.push_deferred(d);
+            }
             let my_epoch = st.notify_epoch;
             self.inner.cv.notify_all();
 
@@ -168,10 +236,13 @@ impl HMonitor {
                 self.inner.cv.wait(&mut st);
             }
             st.held = true;
-            (st.last_release, notify_seen)
+            // Re-acquisition is an acquire of this monitor: any flush still
+            // deferred on it (possibly our own) completes here.
+            (st.last_release, notify_seen, st.take_deferred())
         };
         ctx.clock_mut().merge(release_seen);
         ctx.clock_mut().merge(notify_seen);
+        absorb_deferred(ctx, pending.0, pending.1);
         ctx.charge(machine.cpu.cycles(machine.dsm.monitor_local_cycles));
         ctx.publish_progress();
 
@@ -342,6 +413,140 @@ mod tests {
         });
         // The waiter cannot finish before the notifier's 50ms of work.
         assert!(out.report.execution_time >= VTime::from_ms(50));
+    }
+
+    fn deferred_runtime(nodes: usize, protocol: ProtocolKind) -> HyperionRuntime {
+        let config = HyperionConfig::builder()
+            .cluster(myrinet_200())
+            .nodes(nodes)
+            .protocol(protocol)
+            .transport(hyperion_dsm::TransportConfig::directory())
+            .build()
+            .unwrap();
+        HyperionRuntime::new(config).unwrap()
+    }
+
+    #[test]
+    fn deferred_flush_completes_exactly_at_the_next_acquire() {
+        // One thread, two nodes: write through the cache inside a critical
+        // section, release (deferred flush), compute, re-acquire the same
+        // monitor.  The blocking transport charges the flush at the exit;
+        // the deferred transport must charge it no later than the next
+        // acquire — and, because the single-threaded sequence is
+        // deterministic, at exactly the same virtual completion instant.
+        let run = |rt: &HyperionRuntime| {
+            rt.run(|ctx| {
+                let cell = ctx.alloc_object(1, NodeId(1));
+                let monitor = ctx.new_monitor(NodeId(0));
+                monitor.enter(ctx);
+                cell.put(ctx, 0, 5u64);
+                monitor.exit(ctx);
+                let after_exit = ctx.now();
+                ctx.charge(VTime::from_us(2));
+                monitor.enter(ctx);
+                let after_acquire = ctx.now();
+                monitor.exit(ctx);
+                (after_exit, after_acquire)
+            })
+        };
+        let blocking = runtime(2, ProtocolKind::JavaPf);
+        let deferred = deferred_runtime(2, ProtocolKind::JavaPf);
+        let b = run(&blocking);
+        let d = run(&deferred);
+        let (b_exit, _) = b.result;
+        let (d_exit, d_acquire) = d.result;
+
+        let machine = myrinet_200().machine;
+        let monitor_local = machine.cpu.cycles(machine.dsm.monitor_local_cycles);
+        // The deferred release does not stall on the flush...
+        assert!(
+            d_exit < b_exit,
+            "deferred exit must not stall: {d_exit} vs {b_exit}"
+        );
+        // ...and the flush completion (== the blocking exit minus its
+        // trailing monitor bookkeeping) is merged exactly at the next
+        // acquire of the same monitor, not later.
+        let completion = b_exit - monitor_local;
+        assert!(
+            d_acquire >= completion,
+            "acquire must wait for the deferred flush: {d_acquire} < {completion}"
+        );
+        let s = d.report.total_stats();
+        assert_eq!(s.deferred_flushes, 1);
+        assert!(
+            s.flush_overlap_cycles_hidden > 0,
+            "2us of compute hid part of the flush"
+        );
+        assert_eq!(b.report.total_stats().deferred_flushes, 0);
+    }
+
+    #[test]
+    fn deferred_release_preserves_happens_before_in_a_two_node_ping_pong() {
+        // Two workers on two nodes alternate through the same monitor; each
+        // increments a shared cell.  Every acquire must observe the previous
+        // holder's deferred-flushed write (JMM release→acquire edge), so the
+        // final count is exact and every observed value is fresh.
+        for protocol in ProtocolKind::all_extended() {
+            let rt = deferred_runtime(2, protocol);
+            let rounds = 25u64;
+            let out = rt.run(|ctx| {
+                let cell = ctx.alloc_object(1, NodeId(0));
+                let monitor = ctx.new_monitor(NodeId(0));
+                let mut handles = Vec::new();
+                for node in 0..2u32 {
+                    let m = monitor.clone();
+                    handles.push(ctx.spawn_on(NodeId(node), move |t| {
+                        for _ in 0..rounds {
+                            m.synchronized(t, |t| {
+                                let v: u64 = cell.get(t, 0);
+                                cell.put(t, 0, v + 1);
+                            });
+                        }
+                    }));
+                }
+                for h in handles {
+                    ctx.join(h);
+                }
+                monitor.synchronized(ctx, |ctx| cell.get::<u64>(ctx, 0))
+            });
+            assert_eq!(out.result, 2 * rounds, "{protocol:?}");
+            let total = out.report.total_stats();
+            // The remote worker's releases really were deferred...
+            assert!(total.deferred_flushes > 0, "{protocol:?}");
+            // ...and the hand-off credited hidden flush latency.
+            assert!(total.flush_overlap_cycles_hidden > 0, "{protocol:?}");
+        }
+    }
+
+    #[test]
+    fn deferred_transport_never_slows_the_synchronized_counter() {
+        let blocking = runtime(2, ProtocolKind::JavaPf);
+        let deferred = deferred_runtime(2, ProtocolKind::JavaPf);
+        let run = |rt: &HyperionRuntime| {
+            rt.run(|ctx| {
+                let cell = ctx.alloc_object(1, NodeId(1));
+                let monitor = ctx.new_monitor(NodeId(0));
+                for _ in 0..20 {
+                    monitor.synchronized(ctx, |ctx| {
+                        let v: u64 = cell.get(ctx, 0);
+                        cell.put(ctx, 0, v + 1);
+                    });
+                    // Compute between critical sections is what the deferred
+                    // flush hides behind.
+                    ctx.charge(VTime::from_us(30));
+                }
+                cell.get::<u64>(ctx, 0)
+            })
+        };
+        let b = run(&blocking);
+        let d = run(&deferred);
+        assert_eq!(b.result, d.result);
+        assert!(
+            d.report.execution_time < b.report.execution_time,
+            "hidden flush latency must shorten the run: {} vs {}",
+            d.report.execution_time,
+            b.report.execution_time
+        );
     }
 
     #[test]

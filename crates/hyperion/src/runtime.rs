@@ -165,6 +165,17 @@ impl HyperionConfig {
                 "migration_streak must be at least 1",
             ));
         }
+        if self.transport.hint_window == 0 {
+            return Err(ConfigError::InvalidTransport(
+                "hint_window must be at least 1",
+            ));
+        }
+        if self.transport.prefetch_hints && !self.transport.overlapped_fetches {
+            return Err(ConfigError::InvalidTransport(
+                "prefetch_hints requires overlapped_fetches (hints become split-transaction \
+                 tickets)",
+            ));
+        }
         Ok(())
     }
 }
@@ -594,6 +605,15 @@ impl ThreadCtx {
     #[inline]
     pub fn protocol(&self) -> ProtocolKind {
         self.shared.config.protocol
+    }
+
+    /// The transport configuration of this run.  Kernels consult it for
+    /// transport-aware restructurings (e.g. issuing a fetch a
+    /// statement-window early only pays off when the transport can split
+    /// the transaction).
+    #[inline]
+    pub fn transport(&self) -> &TransportConfig {
+        &self.shared.config.transport
     }
 
     /// Number of nodes in this run.

@@ -144,6 +144,10 @@ pub struct DsmCostModel {
     /// by a batched diff-flush RPC (the first page is covered by the
     /// ordinary per-request protocol cycles).
     pub batch_flush_cycles: f64,
+    /// Home-side cycles to consult the prefetch directory and marshal one
+    /// hint entry onto a fetch reply (the hint bytes themselves are charged
+    /// on the wire like any other reply payload).
+    pub hint_entry_cycles: f64,
 }
 
 /// A homogeneous cluster node: CPU + NIC + DSM event costs.
@@ -222,6 +226,7 @@ pub fn myrinet_200() -> ClusterSpec {
                 protocol_switch_cycles: 40.0,
                 batch_page_cycles: 60.0,
                 batch_flush_cycles: 50.0,
+                hint_entry_cycles: 25.0,
             },
         },
         max_nodes: 12,
@@ -274,6 +279,7 @@ pub fn sci_450() -> ClusterSpec {
                 protocol_switch_cycles: 40.0,
                 batch_page_cycles: 60.0,
                 batch_flush_cycles: 50.0,
+                hint_entry_cycles: 25.0,
             },
         },
         max_nodes: 6,

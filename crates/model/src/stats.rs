@@ -119,6 +119,18 @@ define_stats! {
     pages_migrated,
     /// Fetch round-trip cycles hidden behind compute by overlapped transport.
     fetch_overlap_cycles_hidden,
+    /// Pages this node (as home) hinted on fetch replies (one wire entry can name a run of pages).
+    hints_sent,
+    /// Hint-driven split-transaction fetches issued by this node.
+    hinted_fetches_issued,
+    /// Hinted in-flight fetches completed by a real use (the demand miss finished an in-flight RPC).
+    hinted_fetches_completed,
+    /// Hinted pages invalidated with their ticket still pending (wasted hints).
+    hinted_fetches_wasted,
+    /// Release-time diff flushes handed to the deferred per-monitor queue instead of blocking.
+    deferred_flushes,
+    /// Flush round-trip cycles hidden by deferred release flushing (residual charged at next acquire).
+    flush_overlap_cycles_hidden,
 }
 
 impl NodeStats {
@@ -222,12 +234,18 @@ mod tests {
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
-        assert_eq!(names.len(), 31);
+        assert_eq!(names.len(), 37);
         for added in [
             "batched_flushes",
             "diff_bytes",
             "pages_migrated",
             "fetch_overlap_cycles_hidden",
+            "hints_sent",
+            "hinted_fetches_issued",
+            "hinted_fetches_completed",
+            "hinted_fetches_wasted",
+            "deferred_flushes",
+            "flush_overlap_cycles_hidden",
         ] {
             assert!(names.contains(&added), "missing {added}");
         }

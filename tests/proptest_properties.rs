@@ -23,7 +23,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use hyperion_workspace::dsm::{DsmStore, DsmSystem, ProtocolKind};
+use hyperion_workspace::dsm::{DsmStore, DsmSystem, ProtocolKind, TransportConfig};
 use hyperion_workspace::model::{myrinet_200, StatsSnapshot, ThreadClock, VTime};
 use hyperion_workspace::pm2::{Cluster, GlobalAddr, IsoAllocator, NodeId, PageId};
 
@@ -215,6 +215,142 @@ fn dsm_matches_the_consistency_specification() {
                 );
             }
         }
+    });
+}
+
+/// The model check of [`dsm_matches_the_consistency_specification`], run
+/// under the prefetch-directory transport: hint-driven prefetches install
+/// pages ahead of the demand misses and deferred flushing re-times the
+/// release RPCs, but every read must still observe exactly the values the
+/// consistency specification predicts, under all three protocols.
+#[test]
+fn dsm_matches_the_consistency_specification_under_directory_transport() {
+    property(32, |seed, rng| {
+        let ops = random_ops(rng, 3, 12, 120);
+        for protocol in [
+            ProtocolKind::JavaIc,
+            ProtocolKind::JavaPf,
+            ProtocolKind::JavaAd,
+        ] {
+            let nodes = 3usize;
+            let slots_per_home = 4usize;
+            let cluster = Cluster::new(myrinet_200().machine, nodes);
+            let alloc = Arc::new(IsoAllocator::new(nodes));
+            let store = DsmStore::new(Arc::clone(&alloc), nodes);
+            let dsm = DsmSystem::with_config(
+                cluster,
+                store,
+                protocol,
+                &hyperion_workspace::dsm::AdaptiveParams::default(),
+                &TransportConfig::directory(),
+            );
+            let mut addrs = Vec::new();
+            let mut homes = Vec::new();
+            for home in 0..nodes {
+                let base = alloc.alloc_page_aligned(slots_per_home, NodeId(home as u32));
+                for s in 0..slots_per_home {
+                    addrs.push(base.offset(s as u64));
+                    homes.push(home);
+                }
+            }
+            let mut spec = SpecMemory::new(nodes, addrs.len(), homes);
+            let mut clocks: Vec<ThreadClock> = (0..nodes).map(|_| ThreadClock::new()).collect();
+
+            for op in &ops {
+                match *op {
+                    DsmOp::Put { node, slot, value } => {
+                        let node = node as usize;
+                        let slot = slot as usize % addrs.len();
+                        dsm.put(NodeId(node as u32), &mut clocks[node], addrs[slot], value);
+                        spec.put(node, slot, value);
+                    }
+                    DsmOp::Get { node, slot } => {
+                        let node = node as usize;
+                        let slot = slot as usize % addrs.len();
+                        let real = dsm.get(NodeId(node as u32), &mut clocks[node], addrs[slot]);
+                        let expected = spec.get(node, slot);
+                        assert_eq!(
+                            real, expected,
+                            "seed {seed}: {protocol:?} directory-transport read mismatch at \
+                             slot {slot}"
+                        );
+                    }
+                    DsmOp::Flush { node } => {
+                        let node = node as usize;
+                        // Exercise the deferred path: values must land at the
+                        // homes immediately (only the latency accounting is
+                        // deferred to the monitor hand-off).
+                        let _ =
+                            dsm.update_main_memory_deferred(NodeId(node as u32), &mut clocks[node]);
+                        spec.flush(node);
+                    }
+                    DsmOp::Invalidate { node } => {
+                        let node = node as usize;
+                        dsm.invalidate_cache(NodeId(node as u32), &mut clocks[node]);
+                        spec.invalidate(node);
+                    }
+                }
+            }
+
+            for (node, clock) in clocks.iter_mut().enumerate() {
+                dsm.update_main_memory(NodeId(node as u32), clock);
+                spec.flush(node);
+            }
+            for (slot, addr) in addrs.iter().enumerate() {
+                let home = spec.homes[slot];
+                let real = dsm.get(NodeId(home as u32), &mut clocks[home], *addr);
+                assert_eq!(
+                    real, spec.main[slot],
+                    "seed {seed}: {protocol:?} directory-transport final state, slot {slot}"
+                );
+            }
+        }
+    });
+}
+
+/// Hint-driven prefetches (and the deferred flushing that ships with the
+/// directory transport) never change an application's digest, across
+/// randomised problem instances of the two apps whose access patterns
+/// actually draw hints.
+#[test]
+fn app_digests_are_invariant_under_the_directory_transport() {
+    use hyperion_workspace::apps::{asp, jacobi};
+    use hyperion_workspace::HyperionConfig;
+
+    let config = |transport: &TransportConfig| {
+        HyperionConfig::builder()
+            .cluster(myrinet_200())
+            .nodes(3)
+            .protocol(ProtocolKind::JavaPf)
+            .transport(transport.clone())
+            .build()
+            .expect("valid property configuration")
+    };
+    property(4, |seed, rng| {
+        // Sizes chosen so rows regularly span page boundaries (the pattern
+        // that draws successor-pair hints) without making the run slow.
+        let jacobi_params = jacobi::JacobiParams {
+            size: 40 + rng.gen_range(0u64..5) as usize * 10,
+            steps: 3 + rng.gen_range(0u64..3) as usize,
+        };
+        let base = jacobi::run(config(&TransportConfig::default()), &jacobi_params);
+        let dir = jacobi::run(config(&TransportConfig::directory()), &jacobi_params);
+        assert_eq!(
+            base.result, dir.result,
+            "seed {seed}: directory transport changed Jacobi's answer ({jacobi_params:?})"
+        );
+
+        let asp_params = asp::AspParams {
+            vertices: 36 + rng.gen_range(0u64..4) as usize * 12,
+            seed: seed.wrapping_mul(0x9E37_79B9).wrapping_add(7),
+            edge_percent: 20 + rng.gen_range(0u64..40) as u32,
+        };
+        let base = asp::run(config(&TransportConfig::default()), &asp_params);
+        let dir = asp::run(config(&TransportConfig::directory()), &asp_params);
+        assert_eq!(
+            base.result, dir.result,
+            "seed {seed}: directory transport changed ASP's answer ({asp_params:?})"
+        );
     });
 }
 

@@ -295,6 +295,83 @@ fn home_migration_preserves_results_and_bounds_diff_inflation() {
 }
 
 #[test]
+fn all_three_protocols_compute_identical_results_under_directory_transport() {
+    // The prefetch directory (cluster-wide hints converted to in-flight
+    // tickets) and deferred release flushing both only move *when* latency
+    // is charged; neither may be observable at the application level.
+    let transport = TransportConfig::directory();
+    for bench in all_benchmarks() {
+        let (ic, _) = execute_with(bench.as_ref(), ProtocolKind::JavaIc, &transport);
+        let (pf, _) = execute_with(bench.as_ref(), ProtocolKind::JavaPf, &transport);
+        let (ad, _) = execute_with(bench.as_ref(), ProtocolKind::JavaAd, &transport);
+        // And each must agree with the blocking transport's answer.
+        let (blocking, _) = execute(bench.as_ref(), ProtocolKind::JavaIc);
+        let tolerance = ic.abs().max(1.0) * 1e-9;
+        for (label, v) in [("pf", pf), ("ad", ad), ("blocking ic", blocking)] {
+            assert!(
+                (ic - v).abs() <= tolerance,
+                "{}: directory ic {ic} vs {label} {v}",
+                bench.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn directory_hint_waste_stays_within_an_eighth_of_hints_sent() {
+    // Cluster-wide bound over every app under the directory transport:
+    // hinted pages invalidated untouched must stay within 1/8 of the hints
+    // the homes sent (floor of 16 for near-hintless runs — a single
+    // unlucky conversion must not trip the ratio on a tiny sample).
+    let transport = TransportConfig::directory();
+    for bench in all_benchmarks() {
+        let (_, report) = execute_with(bench.as_ref(), ProtocolKind::JavaPf, &transport);
+        let total = report.total_stats();
+        assert!(
+            total.hinted_fetches_wasted * 8 <= total.hints_sent.max(16),
+            "{}: hint waste {} exceeds 1/8 of {} hints sent",
+            bench.name(),
+            total.hinted_fetches_wasted,
+            total.hints_sent,
+        );
+        // Conversions are a subset of what was sent, and completions plus
+        // waste can never exceed what was issued.
+        assert!(total.hinted_fetches_issued <= total.hints_sent);
+        assert!(
+            total.hinted_fetches_completed + total.hinted_fetches_wasted
+                <= total.hinted_fetches_issued
+        );
+    }
+}
+
+#[test]
+fn deferred_release_flushing_preserves_every_answer() {
+    // Deferred flushing re-times the release-side diff RPCs (completion at
+    // the next acquire of the same monitor); the bytes, their application
+    // order at the homes, and therefore every answer must be unchanged.
+    let deferred = TransportConfig {
+        deferred_flush: true,
+        ..TransportConfig::default()
+    };
+    for bench in all_benchmarks() {
+        let (base, _) = execute(bench.as_ref(), ProtocolKind::JavaPf);
+        let (defer, report) = execute_with(bench.as_ref(), ProtocolKind::JavaPf, &deferred);
+        assert!(
+            (base - defer).abs() <= base.abs().max(1.0) * 1e-9,
+            "{}: deferred flushing changed the answer ({base} vs {defer})",
+            bench.name()
+        );
+        // Diff traffic is identical in count — only its completion moved.
+        let total = report.total_stats();
+        assert!(
+            total.deferred_flushes <= total.diff_messages,
+            "{}: deferred flushes exceed diff messages",
+            bench.name()
+        );
+    }
+}
+
+#[test]
 fn adaptive_speculation_waste_stays_throttled() {
     // The waste-feedback throttle must keep speculative prefetching from
     // running away on every app: wasted prefetches are bounded by a
