@@ -30,7 +30,7 @@
 pub mod report;
 
 use hyperion::prelude::*;
-use hyperion::StatsSnapshot;
+use hyperion::{StatsSnapshot, WireServiceSnapshot};
 use hyperion_apps::common::{protocols_under_test, Benchmark, BenchmarkName};
 use hyperion_apps::{asp, barnes, jacobi, pi, tsp};
 
@@ -126,6 +126,14 @@ pub struct FigureRow {
     pub digest: f64,
     /// Cluster-wide event statistics.
     pub stats: StatsSnapshot,
+    /// Transport backend that carried the RPCs (`"sim"`, `"unix-socket"` or
+    /// `"tcp-socket"`).
+    pub transport: &'static str,
+    /// Per-service wire counters, `(service name, counters)` — empty under
+    /// the in-process simulator, populated by socket backends with the real
+    /// byte counts and wall-clock round-trip times that the
+    /// modeled-vs-measured report compares against the cost model.
+    pub wire: Vec<(String, WireServiceSnapshot)>,
 }
 
 impl FigureRow {
@@ -269,6 +277,8 @@ fn run_figure_point(
         seconds: report.seconds(),
         digest,
         stats: report.total_stats(),
+        transport: report.transport,
+        wire: report.wire,
     }
 }
 
@@ -570,6 +580,48 @@ pub fn bench_report_rows(scale: Scale) -> Vec<FigureRow> {
     // duplicates the plain `java_pf` row, and report keys must stay unique.
     for pair in sweep_directory(scale) {
         rows.push(pair.enabled);
+    }
+    rows
+}
+
+/// The figure number used for the modeled-vs-measured transport report
+/// (modeled virtual-time RPC cost next to wall-clock socket round trips).
+pub const WIRE_FIGURE: usize = 9;
+
+/// The modeled-vs-measured sweep behind `figures --transport socket`: all
+/// five apps under all three protocols on the Myrinet cluster at
+/// [`ADAPTIVE_NODES`] nodes, with every RPC carried by `backend` instead of
+/// the in-process simulator.  Each returned row's [`FigureRow::wire`] table
+/// holds, per RPC service, the modeled virtual-time round-trip span next to
+/// the measured wall-clock span of the real socket exchange (plus real byte
+/// and message counts) — the raw material of
+/// [`report::modeled_vs_measured_markdown`].
+///
+/// With [`TransportBackend::Sim`] the sweep still runs (useful as a digest
+/// cross-check) but the wire tables come back empty.
+pub fn sweep_modeled_vs_measured(scale: Scale, backend: TransportBackend) -> Vec<FigureRow> {
+    let cluster = myrinet_200();
+    let transport = TransportConfig {
+        backend,
+        ..TransportConfig::default()
+    };
+    let mut rows = Vec::new();
+    for name in BenchmarkName::all() {
+        for protocol in protocols_under_test() {
+            let mut row = run_figure_point(
+                name,
+                scale,
+                &cluster,
+                protocol,
+                ADAPTIVE_NODES,
+                &AdaptiveParams::default(),
+                &transport,
+                "",
+                false,
+            );
+            row.figure = WIRE_FIGURE;
+            rows.push(row);
+        }
     }
     rows
 }

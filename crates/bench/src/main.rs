@@ -4,6 +4,7 @@
 //! ```text
 //! figures [--fig N]... [--tables] [--claims] [--scale quick|harness|paper]
 //!         [--quick] [--json] [--baseline PATH] [--out DIR]
+//!         [--transport sim|socket|tcp]
 //! ```
 //!
 //! * `--fig N`     regenerate figure N (1–5 from the paper, 6 for the
@@ -28,6 +29,12 @@
 //!   `bench/baseline.json` so the dynamically scheduled apps' run-to-run
 //!   spread is captured.
 //! * `--out DIR`   additionally write one CSV per figure into DIR.
+//! * `--transport B` run the modeled-vs-measured sweep with every RPC
+//!   carried by backend B (`socket` = per-node Unix-domain socket servers,
+//!   `tcp` = localhost TCP, `sim` = the in-process cost model) and print a
+//!   one-page report of modeled virtual-time RPC cost next to measured
+//!   wall-clock socket round trips; the report is also written to
+//!   `MODELED_VS_MEASURED_<run>.md` for the CI artifact upload.
 
 use std::io::Write;
 
@@ -35,8 +42,8 @@ use hyperion::prelude::*;
 use hyperion_apps::common::BenchmarkName;
 use hyperion_bench::{
     bench_report_rows, improvement_summary, report, sweep_adaptive, sweep_directory, sweep_figure,
-    sweep_transport, table1_modules, table2_primitives, threshold_ablation, FigureRow, Scale,
-    ADAPTIVE_FIGURE, DIRECTORY_FIGURE, TRANSPORT_FIGURE,
+    sweep_modeled_vs_measured, sweep_transport, table1_modules, table2_primitives,
+    threshold_ablation, FigureRow, Scale, ADAPTIVE_FIGURE, DIRECTORY_FIGURE, TRANSPORT_FIGURE,
 };
 
 struct Options {
@@ -48,6 +55,7 @@ struct Options {
     runs: usize,
     scale: Scale,
     out_dir: Option<String>,
+    transport: Option<TransportBackend>,
 }
 
 fn parse_args() -> Options {
@@ -60,6 +68,7 @@ fn parse_args() -> Options {
         runs: 1,
         scale: Scale::Harness,
         out_dir: None,
+        transport: None,
     };
     let mut args = std::env::args().skip(1);
     let mut any_selector = false;
@@ -107,6 +116,14 @@ fn parse_args() -> Options {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| die("--runs needs a positive count"));
             }
+            "--transport" => {
+                let s = args.next().unwrap_or_default();
+                opts.transport = Some(
+                    TransportBackend::parse(&s)
+                        .unwrap_or_else(|| die("--transport must be sim, socket (unix) or tcp")),
+                );
+                any_selector = true;
+            }
             "--quick" => {
                 opts.scale = Scale::Quick;
             }
@@ -119,7 +136,8 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "figures [--fig N]... [--tables] [--claims] [--scale quick|harness|paper] \
-                     [--quick] [--json] [--baseline PATH] [--out DIR]"
+                     [--quick] [--json] [--baseline PATH] [--out DIR] \
+                     [--transport sim|socket|tcp]"
                 );
                 std::process::exit(0);
             }
@@ -339,6 +357,24 @@ fn run_bench_report(opts: &Options) -> bool {
     }
 }
 
+/// The `--transport` path: run every app × protocol over the requested
+/// backend, print the one-page modeled-vs-measured report and write it to
+/// `MODELED_VS_MEASURED_<run>.md` for the CI artifact upload.
+fn run_modeled_vs_measured(scale: Scale, backend: TransportBackend) {
+    println!(
+        "== Modeled vs measured: {} backend, {} nodes ==\n",
+        backend,
+        hyperion_bench::ADAPTIVE_NODES
+    );
+    let rows = sweep_modeled_vs_measured(scale, backend);
+    let markdown = report::modeled_vs_measured_markdown(&rows);
+    println!("{markdown}");
+    let run = std::env::var("GITHUB_RUN_ID").unwrap_or_else(|_| "local".to_string());
+    let path = format!("MODELED_VS_MEASURED_{run}.md");
+    std::fs::write(&path, &markdown).expect("write modeled-vs-measured report");
+    eprintln!("wrote {path}");
+}
+
 fn print_tables() {
     println!("== Table 1: Hyperion runtime modules and their Hyperion-RS implementations ==");
     println!("{:<26} {:<66} Implemented by", "Module", "Role (paper)");
@@ -480,6 +516,10 @@ fn main() {
 
     if opts.claims && !all_rows.is_empty() {
         print_claims(&all_rows);
+    }
+
+    if let Some(backend) = opts.transport {
+        run_modeled_vs_measured(opts.scale, backend);
     }
 
     if (opts.json || opts.baseline.is_some()) && run_bench_report(&opts) {

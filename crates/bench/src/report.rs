@@ -523,6 +523,77 @@ pub fn markdown_summary(
     out
 }
 
+/// Render the one-page "modeled vs measured" transport report: for every
+/// figure row of a socket-backend sweep
+/// ([`crate::sweep_modeled_vs_measured`]), the modeled virtual-time RPC cost
+/// next to the wall-clock time of the real socket round trips, per RPC
+/// service.
+///
+/// The two columns answer different questions and are *expected* to differ —
+/// the modeled span charges the paper's 1999-era Myrinet/SCI cluster while
+/// the measured span is a same-host socket hop — so the value of the table
+/// is in the *ratios staying stable across apps and services*, which is what
+/// shows the cost model ranks the protocols faithfully.
+pub fn modeled_vs_measured_markdown(rows: &[FigureRow]) -> String {
+    let mut out = String::new();
+    out.push_str("## Modeled vs measured: virtual-time cost model against real socket RPCs\n\n");
+    if rows.is_empty() {
+        out.push_str("_No rows: the sweep produced nothing._\n");
+        return out;
+    }
+    let backend = rows
+        .iter()
+        .find(|r| !r.wire.is_empty())
+        .map(|r| r.transport)
+        .unwrap_or(rows[0].transport);
+    out.push_str(&format!(
+        "Backend: `{}` on `{}`. Modeled µs/RPC is the virtual-time round-trip span charged by \
+         the machine model; measured µs/RPC is the wall-clock span of the matching socket \
+         exchange on this host.\n\n",
+        backend, rows[0].cluster
+    ));
+    out.push_str(
+        "| app | protocol | nodes | service | RPCs | sent (B) | received (B) | modeled µs/RPC | \
+         measured µs/RPC | model/wire |\n\
+         |---|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for row in rows {
+        if row.wire.is_empty() {
+            out.push_str(&format!(
+                "| {} | {} | {} | — | 0 | 0 | 0 | — | — | — |\n",
+                row.app,
+                row.protocol_label(),
+                row.nodes
+            ));
+            continue;
+        }
+        for (service, w) in &row.wire {
+            let modeled = w.modeled_us_per_rpc();
+            let measured = w.measured_us_per_rpc();
+            let ratio = if measured > 0.0 {
+                format!("{:.2}×", modeled / measured)
+            } else {
+                "—".to_string()
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} | {:.2} | {:.2} | {} |\n",
+                row.app,
+                row.protocol_label(),
+                row.nodes,
+                service,
+                w.messages,
+                w.bytes_sent,
+                w.bytes_received,
+                modeled,
+                measured,
+                ratio
+            ));
+        }
+    }
+    out.push('\n');
+    out
+}
+
 // ----- a minimal JSON value + parser ---------------------------------------
 
 /// A parsed JSON value (only what the report schema needs).

@@ -32,6 +32,7 @@ pub mod page;
 pub mod protocol;
 pub mod table;
 
+pub use hyperion_pm2::TransportBackend;
 pub use page::{AdMode, PageData, PageFrame};
 pub use protocol::{
     AdaptiveParams, DeferredFlush, DsmSystem, Locality, ProtocolKind, TransportConfig,

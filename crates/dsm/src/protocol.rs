@@ -35,7 +35,8 @@ use std::sync::Arc;
 
 use hyperion_model::{CpuModel, DsmCostModel, NodeStats, ThreadClock, VTime};
 use hyperion_pm2::{
-    Cluster, GlobalAddr, Node, NodeId, PageId, RpcHandler, RpcReply, ServiceId, SLOTS_PER_PAGE,
+    Cluster, GlobalAddr, Node, NodeId, PageId, RpcHandler, RpcReply, ServiceId, TransportBackend,
+    SLOTS_PER_PAGE,
 };
 
 use crate::diff::{
@@ -173,6 +174,12 @@ pub struct TransportConfig {
     /// Release points with thread-level edges (`Thread.start`, `join`,
     /// migration, program exit) always flush blocking.  Off by default.
     pub deferred_flush: bool,
+    /// Which [`hyperion_pm2::Transport`] implementation carries the RPCs:
+    /// the in-process cost model (default) or a real Unix-domain/TCP
+    /// socket per node.  Semantics-preserving by construction — the wire
+    /// payloads and the virtual-time charging are identical across
+    /// backends, only the physical carrier differs.
+    pub backend: TransportBackend,
 }
 
 impl Default for TransportConfig {
@@ -185,6 +192,7 @@ impl Default for TransportConfig {
             prefetch_hints: false,
             hint_window: 4,
             deferred_flush: false,
+            backend: TransportBackend::Sim,
         }
     }
 }
@@ -688,6 +696,30 @@ impl DsmSystem {
         &self.store
     }
 
+    /// Issue a split-transaction RPC, treating transport failure as fatal.
+    /// The protocol cannot make progress without its home nodes — a lost
+    /// peer on a socket backend leaves the page table inconsistent — so a
+    /// failed round trip aborts the run instead of limping on.
+    fn rpc_split_or_die(
+        &self,
+        clock: &mut ThreadClock,
+        from: NodeId,
+        to: NodeId,
+        service: ServiceId,
+        payload: &[u8],
+    ) -> (Vec<u8>, VTime) {
+        self.cluster
+            .rpc_split(clock, from, to, service, payload)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "DSM '{}' RPC from node {} to node {} failed: {e}",
+                    self.cluster.service_name(service),
+                    from.0,
+                    to.0
+                )
+            })
+    }
+
     /// Retrieve a field (an 8-byte slot): the `get` primitive of Table 2.
     ///
     /// Charges the protocol-dependent access-detection cost to `clock` and
@@ -966,7 +998,8 @@ impl DsmSystem {
 
         let mut reprotected = false;
         let mut hint_waste = 0u64;
-        for (_, frame) in &cached {
+        let mut abandoned: Vec<PageId> = Vec::new();
+        for (page, frame) in &cached {
             let reprotect = match self.kind {
                 ProtocolKind::JavaIc => false,
                 ProtocolKind::JavaPf => true,
@@ -977,9 +1010,11 @@ impl DsmSystem {
             reprotected |= reprotect;
             // A hinted ticket still pending here means the predicted demand
             // miss never came: the hint was wasted.  The counter feeds the
-            // requester-side throttle in `issue_hint_fetches`.
+            // requester-side throttle in `issue_hint_fetches`, and the page
+            // is remembered so the ticket can be re-armed below.
             if frame.inflight_is_hinted() {
                 hint_waste += 1;
+                abandoned.push(*page);
             }
             frame.invalidate(reprotect);
         }
@@ -999,6 +1034,34 @@ impl DsmSystem {
             // cached region that is being re-protected.
             NodeStats::bump(&node_ref.stats.mprotect_calls);
             clock.advance(machine.dsm.mprotect_call);
+        }
+
+        // Re-arm abandoned hint tickets: the directory predicted these pages
+        // would be demanded and the node *was* holding overlapped fetches for
+        // them, so the next epoch very likely misses on them again.  Re-issue
+        // the split transactions now, at the acquire, so those misses complete
+        // in-flight RPCs.  The accuracy throttle inside `issue_hint_fetches`
+        // sees the waste recorded above and suppresses re-issue on nodes
+        // whose hints are not earning their keep.
+        if !abandoned.is_empty()
+            && self.transport.prefetch_hints
+            && self.transport.overlapped_fetches
+        {
+            abandoned.sort_unstable_by_key(|p| p.0);
+            abandoned.dedup();
+            let mut runs: Vec<HintRun> = Vec::new();
+            for page in abandoned {
+                match runs.last_mut() {
+                    Some((first, len)) if first.0 + *len as u64 == page.0 && *len < u16::MAX => {
+                        *len += 1;
+                    }
+                    _ => runs.push((page, 1)),
+                }
+            }
+            let reissued = self.issue_hint_fetches(node, node_ref, clock, &runs);
+            if reissued > 0 {
+                NodeStats::bump_by(&node_ref.stats.hinted_fetches_reissued, reissued);
+            }
         }
     }
 
@@ -1175,8 +1238,7 @@ impl DsmSystem {
         let payload = encode_page_request(page);
         let machine = self.cluster.machine();
         let (bytes, mut completion) =
-            self.cluster
-                .rpc_split(clock, node, home, self.page_fetch, &payload);
+            self.rpc_split_or_die(clock, node, home, self.page_fetch, &payload);
         // Hidden latency is measured from the end of the issue path: that is
         // the instant a blocking transport would have started stalling.
         let issue = clock.now();
@@ -1224,16 +1286,20 @@ impl DsmSystem {
     /// (invalidated untouched), further hints are ignored until the accuracy
     /// recovers — and hint-issued requests are tagged so their replies never
     /// carry further hints (no cascades).
+    ///
+    /// Returns the number of overlapped fetches actually issued (pages that
+    /// were present, home, contended or throttled issue nothing).
     fn issue_hint_fetches(
         &self,
         node: NodeId,
         node_ref: &Node,
         clock: &mut ThreadClock,
         hints: &[HintRun],
-    ) {
+    ) -> u64 {
+        let mut issued_now = 0u64;
         if hints.is_empty() || !self.transport.overlapped_fetches || !self.transport.prefetch_hints
         {
-            return;
+            return issued_now;
         }
         let machine = self.cluster.machine();
         let num_pages = self.store.allocator().num_pages();
@@ -1249,7 +1315,7 @@ impl DsmSystem {
                 // waste: a node must prove hint accuracy on a healthy issued
                 // count before any further misprediction is tolerated.
                 if wasted.saturating_mul(16) > issued.max(8) {
-                    return;
+                    return issued_now;
                 }
                 let frame = self.store.frame(node, page);
                 if frame.is_home() || frame.is_present() {
@@ -1271,11 +1337,11 @@ impl DsmSystem {
                 };
                 NodeStats::bump(&node_ref.stats.page_loads);
                 NodeStats::bump(&node_ref.stats.hinted_fetches_issued);
+                issued_now += 1;
                 let home = self.store.home_of(page);
                 let payload = encode_page_request_nohint(page);
                 let (bytes, mut completion) =
-                    self.cluster
-                        .rpc_split(clock, node, home, self.page_fetch, &payload);
+                    self.rpc_split_or_die(clock, node, home, self.page_fetch, &payload);
                 let issue = clock.now();
                 if frame.is_home() {
                     // Concurrent migration promoted the frame (see
@@ -1294,6 +1360,7 @@ impl DsmSystem {
                 drop(guard);
             }
         }
+        issued_now
     }
 
     /// `java_ad` fetch path: bring `page` into the cache and opportunistically
@@ -1417,8 +1484,7 @@ impl DsmSystem {
             encode_page_batch_request(page, count as u32)
         };
         let (bytes, wire_completion) =
-            self.cluster
-                .rpc_split(clock, node, home, self.page_fetch, &payload);
+            self.rpc_split_or_die(clock, node, home, self.page_fetch, &payload);
         let issue = clock.now();
         let (data, hints) = split_fetch_reply(&bytes, count);
         // A concurrent migration grant may have promoted any frame of the
@@ -1631,8 +1697,7 @@ impl DsmSystem {
             };
             NodeStats::bump_by(&node_ref.stats.diff_bytes, payload.len() as u64);
             let (reply, completion) =
-                self.cluster
-                    .rpc_split(clock, node, home, self.diff_apply, &payload);
+                self.rpc_split_or_die(clock, node, home, self.diff_apply, &payload);
             if deferred {
                 // Hand the transaction to the deferred queue: the caller
                 // stores the completion watermark on the releasing monitor
@@ -2735,6 +2800,53 @@ mod tests {
         let s1 = f.cluster.node_stats(NodeId(1));
         assert_eq!(s1.hinted_fetches_wasted, 1);
         assert_eq!(s1.hinted_fetches_completed, 0);
+        // With no accuracy history the first waste trips the throttle, so
+        // the abandoned ticket is *not* re-armed.
+        assert_eq!(s1.hinted_fetches_reissued, 0);
+    }
+
+    #[test]
+    fn abandoned_hint_tickets_are_reissued_at_the_next_acquire() {
+        let f = directory_fixture(3, ProtocolKind::JavaPf);
+        let addr = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE * 2, NodeId(2));
+        let second = addr.offset(SLOTS_PER_PAGE as u64);
+        f.dsm.put(NodeId(2), &mut ThreadClock::new(), second, 77);
+
+        // Teach the home's directory the two-page pattern.
+        let mut c0 = ThreadClock::new();
+        let _ = f.dsm.get(NodeId(0), &mut c0, addr);
+        let _ = f.dsm.get(NodeId(0), &mut c0, second);
+
+        // Give node 1 a healthy accuracy history so the single waste booked
+        // below does not trip the conversion throttle.
+        NodeStats::bump_by(&f.cluster.node(NodeId(1)).stats.hinted_fetches_issued, 64);
+
+        // Node 1 demand-misses the first page and converts the piggybacked
+        // hint into an in-flight ticket for the second.
+        let mut c1 = ThreadClock::new();
+        let _ = f.dsm.get(NodeId(1), &mut c1, addr);
+        let frame = f.dsm.store().frame(NodeId(1), second.page());
+        assert!(frame.inflight_is_hinted());
+        let loads_before = f.cluster.node_stats(NodeId(1)).page_loads;
+
+        // The acquire invalidates before the predicted miss arrives: the
+        // ticket is booked as waste *and* re-armed on the spot — the node was
+        // holding an overlapped fetch for this page, so the next epoch very
+        // likely misses on it again.
+        f.dsm.invalidate_cache(NodeId(1), &mut c1);
+        let s1 = f.cluster.node_stats(NodeId(1));
+        assert_eq!(s1.hinted_fetches_wasted, 1);
+        assert_eq!(s1.hinted_fetches_reissued, 1);
+        assert_eq!(s1.page_loads, loads_before + 1, "one re-issued fetch");
+        assert!(frame.inflight_is_hinted(), "ticket re-armed");
+
+        // The demand miss that does come completes the re-issued RPC instead
+        // of paying a fresh round trip, and observes the right value.
+        assert_eq!(f.dsm.get(NodeId(1), &mut c1, second), 77);
+        let s1 = f.cluster.node_stats(NodeId(1));
+        assert_eq!(s1.page_loads, loads_before + 1);
+        assert_eq!(s1.hinted_fetches_completed, 1);
+        assert!(!frame.has_inflight());
     }
 
     #[test]

@@ -82,9 +82,9 @@ pub use thread::{HThreadHandle, LoadBalancer};
 pub use hyperion_dsm::{AdaptiveParams, DeferredFlush, Locality, ProtocolKind, TransportConfig};
 pub use hyperion_model::{
     myrinet_200, sci_450, ClusterSpec, MachineModel, Op, OpCounts, StatsSnapshot, VTime,
-    WorkEstimate,
+    WireServiceSnapshot, WorkEstimate,
 };
-pub use hyperion_pm2::{GlobalAddr, NodeId, ThreadId};
+pub use hyperion_pm2::{GlobalAddr, NodeId, ThreadId, TransportBackend};
 
 /// Everything an application kernel typically imports.
 pub mod prelude {
@@ -103,5 +103,5 @@ pub mod prelude {
     pub use hyperion_model::{
         myrinet_200, sci_450, ClusterSpec, Op, OpCounts, VTime, WorkEstimate,
     };
-    pub use hyperion_pm2::NodeId;
+    pub use hyperion_pm2::{NodeId, TransportBackend};
 }

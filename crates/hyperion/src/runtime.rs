@@ -16,9 +16,11 @@ use hyperion_dsm::{AdaptiveParams, DsmStore, DsmSystem, Locality, ProtocolKind, 
 use hyperion_model::vtime::TimeWatermark;
 use hyperion_model::{
     ClusterSpec, CpuModel, MachineModel, NodeStats, OpCounts, StatsSnapshot, ThreadClock, VTime,
-    WorkEstimate,
+    WireServiceSnapshot, WorkEstimate,
 };
-use hyperion_pm2::{Cluster, GlobalAddr, IsoAllocator, NodeId, ThreadId, ThreadRegistry};
+use hyperion_pm2::{
+    Cluster, GlobalAddr, IsoAllocator, NodeId, ThreadId, ThreadRegistry, TransportBackend,
+};
 
 use crate::thread::{HThreadHandle, LoadBalancer};
 
@@ -174,6 +176,11 @@ impl HyperionConfig {
             return Err(ConfigError::InvalidTransport(
                 "prefetch_hints requires overlapped_fetches (hints become split-transaction \
                  tickets)",
+            ));
+        }
+        if self.transport.backend != TransportBackend::Sim && self.nodes > 64 {
+            return Err(ConfigError::InvalidTransport(
+                "socket backends keep an O(nodes²) connection pool; use at most 64 nodes",
             ));
         }
         Ok(())
@@ -390,7 +397,11 @@ impl HyperionRuntime {
     /// Build a runtime from a validated configuration.
     pub fn new(config: HyperionConfig) -> Result<Self, ConfigError> {
         config.validate()?;
-        let cluster = Cluster::new(config.cluster.machine.clone(), config.nodes);
+        let cluster = Cluster::for_backend(
+            config.cluster.machine.clone(),
+            config.nodes,
+            config.transport.backend,
+        );
         let allocator = Arc::new(IsoAllocator::new(config.nodes));
         let store = DsmStore::new(Arc::clone(&allocator), config.nodes);
         let dsm = DsmSystem::with_config(
@@ -478,6 +489,23 @@ impl HyperionRuntime {
         shared.finish.record(ctx.clock.now());
 
         let node_stats = shared.cluster.all_stats();
+        // Wire traffic exists only on socket backends; `SimTransport`
+        // reports `None` and the report carries an empty table.
+        let service_names = shared.cluster.service_names();
+        let wire = shared
+            .cluster
+            .transport()
+            .wire_stats()
+            .unwrap_or_default()
+            .into_iter()
+            .map(|snap| {
+                let name = service_names
+                    .get(snap.service)
+                    .copied()
+                    .unwrap_or("unknown-service");
+                (name.to_string(), snap)
+            })
+            .collect();
         let report = RunReport {
             protocol: shared.config.protocol,
             cluster_label: shared.config.cluster.label().to_string(),
@@ -486,6 +514,8 @@ impl HyperionRuntime {
             execution_time: shared.finish.max(),
             main_thread_time: ctx.clock.now(),
             node_stats,
+            transport: shared.cluster.transport().name(),
+            wire,
         };
         RunOutcome { result, report }
     }
@@ -527,6 +557,14 @@ pub struct RunReport {
     pub main_thread_time: VTime,
     /// Per-node statistics, indexed by node id.
     pub node_stats: Vec<StatsSnapshot>,
+    /// Name of the transport backend that carried the RPCs ("sim",
+    /// "unix-socket" or "tcp-socket").
+    pub transport: &'static str,
+    /// Per-service wire-traffic counters, `(service name, counters)` —
+    /// empty under the in-process [`hyperion_pm2::SimTransport`], populated
+    /// by socket backends with real byte counts and wall-clock round-trip
+    /// times next to the modeled virtual-time spans.
+    pub wire: Vec<(String, WireServiceSnapshot)>,
 }
 
 impl RunReport {

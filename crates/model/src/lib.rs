@@ -35,5 +35,5 @@ pub use cost::{Op, OpCounts, WorkEstimate};
 pub use machine::{
     myrinet_200, sci_450, ClusterSpec, CpuModel, DsmCostModel, MachineModel, NetworkModel,
 };
-pub use stats::{NodeStats, StatsSnapshot};
+pub use stats::{NodeStats, StatsSnapshot, WireServiceSnapshot, WireStats};
 pub use vtime::{ServerClock, ThreadClock, VTime};

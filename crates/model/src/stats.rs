@@ -127,6 +127,8 @@ define_stats! {
     hinted_fetches_completed,
     /// Hinted pages invalidated with their ticket still pending (wasted hints).
     hinted_fetches_wasted,
+    /// Abandoned hint tickets re-armed at the invalidating acquire (a fresh split-transaction fetch was issued on the spot).
+    hinted_fetches_reissued,
     /// Release-time diff flushes handed to the deferred per-monitor queue instead of blocking.
     deferred_flushes,
     /// Flush round-trip cycles hidden by deferred release flushing (residual charged at next acquire).
@@ -166,9 +168,133 @@ impl StatsSnapshot {
     }
 }
 
+/// One RPC service's accumulated wire-level traffic, as observed by a *real*
+/// transport backend (sockets): what was actually written to and read from
+/// the wire, how long the round trips took on the wall clock, and what the
+/// cost model charged for the very same round trips in virtual time.
+///
+/// The pairing of `rtt_nanos` (measured) with `modeled_ps` (charged) is what
+/// the bench harness turns into the modeled-vs-measured report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireServiceSnapshot {
+    /// Index of the service in the cluster's service table.
+    pub service: usize,
+    /// Round trips completed (one request frame + one reply frame each).
+    pub messages: u64,
+    /// Frame bytes written to the socket (length prefix + header + payload).
+    pub bytes_sent: u64,
+    /// Frame bytes read from the socket (replies, including the prefix).
+    pub bytes_received: u64,
+    /// Wall-clock nanoseconds spent inside round trips (send → reply read).
+    pub rtt_nanos: u64,
+    /// Modeled virtual-time cost of the same round trips, in picoseconds.
+    pub modeled_ps: u64,
+}
+
+impl WireServiceSnapshot {
+    /// Average measured wall-clock microseconds per round trip.
+    pub fn measured_us_per_rpc(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.rtt_nanos as f64 / 1e3 / self.messages as f64
+        }
+    }
+
+    /// Average modeled virtual-time microseconds per round trip.
+    pub fn modeled_us_per_rpc(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.modeled_ps as f64 / 1e6 / self.messages as f64
+        }
+    }
+}
+
+/// Per-service wire counters for a transport backend that performs real I/O.
+///
+/// Kept separate from [`NodeStats`] on purpose: the per-node counters feed
+/// the protocol digests and must be byte-for-byte identical across
+/// backends, while these record *physical* traffic that only exists when a
+/// socket is involved.
+#[derive(Debug, Default)]
+pub struct WireStats {
+    services: std::sync::Mutex<Vec<WireServiceSnapshot>>,
+}
+
+impl WireStats {
+    /// Record one completed round trip for service-table index `service`.
+    pub fn record(
+        &self,
+        service: usize,
+        bytes_sent: u64,
+        bytes_received: u64,
+        rtt_nanos: u64,
+        modeled_ps: u64,
+    ) {
+        let mut table = self.services.lock().expect("wire stats lock poisoned");
+        if table.len() <= service {
+            let first_new = table.len();
+            table.resize_with(service + 1, WireServiceSnapshot::default);
+            for (i, entry) in table.iter_mut().enumerate().skip(first_new) {
+                entry.service = i;
+            }
+        }
+        let entry = &mut table[service];
+        entry.messages += 1;
+        entry.bytes_sent += bytes_sent;
+        entry.bytes_received += bytes_received;
+        entry.rtt_nanos += rtt_nanos;
+        entry.modeled_ps += modeled_ps;
+    }
+
+    /// Snapshot of every service that saw at least one round trip, in
+    /// service-table order.
+    pub fn snapshot(&self) -> Vec<WireServiceSnapshot> {
+        self.services
+            .lock()
+            .expect("wire stats lock poisoned")
+            .iter()
+            .filter(|s| s.messages > 0)
+            .copied()
+            .collect()
+    }
+
+    /// Reset all counters (between experiment runs).
+    pub fn reset(&self) {
+        self.services
+            .lock()
+            .expect("wire stats lock poisoned")
+            .clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_stats_accumulate_per_service() {
+        let w = WireStats::default();
+        assert!(w.snapshot().is_empty());
+        w.record(1, 100, 200, 5_000, 7_000_000);
+        w.record(1, 50, 60, 1_000, 1_000_000);
+        w.record(3, 10, 20, 500, 250_000);
+        let snap = w.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].service, 1);
+        assert_eq!(snap[0].messages, 2);
+        assert_eq!(snap[0].bytes_sent, 150);
+        assert_eq!(snap[0].bytes_received, 260);
+        assert_eq!(snap[0].rtt_nanos, 6_000);
+        assert_eq!(snap[0].modeled_ps, 8_000_000);
+        assert!((snap[0].measured_us_per_rpc() - 3.0).abs() < 1e-9);
+        assert!((snap[0].modeled_us_per_rpc() - 4.0).abs() < 1e-9);
+        assert_eq!(snap[1].service, 3);
+        w.reset();
+        assert!(w.snapshot().is_empty());
+        assert_eq!(WireServiceSnapshot::default().measured_us_per_rpc(), 0.0);
+    }
 
     #[test]
     fn snapshot_reflects_bumps() {
@@ -234,7 +360,7 @@ mod tests {
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
-        assert_eq!(names.len(), 37);
+        assert_eq!(names.len(), 38);
         for added in [
             "batched_flushes",
             "diff_bytes",
@@ -244,6 +370,7 @@ mod tests {
             "hinted_fetches_issued",
             "hinted_fetches_completed",
             "hinted_fetches_wasted",
+            "hinted_fetches_reissued",
             "deferred_flushes",
             "flush_overlap_cycles_hidden",
         ] {

@@ -2,44 +2,96 @@
 
 use std::sync::Arc;
 
-use hyperion_model::{MachineModel, NodeStats, StatsSnapshot, ThreadClock, VTime};
+use hyperion_model::{MachineModel, StatsSnapshot, ThreadClock, VTime};
 use parking_lot::RwLock;
 
 use crate::comm::{RpcHandler, ServiceId, MSG_HEADER_BYTES};
 use crate::node::{Node, NodeId};
+use crate::socket::SocketTransport;
+use crate::transport::{SimTransport, Transport, TransportBackend, TransportError};
 
-/// A simulated cluster executing a single distributed JVM image.
+/// A cluster executing a single distributed JVM image.
 ///
 /// The cluster owns the machine model (both of the paper's clusters are
-/// homogeneous), one [`Node`] per cluster node, and the table of registered
-/// RPC services.
+/// homogeneous), one [`Node`] per cluster node, the table of registered RPC
+/// services, and the [`Transport`] that carries RPC round trips.  By default
+/// the transport is the in-process [`SimTransport`]; see
+/// [`Cluster::with_transport`] and [`Cluster::for_backend`] for running the
+/// same cluster over real sockets.
 pub struct Cluster {
     machine: MachineModel,
     nodes: Vec<Arc<Node>>,
     services: RwLock<Vec<Arc<dyn RpcHandler>>>,
+    transport: Arc<dyn Transport>,
 }
 
 impl Cluster {
-    /// Build a cluster of `num_nodes` identical nodes.
+    /// Build a cluster of `num_nodes` identical nodes on the default
+    /// in-process [`SimTransport`].
     ///
     /// # Panics
     /// Panics if `num_nodes` is zero.
     pub fn new(machine: MachineModel, num_nodes: usize) -> Arc<Self> {
+        Self::with_transport(machine, num_nodes, Arc::new(SimTransport))
+    }
+
+    /// Build a cluster of `num_nodes` identical nodes over an explicit
+    /// [`Transport`].  The transport's [`Transport::start`] hook runs once
+    /// the cluster is fully constructed, and [`Transport::shutdown`] runs
+    /// when the cluster is dropped.
+    ///
+    /// # Panics
+    /// Panics if `num_nodes` is zero.
+    pub fn with_transport(
+        machine: MachineModel,
+        num_nodes: usize,
+        transport: Arc<dyn Transport>,
+    ) -> Arc<Self> {
         assert!(num_nodes > 0, "a cluster needs at least one node");
         let nodes = (0..num_nodes)
             .map(|i| Arc::new(Node::new(NodeId(i as u32))))
             .collect();
-        Arc::new(Cluster {
+        let cluster = Arc::new(Cluster {
             machine,
             nodes,
             services: RwLock::new(Vec::new()),
-        })
+            transport,
+        });
+        cluster.transport.start(&cluster);
+        cluster
+    }
+
+    /// Build a cluster for a [`TransportBackend`] selector: the simulated
+    /// transport, or per-node Unix-domain/TCP(localhost) socket servers.
+    ///
+    /// # Panics
+    /// Panics if `num_nodes` is zero, or if a socket backend cannot bind its
+    /// per-node servers.
+    pub fn for_backend(
+        machine: MachineModel,
+        num_nodes: usize,
+        backend: TransportBackend,
+    ) -> Arc<Self> {
+        match backend {
+            TransportBackend::Sim => Self::new(machine, num_nodes),
+            TransportBackend::UnixSocket | TransportBackend::Tcp => Self::with_transport(
+                machine,
+                num_nodes,
+                Arc::new(SocketTransport::for_backend(backend)),
+            ),
+        }
     }
 
     /// The machine model shared by every node.
     #[inline]
     pub fn machine(&self) -> &MachineModel {
         &self.machine
+    }
+
+    /// The transport carrying this cluster's RPC round trips.
+    #[inline]
+    pub fn transport(&self) -> &dyn Transport {
+        self.transport.as_ref()
     }
 
     /// Number of nodes in this cluster.
@@ -80,6 +132,26 @@ impl Cluster {
         self.services.read().len()
     }
 
+    /// Look up a registered handler (used by transports to dispatch).
+    pub(crate) fn handler(&self, service: ServiceId) -> Option<Arc<dyn RpcHandler>> {
+        self.services.read().get(service.0).map(Arc::clone)
+    }
+
+    /// Human-readable name of a registered service (`"unknown-service"` for
+    /// an out-of-range id).
+    pub fn service_name(&self, service: ServiceId) -> &'static str {
+        self.services
+            .read()
+            .get(service.0)
+            .map(|h| h.name())
+            .unwrap_or("unknown-service")
+    }
+
+    /// Names of every registered service, in service-table order.
+    pub fn service_names(&self) -> Vec<&'static str> {
+        self.services.read().iter().map(|h| h.name()).collect()
+    }
+
     /// Invoke service `service` on node `to` on behalf of a thread running on
     /// node `from`, charging the full virtual-time cost of the round trip to
     /// `clock`.
@@ -96,6 +168,12 @@ impl Cluster {
     ///
     /// A local invocation (`from == to`) only pays the protocol software
     /// costs — no wire, no NIC overheads, no service-clock occupancy.
+    ///
+    /// # Errors
+    /// Returns a [`TransportError`] for an unregistered service, a malformed
+    /// frame from a socket peer, an unrecoverable socket I/O failure, or a
+    /// remote handler failure.  The in-process [`SimTransport`] can only
+    /// fail with [`TransportError::UnknownService`].
     pub fn rpc(
         &self,
         clock: &mut ThreadClock,
@@ -103,10 +181,10 @@ impl Cluster {
         to: NodeId,
         service: ServiceId,
         payload: &[u8],
-    ) -> Vec<u8> {
-        let (data, completion) = self.rpc_split(clock, from, to, service, payload);
+    ) -> Result<Vec<u8>, TransportError> {
+        let (data, completion) = self.rpc_split(clock, from, to, service, payload)?;
         clock.merge(completion);
-        data
+        Ok(data)
     }
 
     /// Split-transaction form of [`Cluster::rpc`]: issue the request,
@@ -119,10 +197,13 @@ impl Cluster {
     /// merges the completion time immediately (that is what [`Cluster::rpc`]
     /// does), an overlapping caller keeps computing and merges it at the
     /// first real use of the reply, paying only the residual latency.  The
-    /// reply *bytes* are available immediately — the simulation executes the
-    /// handler synchronously — but consuming them before merging the
-    /// completion time would let a thread observe data "from the future" in
-    /// virtual time, so don't.
+    /// reply *bytes* are available immediately — every transport executes
+    /// the handler synchronously within the call — but consuming them before
+    /// merging the completion time would let a thread observe data "from the
+    /// future" in virtual time, so don't.
+    ///
+    /// # Errors
+    /// See [`Cluster::rpc`].
     pub fn rpc_split(
         &self,
         clock: &mut ThreadClock,
@@ -130,57 +211,9 @@ impl Cluster {
         to: NodeId,
         service: ServiceId,
         payload: &[u8],
-    ) -> (Vec<u8>, VTime) {
-        let handler = {
-            let services = self.services.read();
-            Arc::clone(
-                services
-                    .get(service.0)
-                    .unwrap_or_else(|| panic!("unknown RPC service {:?}", service)),
-            )
-        };
-
-        let cpu = &self.machine.cpu;
-        let net = &self.machine.net;
-        let dsm = &self.machine.dsm;
-        let from_node = self.node(from);
-        let to_node = self.node(to);
-
-        NodeStats::bump(&from_node.stats.rpc_requests);
-        NodeStats::bump(&to_node.stats.rpc_served);
-
-        // The handler runs on the target node's state regardless of where
-        // the calling OS thread happens to be executing.
-        let reply = handler.handle(to_node, from, payload);
-
-        let request_cpu = cpu.cycles(dsm.protocol_request_cycles);
-        let server_cpu = cpu.cycles(dsm.protocol_server_cycles);
-
-        if from == to {
-            // Local invocation: protocol software only, nothing to overlap.
-            clock.advance(request_cpu + server_cpu + reply.service);
-            return (reply.data, clock.now());
-        }
-
-        let req_bytes = MSG_HEADER_BYTES + payload.len() as u64;
-        let reply_bytes = MSG_HEADER_BYTES + reply.data.len() as u64;
-
-        NodeStats::bump_by(&from_node.stats.bytes_sent, req_bytes);
-        NodeStats::bump_by(&to_node.stats.bytes_received, req_bytes);
-        NodeStats::bump_by(&to_node.stats.bytes_sent, reply_bytes);
-        NodeStats::bump_by(&from_node.stats.bytes_received, reply_bytes);
-
-        // 1. + 2. request leaves the caller and crosses the wire.
-        clock.advance(request_cpu + net.send_overhead);
-        let arrival = clock.now() + net.latency + net.transfer(req_bytes);
-
-        // 3. service at the home node (serialised).
-        let done = to_node.server.serve(arrival, server_cpu + reply.service);
-
-        // 4. + 5. reply crosses the wire and is absorbed by the caller.
-        let reply_arrival = done + net.latency + net.transfer(reply_bytes) + net.recv_overhead;
-
-        (reply.data, reply_arrival)
+    ) -> Result<(Vec<u8>, VTime), TransportError> {
+        self.transport
+            .rpc_split(self, clock, from, to, service, payload)
     }
 
     /// One-way virtual cost of a minimal control message between two distinct
@@ -212,12 +245,22 @@ impl Cluster {
     }
 }
 
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        // Socket transports own server threads holding a Weak to this
+        // cluster; stop them before the nodes go away.  Idempotent, and a
+        // no-op for the simulated transport.
+        self.transport.shutdown();
+    }
+}
+
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
             .field("machine", &self.machine.name)
             .field("num_nodes", &self.nodes.len())
             .field("num_services", &self.num_services())
+            .field("transport", &self.transport.name())
             .finish()
     }
 }
@@ -249,6 +292,8 @@ mod tests {
             vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
         );
         assert_eq!(c.nodes().count(), 4);
+        assert_eq!(c.transport().name(), "sim");
+        assert!(c.transport().wire_stats().is_none());
     }
 
     #[test]
@@ -258,7 +303,9 @@ mod tests {
             RpcReply::with_data(p.to_vec(), VTime::ZERO)
         }));
         let mut clock = ThreadClock::new();
-        let out = c.rpc(&mut clock, NodeId(0), NodeId(0), svc, &[9, 9]);
+        let out = c
+            .rpc(&mut clock, NodeId(0), NodeId(0), svc, &[9, 9])
+            .expect("local rpc");
         assert_eq!(out, vec![9, 9]);
         let expected = c.machine().cpu.cycles(
             c.machine().dsm.protocol_request_cycles + c.machine().dsm.protocol_server_cycles,
@@ -275,7 +322,9 @@ mod tests {
             RpcReply::with_data(vec![0u8; 4096], VTime::from_us(5))
         }));
         let mut clock = ThreadClock::new();
-        let out = c.rpc(&mut clock, NodeId(0), NodeId(1), svc, &[0u8; 16]);
+        let out = c
+            .rpc(&mut clock, NodeId(0), NodeId(1), svc, &[0u8; 16])
+            .expect("remote rpc");
         assert_eq!(out.len(), 4096);
 
         let m = c.machine();
@@ -308,8 +357,8 @@ mod tests {
         // second to be served must finish at least 100us after the first.
         let mut c1 = ThreadClock::new();
         let mut c2 = ThreadClock::new();
-        c.rpc(&mut c1, NodeId(0), NodeId(2), svc, &[]);
-        c.rpc(&mut c2, NodeId(1), NodeId(2), svc, &[]);
+        c.rpc(&mut c1, NodeId(0), NodeId(2), svc, &[]).unwrap();
+        c.rpc(&mut c2, NodeId(1), NodeId(2), svc, &[]).unwrap();
         let (early, late) = if c1.now() < c2.now() {
             (c1.now(), c2.now())
         } else {
@@ -319,11 +368,41 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown RPC service")]
-    fn unknown_service_panics() {
+    fn unknown_service_is_a_typed_error_not_a_panic() {
         let c = test_cluster(1);
+        let svc = c.register_service(Arc::new(|_n: &Node, _c: NodeId, _p: &[u8]| {
+            RpcReply::ack(VTime::ZERO)
+        }));
         let mut clock = ThreadClock::new();
-        c.rpc(&mut clock, NodeId(0), NodeId(0), ServiceId(42), &[]);
+        let err = c
+            .rpc(&mut clock, NodeId(0), NodeId(0), ServiceId(42), &[])
+            .unwrap_err();
+        match err {
+            TransportError::UnknownService {
+                service,
+                registered,
+            } => {
+                assert_eq!(service, 42);
+                assert_eq!(registered, 1);
+            }
+            other => panic!("expected UnknownService, got {other}"),
+        }
+        // The failed lookup charged nothing and the node still serves.
+        assert_eq!(clock.now(), VTime::ZERO);
+        assert_eq!(c.node_stats(NodeId(0)).rpc_requests, 0);
+        assert!(c.rpc(&mut clock, NodeId(0), NodeId(0), svc, &[]).is_ok());
+    }
+
+    #[test]
+    fn service_names_are_exposed() {
+        let c = test_cluster(1);
+        let svc = c.register_service(Arc::new(|_n: &Node, _c: NodeId, _p: &[u8]| {
+            RpcReply::ack(VTime::ZERO)
+        }));
+        assert_eq!(c.service_name(svc), "anonymous-service");
+        assert_eq!(c.service_name(ServiceId(7)), "unknown-service");
+        assert_eq!(c.service_names(), vec!["anonymous-service"]);
+        assert_eq!(svc.index(), 0);
     }
 
     #[test]
@@ -333,7 +412,8 @@ mod tests {
             RpcReply::ack(VTime::from_us(1))
         }));
         let mut clock = ThreadClock::new();
-        c.rpc(&mut clock, NodeId(0), NodeId(1), svc, &[1, 2, 3]);
+        c.rpc(&mut clock, NodeId(0), NodeId(1), svc, &[1, 2, 3])
+            .unwrap();
         assert!(c.total_stats().rpc_requests > 0);
         c.reset();
         assert_eq!(c.total_stats().rpc_requests, 0);
@@ -357,7 +437,9 @@ mod tests {
         // so both calls see an idle home).
         c.reset();
         let mut split = ThreadClock::new();
-        let (data, completion) = c.rpc_split(&mut split, NodeId(0), NodeId(1), svc, &[1]);
+        let (data, completion) = c
+            .rpc_split(&mut split, NodeId(0), NodeId(1), svc, &[1])
+            .expect("split rpc");
         assert_eq!(data, vec![7u8; 64]);
         // Only the issue costs were charged; the completion matches the
         // blocking call's final time exactly.
@@ -368,7 +450,9 @@ mod tests {
 
         // Local split calls complete immediately.
         let mut local = ThreadClock::new();
-        let (_, done) = c.rpc_split(&mut local, NodeId(1), NodeId(1), svc, &[]);
+        let (_, done) = c
+            .rpc_split(&mut local, NodeId(1), NodeId(1), svc, &[])
+            .expect("local split rpc");
         assert_eq!(done, local.now());
     }
 

@@ -20,6 +20,15 @@ use crate::node::{Node, NodeId};
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ServiceId(pub(crate) usize);
 
+impl ServiceId {
+    /// Index of the service in the cluster's service table (matches
+    /// [`hyperion_model::WireServiceSnapshot::service`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// Fixed per-message header size charged on the wire in addition to the
 /// payload (request ids, service ids, page numbers...).
 pub const MSG_HEADER_BYTES: u64 = 64;

@@ -20,6 +20,10 @@
 //!   replicated (§3.1 of the paper).
 //! * [`threads`] — thread identity and per-node thread registry (the paper's
 //!   "threads subsystem"; actual scheduling uses native OS threads).
+//! * [`transport`] / [`socket`] — the pluggable transport layer: the
+//!   in-process cost-model [`SimTransport`] (default) and the
+//!   Unix-domain/TCP(localhost) [`SocketTransport`] that serves each node's
+//!   handler table from behind a real socket.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -28,10 +32,14 @@ pub mod cluster;
 pub mod comm;
 pub mod iso;
 pub mod node;
+pub mod socket;
 pub mod threads;
+pub mod transport;
 
 pub use cluster::Cluster;
 pub use comm::{RpcHandler, RpcReply, ServiceId};
 pub use iso::{GlobalAddr, IsoAllocator, PageId, PAGE_BYTES, SLOTS_PER_PAGE, SLOT_BYTES};
 pub use node::{Node, NodeId};
+pub use socket::SocketTransport;
 pub use threads::{ThreadId, ThreadRegistry};
+pub use transport::{SimTransport, Transport, TransportBackend, TransportError};

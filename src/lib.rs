@@ -22,5 +22,6 @@ pub use hyperion_pm2 as pm2;
 pub use hyperion::prelude;
 pub use hyperion::{
     myrinet_200, sci_450, ClusterSpec, HyperionConfig, HyperionRuntime, NodeId, ProtocolKind,
-    RunOutcome, RunReport, ThreadCtx, TransportConfig, VTime,
+    RunOutcome, RunReport, ThreadCtx, TransportBackend, TransportConfig, VTime,
+    WireServiceSnapshot,
 };

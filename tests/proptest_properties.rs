@@ -637,6 +637,173 @@ fn block_range_tiles_any_size() {
     });
 }
 
+/// Every byte-precise wire form in `dsm::diff` survives an encode → decode
+/// round trip: single and batched page-fetch requests (including the
+/// hint-suppression tag bit), single and batched field-granularity diffs.
+#[test]
+fn diff_wire_encodings_round_trip() {
+    use hyperion_workspace::dsm::diff::{
+        decode_diff_message, decode_page_fetch_request, encode_diff, encode_diff_batch,
+        encode_page_batch_request, encode_page_request, encode_page_request_nohint, DiffEntry,
+    };
+    use hyperion_workspace::pm2::SLOTS_PER_PAGE;
+
+    // Real page numbers never use the top bit (it is the batch / no-hint
+    // tag), so the generator stays below it.
+    let random_page = |rng: &mut StdRng| PageId(rng.gen_range(0u64..1 << 40));
+    let random_entries = |rng: &mut StdRng, max: usize| -> Vec<DiffEntry> {
+        let len = rng.gen_range(0..max);
+        (0..len)
+            .map(|_| {
+                (
+                    rng.gen_range(0..SLOTS_PER_PAGE as u16),
+                    rng.gen_range(0u64..u64::MAX),
+                )
+            })
+            .collect()
+    };
+
+    property(64, |seed, rng| {
+        // Page-fetch requests, all three encoders, one decoder.
+        let page = random_page(rng);
+        assert_eq!(
+            decode_page_fetch_request(&encode_page_request(page)),
+            (page, 1, true),
+            "seed {seed}"
+        );
+        assert_eq!(
+            decode_page_fetch_request(&encode_page_request_nohint(page)),
+            (page, 1, false),
+            "seed {seed}"
+        );
+        let count = rng.gen_range(1u32..64);
+        assert_eq!(
+            decode_page_fetch_request(&encode_page_batch_request(page, count)),
+            (page, count, true),
+            "seed {seed}"
+        );
+
+        // Single diff.
+        let entries = random_entries(rng, 40);
+        assert_eq!(
+            decode_diff_message(&encode_diff(page, &entries)),
+            vec![(page, entries)],
+            "seed {seed}"
+        );
+
+        // Batched diff over contiguous pages.
+        let first = random_page(rng);
+        let pages: Vec<Vec<DiffEntry>> = (0..rng.gen_range(1usize..6))
+            .map(|_| random_entries(rng, 20))
+            .collect();
+        let expected: Vec<(PageId, Vec<DiffEntry>)> = pages
+            .iter()
+            .enumerate()
+            .map(|(k, e)| (PageId(first.0 + k as u64), e.clone()))
+            .collect();
+        assert_eq!(
+            decode_diff_message(&encode_diff_batch(first, &pages)),
+            expected,
+            "seed {seed}"
+        );
+    });
+}
+
+/// The prefetch-directory hint trailer piggybacked on page-fetch replies
+/// parses back to exactly the page data and hint runs that went in, for
+/// arbitrary reply sizes and hint sets (including none).
+#[test]
+fn fetch_reply_hint_trailers_round_trip() {
+    use hyperion_workspace::dsm::diff::{append_fetch_hints, split_fetch_reply, HintRun};
+    use hyperion_workspace::pm2::SLOTS_PER_PAGE;
+
+    property(64, |seed, rng| {
+        let pages = rng.gen_range(1usize..4);
+        let data: Vec<u8> = (0..pages * SLOTS_PER_PAGE * 8)
+            .map(|_| rng.gen_range(0u8..u8::MAX))
+            .collect();
+        let hints: Vec<HintRun> = (0..rng.gen_range(0usize..8))
+            .map(|_| {
+                (
+                    PageId(rng.gen_range(0u64..1 << 40)),
+                    rng.gen_range(1u16..512),
+                )
+            })
+            .collect();
+
+        let mut reply = data.clone();
+        append_fetch_hints(&mut reply, &hints);
+        if hints.is_empty() {
+            // No trailer is appended for an empty hint set: the reply stays
+            // byte-identical to the raw page data.
+            assert_eq!(reply, data, "seed {seed}");
+        }
+        let (got_data, got_hints) = split_fetch_reply(&reply, pages);
+        assert_eq!(got_data, &data[..], "seed {seed}: page data corrupted");
+        assert_eq!(got_hints, hints, "seed {seed}: hint runs corrupted");
+    });
+}
+
+/// The socket transport's frame header round-trips for every kind and every
+/// field value, and the decoder *rejects* (never panics on) truncated
+/// bodies and unknown kind tags — this is the boundary where bytes from
+/// another process enter the node.
+#[test]
+fn socket_frames_round_trip_and_reject_garbage() {
+    use hyperion_workspace::pm2::socket::{
+        decode_frame, encode_frame, FrameHeader, FrameKind, FRAME_HEADER_BYTES,
+    };
+
+    property(64, |seed, rng| {
+        let kind = match rng.gen_range(0u32..3) {
+            0 => FrameKind::Request,
+            1 => FrameKind::Reply,
+            _ => FrameKind::Error,
+        };
+        let header = FrameHeader {
+            kind,
+            service: rng.gen_range(0u32..u32::MAX),
+            from: rng.gen_range(0u32..u32::MAX),
+            to: rng.gen_range(0u32..u32::MAX),
+            aux: rng.gen_range(0u64..u64::MAX),
+        };
+        let payload: Vec<u8> = (0..rng.gen_range(0usize..200))
+            .map(|_| rng.gen_range(0u8..u8::MAX))
+            .collect();
+
+        let frame = encode_frame(header, &payload);
+        let body_len = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes")) as usize;
+        assert_eq!(
+            body_len,
+            frame.len() - 4,
+            "seed {seed}: length prefix disagrees with the body"
+        );
+        assert_eq!(body_len, FRAME_HEADER_BYTES + payload.len(), "seed {seed}");
+
+        let body = &frame[4..];
+        let (got_header, got_payload) = decode_frame(body)
+            .unwrap_or_else(|e| panic!("seed {seed}: well-formed frame rejected: {e}"));
+        assert_eq!(got_header, header, "seed {seed}");
+        assert_eq!(got_payload, &payload[..], "seed {seed}");
+
+        // Every truncation of the header region is an error, not a panic.
+        let cut = rng.gen_range(0..FRAME_HEADER_BYTES);
+        assert!(
+            decode_frame(&body[..cut]).is_err(),
+            "seed {seed}: truncated body of {cut} bytes was accepted"
+        );
+
+        // An unknown kind tag is rejected with the full header present.
+        let mut bad = body.to_vec();
+        bad[0] = rng.gen_range(4u8..u8::MAX);
+        assert!(
+            decode_frame(&bad).is_err(),
+            "seed {seed}: unknown kind tag {} was accepted",
+            bad[0]
+        );
+    });
+}
+
 /// VTime arithmetic: saturating, commutative max, order-compatible.
 #[test]
 fn vtime_algebra() {
