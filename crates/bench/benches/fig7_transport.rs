@@ -73,7 +73,7 @@ fn bench_fig7(c: &mut Criterion) {
                         ADAPTIVE_NODES,
                         &AdaptiveParams::default(),
                         transport,
-                        "",
+                        String::new(),
                     )
                     .seconds
                 })
@@ -230,7 +230,7 @@ fn verify_transport_invariants(_c: &mut Criterion) {
                 ADAPTIVE_NODES,
                 &AdaptiveParams::default(),
                 &overlapped,
-                "",
+                String::new(),
             )
         };
         let round = || {

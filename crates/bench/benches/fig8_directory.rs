@@ -66,7 +66,7 @@ fn bench_fig8(c: &mut Criterion) {
                         ADAPTIVE_NODES,
                         &AdaptiveParams::default(),
                         transport,
-                        "",
+                        String::new(),
                     )
                     .seconds
                 })

@@ -115,9 +115,13 @@ pub struct FigureRow {
     /// Protocol used.
     pub protocol: ProtocolKind,
     /// Transport-variant suffix distinguishing rows that share a protocol
-    /// but run under different transport configurations (`""` for the
-    /// default, `"+block"`, `"+ov"`, `"+mig"` for the figure-7 comparison).
-    pub variant: &'static str,
+    /// but run under different transport configurations: `""` for the
+    /// default, otherwise `"+"` plus the name the relevant policy (or
+    /// overlap mode) reports — `"+block"`/`"+ov"` from
+    /// [`TransportConfig::overlap_name`], `"+nomig"`/`"+mig"` from the
+    /// migration policy, `"+dir"` from the predictor, `"+sync"`/`"+dfl"`
+    /// from the flush policy.
+    pub variant: String,
     /// Number of nodes.
     pub nodes: usize,
     /// Execution time in virtual seconds.
@@ -217,8 +221,15 @@ pub fn run_point_with(
         nodes,
         adaptive,
         &TransportConfig::default(),
-        "",
+        String::new(),
     )
+}
+
+/// `"+<name>"` variant suffix from a policy (or overlap-mode) name, so the
+/// figure labels track whatever the selected policy calls itself instead of
+/// hard-coded strings.
+fn plus(name: &str) -> String {
+    format!("+{name}")
 }
 
 /// The fully configurable run point: explicit adaptive parameters *and*
@@ -233,7 +244,7 @@ pub fn run_point_configured(
     nodes: usize,
     adaptive: &AdaptiveParams,
     transport: &TransportConfig,
-    variant: &'static str,
+    variant: String,
 ) -> FigureRow {
     run_figure_point(
         name, scale, cluster, protocol, nodes, adaptive, transport, variant, false,
@@ -252,7 +263,7 @@ fn run_figure_point(
     nodes: usize,
     adaptive: &AdaptiveParams,
     transport: &TransportConfig,
-    variant: &'static str,
+    variant: String,
     unpaced: bool,
 ) -> FigureRow {
     let bench = benchmark_at(name, scale);
@@ -374,7 +385,9 @@ pub fn transport_pair(app: BenchmarkName, scale: Scale) -> Option<TransportPair>
     let ad = AdaptiveParams::default();
     match app {
         BenchmarkName::Jacobi | BenchmarkName::Asp => {
-            let point = |transport: &TransportConfig, variant: &'static str| {
+            // Overlap is an engine mechanism; its label comes from the
+            // transport's overlap mode rather than a policy name.
+            let point = |transport: &TransportConfig| {
                 let mut row = run_figure_point(
                     app,
                     scale,
@@ -383,7 +396,7 @@ pub fn transport_pair(app: BenchmarkName, scale: Scale) -> Option<TransportPair>
                     ADAPTIVE_NODES,
                     &ad,
                     transport,
-                    variant,
+                    plus(transport.overlap_name()),
                     true,
                 );
                 row.figure = TRANSPORT_FIGURE;
@@ -391,19 +404,18 @@ pub fn transport_pair(app: BenchmarkName, scale: Scale) -> Option<TransportPair>
             };
             Some(TransportPair {
                 mechanism: "overlap",
-                baseline: point(&TransportConfig::blocking(), "+block"),
-                enabled: point(
-                    &TransportConfig {
-                        overlapped_fetches: true,
-                        ..TransportConfig::default()
-                    },
-                    "+ov",
-                ),
+                baseline: point(&TransportConfig::blocking()),
+                enabled: point(&TransportConfig {
+                    overlapped_fetches: true,
+                    ..TransportConfig::default()
+                }),
             })
         }
         BenchmarkName::Tsp | BenchmarkName::Barnes => {
             let streak = if app == BenchmarkName::Tsp { 3 } else { 2 };
-            let point = |transport: &TransportConfig, variant: &'static str| {
+            // The label tracks what the selected migration policy calls
+            // itself ("nomig" / "mig").
+            let point = |transport: &TransportConfig| {
                 let mut row = run_figure_point(
                     app,
                     scale,
@@ -412,7 +424,7 @@ pub fn transport_pair(app: BenchmarkName, scale: Scale) -> Option<TransportPair>
                     ADAPTIVE_NODES,
                     &ad,
                     transport,
-                    variant,
+                    plus(transport.migration_spec().name()),
                     false,
                 );
                 row.figure = TRANSPORT_FIGURE;
@@ -420,15 +432,12 @@ pub fn transport_pair(app: BenchmarkName, scale: Scale) -> Option<TransportPair>
             };
             Some(TransportPair {
                 mechanism: "migration",
-                baseline: point(&TransportConfig::default(), "+nomig"),
-                enabled: point(
-                    &TransportConfig {
-                        home_migration: true,
-                        migration_streak: streak,
-                        ..TransportConfig::default()
-                    },
-                    "+mig",
-                ),
+                baseline: point(&TransportConfig::default()),
+                enabled: point(&TransportConfig {
+                    home_migration: true,
+                    migration_streak: streak,
+                    ..TransportConfig::default()
+                }),
             })
         }
         BenchmarkName::Pi => None,
@@ -489,7 +498,9 @@ pub fn directory_pair(app: BenchmarkName, scale: Scale) -> Option<DirectoryPair>
     }
     let cluster = myrinet_200();
     let ad = AdaptiveParams::default();
-    let point = |transport: &TransportConfig, variant: &'static str| {
+    // The baseline is labelled by its overlap mode, the enabled side by
+    // what the selected predictor calls itself ("dir").
+    let point = |transport: &TransportConfig, variant: String| {
         let mut row = run_figure_point(
             app,
             scale,
@@ -504,16 +515,15 @@ pub fn directory_pair(app: BenchmarkName, scale: Scale) -> Option<DirectoryPair>
         row.figure = DIRECTORY_FIGURE;
         row
     };
+    let baseline_transport = TransportConfig {
+        overlapped_fetches: true,
+        ..TransportConfig::default()
+    };
+    let directory = TransportConfig::directory();
     Some(DirectoryPair {
         mechanism: "directory",
-        baseline: point(
-            &TransportConfig {
-                overlapped_fetches: true,
-                ..TransportConfig::default()
-            },
-            "+ov",
-        ),
-        enabled: point(&TransportConfig::directory(), "+dir"),
+        baseline: point(&baseline_transport, plus(baseline_transport.overlap_name())),
+        enabled: point(&directory, plus(directory.predictor_spec().name())),
     })
 }
 
@@ -528,7 +538,9 @@ pub fn deferred_pair(app: BenchmarkName, scale: Scale) -> DirectoryPair {
         app,
         BenchmarkName::Pi | BenchmarkName::Jacobi | BenchmarkName::Asp
     );
-    let point = |transport: &TransportConfig, variant: &'static str| {
+    // The label tracks what the selected flush policy calls itself
+    // ("sync" / "dfl").
+    let point = |transport: &TransportConfig| {
         let mut row = run_figure_point(
             app,
             scale,
@@ -537,7 +549,7 @@ pub fn deferred_pair(app: BenchmarkName, scale: Scale) -> DirectoryPair {
             ADAPTIVE_NODES,
             &ad,
             transport,
-            variant,
+            plus(transport.flush_spec().name()),
             unpaced,
         );
         row.figure = DIRECTORY_FIGURE;
@@ -545,14 +557,11 @@ pub fn deferred_pair(app: BenchmarkName, scale: Scale) -> DirectoryPair {
     };
     DirectoryPair {
         mechanism: "deferred",
-        baseline: point(&TransportConfig::default(), "+sync"),
-        enabled: point(
-            &TransportConfig {
-                deferred_flush: true,
-                ..TransportConfig::default()
-            },
-            "+dfl",
-        ),
+        baseline: point(&TransportConfig::default()),
+        enabled: point(&TransportConfig {
+            deferred_flush: true,
+            ..TransportConfig::default()
+        }),
     }
 }
 
@@ -616,7 +625,7 @@ pub fn sweep_modeled_vs_measured(scale: Scale, backend: TransportBackend) -> Vec
                 ADAPTIVE_NODES,
                 &AdaptiveParams::default(),
                 &transport,
-                "",
+                String::new(),
                 false,
             );
             row.figure = WIRE_FIGURE;
@@ -720,7 +729,7 @@ pub fn table1_modules() -> Vec<(&'static str, &'static str, &'static str)> {
         (
             "Memory subsystem",
             "Single shared address space under the Java Memory Model, two protocols",
-            "hyperion-dsm::protocol::DsmSystem + hyperion::memory",
+            "hyperion-dsm::engine::DsmSystem + hyperion::memory",
         ),
         (
             "Load balancer",

@@ -1,0 +1,321 @@
+//! Protocol, adaptive-parameter and transport configuration types.
+//!
+//! These are plain data: choosing a [`ProtocolKind`] and flipping
+//! [`TransportConfig`] flags describes *what* a run wants, and the
+//! [`crate::policy`] module turns that description into the policy objects
+//! the engine actually consults (see [`crate::policy::PolicySpec`] for the
+//! typed surface and [`TransportConfig::policy_spec`] for the bridge).
+
+use hyperion_model::VTime;
+use hyperion_pm2::TransportBackend;
+
+use crate::policy::{FlushSpec, MigrationSpec, PolicySpec, PredictorSpec};
+
+/// Which access-detection technique a run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Explicit in-line locality checks on every access (§3.2).
+    JavaIc,
+    /// Page-fault-based detection with page protection (§3.3).
+    JavaPf,
+    /// Adaptive per-page selection between the two techniques, with batched
+    /// page fetches (extension beyond the paper).
+    JavaAd,
+}
+
+impl ProtocolKind {
+    /// The name used in the paper's figures (and `java_ad` for the adaptive
+    /// extension).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::JavaIc => "java_ic",
+            ProtocolKind::JavaPf => "java_pf",
+            ProtocolKind::JavaAd => "java_ad",
+        }
+    }
+
+    /// The paper's two protocols, in the order the paper lists them.
+    pub fn all() -> [ProtocolKind; 2] {
+        [ProtocolKind::JavaIc, ProtocolKind::JavaPf]
+    }
+
+    /// The paper's two protocols plus the adaptive extension.
+    pub fn all_extended() -> [ProtocolKind; 3] {
+        [
+            ProtocolKind::JavaIc,
+            ProtocolKind::JavaPf,
+            ProtocolKind::JavaAd,
+        ]
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Tunable policy knobs of the adaptive protocol (`java_ad`).
+///
+/// The switching thresholds are expressed as multiples of the machine
+/// model's break-even access count `n*` so one parameterisation is
+/// meaningful on both modelled clusters; the ablation benchmarks sweep
+/// `hi_multiple` to show the policy is robust around 1.0.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdaptiveParams {
+    /// A check-mode page switches to protection when its *smoothed*
+    /// accesses-per-epoch (EWMA over invalidation epochs) reach
+    /// `hi_multiple · n*`.
+    pub hi_multiple: f64,
+    /// A protect-mode page falls back to checks when its smoothed
+    /// accesses-per-epoch drop to `lo_multiple · n*` or below.  Kept
+    /// strictly below `hi_multiple` (hysteresis) so borderline pages do not
+    /// flap.
+    pub lo_multiple: f64,
+    /// Largest number of pages one fetch RPC may carry; 1 disables batching.
+    pub max_batch_pages: usize,
+    /// Consecutive re-accessed epochs a page needs before history-driven
+    /// prefetching may pull it into a neighbour's batch.
+    pub min_prefetch_streak: u64,
+    /// Adapt the `hi`/`lo` thresholds online, per node, from the measured
+    /// switch and waste counters: a node whose pages flap between the two
+    /// techniques widens its own hysteresis band (up to 8× the configured
+    /// multiples), and a node that has stopped mispredicting relaxes back
+    /// towards them.  Off by default — the static thresholds are what the
+    /// ablation benchmarks sweep.
+    pub online_thresholds: bool,
+}
+
+impl Default for AdaptiveParams {
+    fn default() -> Self {
+        AdaptiveParams {
+            hi_multiple: 1.0,
+            lo_multiple: 0.5,
+            max_batch_pages: 8,
+            min_prefetch_streak: 3,
+            online_thresholds: false,
+        }
+    }
+}
+
+/// Configuration of the split-transaction transport layer: how the wire
+/// path overlaps with compute and how write-shared pages are re-homed.
+///
+/// All three mechanisms are semantics-preserving — they change when latency
+/// is charged and how many RPCs carry the same bytes, never what a program
+/// computes — so they apply to every protocol.
+///
+/// The boolean mechanism flags (`home_migration`, `prefetch_hints`,
+/// `deferred_flush`) are the **legacy data-level surface**: they predate the
+/// policy layer and are kept working so apps, bench harness and committed
+/// baselines do not churn.  New code should select policies through
+/// [`crate::policy::PolicySpec`] (see [`TransportConfig::policy_spec`]); the
+/// engine itself only ever sees policy objects, built from either surface.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransportConfig {
+    /// Overlapped page fetches: an explicit prefetch (`loadIntoCache`) and
+    /// every speculative batch rider issue their RPC immediately but record
+    /// an in-flight ticket; the requester keeps computing and pays only the
+    /// *residual* latency when the page is first really used.  Off by
+    /// default (the paper's transport blocks on every fetch).
+    pub overlapped_fetches: bool,
+    /// Largest number of contiguous same-home dirty pages one diff-flush
+    /// RPC may carry at `updateMainMemory`; 1 disables batched flushing.
+    pub max_flush_batch_pages: usize,
+    /// Legacy flag form of [`crate::policy::MigrationSpec::MajorityVote`]:
+    /// migrate a page's home to the writer that dominates its release-time
+    /// diff traffic, turning that writer's per-release diff RPC into plain
+    /// local stores.  Off by default.
+    pub home_migration: bool,
+    /// Majority count (Boyer–Moore vote over incoming diffs) a non-home
+    /// writer must reach before the home migrates to it.  Doubled per page
+    /// after each migration, so ping-ponging homes back off geometrically.
+    pub migration_streak: u32,
+    /// Legacy flag form of [`crate::policy::PredictorSpec::Directory`]:
+    /// cluster-wide prefetch directory — each home keeps a small per-page
+    /// fetch history and piggybacks "a neighbour also fetched p..p+k" hints
+    /// on fetch replies; requesters convert hints into split-transaction
+    /// tickets, so a later demand miss on a hinted page completes an
+    /// already in-flight RPC instead of issuing one.  Requires
+    /// [`TransportConfig::overlapped_fetches`]; off by default.
+    pub prefetch_hints: bool,
+    /// Largest number of contiguous pages one reply's hint run may name.
+    pub hint_window: usize,
+    /// Legacy flag form of [`crate::policy::FlushSpec::Deferred`]: deferred
+    /// release flushing — `updateMainMemory` at a monitor exit hands its
+    /// coalesced diff batches to a per-monitor deferred-flush queue as split
+    /// transactions; the flush only has to complete before the *next acquire
+    /// of the same monitor*, which is where the residual latency is charged
+    /// (the JMM's release/acquire edge is exactly per-monitor, so deferring
+    /// to the hand-off preserves happens-before).  Release points with
+    /// thread-level edges (`Thread.start`, `join`, migration, program exit)
+    /// always flush blocking.  Off by default.
+    pub deferred_flush: bool,
+    /// Which [`hyperion_pm2::Transport`] implementation carries the RPCs:
+    /// the in-process cost model (default) or a real Unix-domain/TCP
+    /// socket per node.  Semantics-preserving by construction — the wire
+    /// payloads and the virtual-time charging are identical across
+    /// backends, only the physical carrier differs.
+    pub backend: TransportBackend,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            overlapped_fetches: false,
+            max_flush_batch_pages: 8,
+            home_migration: false,
+            migration_streak: 3,
+            prefetch_hints: false,
+            hint_window: 4,
+            deferred_flush: false,
+            backend: TransportBackend::Sim,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// The paper's blocking transport: no overlap, no flush batching, no
+    /// home migration, no prefetch directory, no deferred flushing.
+    pub fn blocking() -> Self {
+        TransportConfig {
+            overlapped_fetches: false,
+            max_flush_batch_pages: 1,
+            ..TransportConfig::default()
+        }
+    }
+
+    /// The latency-hiding transport of the split-transaction PR: overlapped
+    /// fetches, batched flushing and home migration (the prefetch directory
+    /// and deferred flushing stay off — see [`TransportConfig::directory`]).
+    pub fn latency_hiding() -> Self {
+        TransportConfig {
+            overlapped_fetches: true,
+            home_migration: true,
+            ..TransportConfig::default()
+        }
+    }
+
+    /// The prefetch-directory transport: overlapped fetches plus
+    /// cluster-wide hints and deferred release flushing (home migration is
+    /// left off so directory effects are measured in isolation).
+    pub fn directory() -> Self {
+        TransportConfig {
+            overlapped_fetches: true,
+            prefetch_hints: true,
+            deferred_flush: true,
+            ..TransportConfig::default()
+        }
+    }
+
+    /// The short label of the fetch-overlap mode (`"ov"` / `"block"`).
+    ///
+    /// Overlap is an engine mechanism, not a policy — in-flight tickets are
+    /// maintained by the engine for whichever policies want them — so its
+    /// label lives here rather than on a policy `name()`.
+    pub fn overlap_name(&self) -> &'static str {
+        if self.overlapped_fetches {
+            "ov"
+        } else {
+            "block"
+        }
+    }
+
+    /// The [`PredictorSpec`] these flags describe.
+    pub fn predictor_spec(&self) -> PredictorSpec {
+        if self.prefetch_hints {
+            PredictorSpec::Directory {
+                hint_window: self.hint_window,
+            }
+        } else {
+            PredictorSpec::Noop
+        }
+    }
+
+    /// The [`MigrationSpec`] these flags describe.
+    pub fn migration_spec(&self) -> MigrationSpec {
+        if self.home_migration {
+            MigrationSpec::MajorityVote {
+                streak: self.migration_streak,
+            }
+        } else {
+            MigrationSpec::Noop
+        }
+    }
+
+    /// The [`FlushSpec`] these flags describe.
+    pub fn flush_spec(&self) -> FlushSpec {
+        if self.deferred_flush {
+            FlushSpec::Deferred {
+                max_pages: self.max_flush_batch_pages,
+            }
+        } else {
+            FlushSpec::Batched {
+                max_pages: self.max_flush_batch_pages,
+            }
+        }
+    }
+
+    /// The full [`PolicySpec`] these flags (plus a protocol choice and its
+    /// adaptive parameters) describe — the bridge from the legacy flag
+    /// surface to the typed policy surface.
+    pub fn policy_spec(&self, kind: ProtocolKind, params: &AdaptiveParams) -> PolicySpec {
+        PolicySpec::from_config(kind, params, self)
+    }
+}
+
+/// The record a deferred release flush leaves behind: the virtual instant
+/// the flush RPCs were issued and the instant the last of them completes.
+/// The monitor that performed the release stores it and merges `completion`
+/// into the next acquirer's clock (see [`TransportConfig::deferred_flush`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeferredFlush {
+    /// Virtual time at which the releasing thread finished issuing the
+    /// flush RPCs (everything before this was charged at the release).
+    pub issue: VTime,
+    /// Virtual time at which the last flush RPC completes; the next acquire
+    /// of the same monitor can not happen before this.
+    pub completion: VTime,
+}
+
+/// Where the page behind an address currently lives, relative to an
+/// observing node.
+///
+/// This is the distinction the paper's two protocols *detect* on every
+/// access; promoting it into the API lets programs ask once and then take a
+/// fast path (bulk transfers, pinned views) that elides the per-access
+/// detection entirely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Locality {
+    /// The observing node is the page's home: every access is local.
+    Local,
+    /// A remote page with a valid, unprotected cached copy on the node:
+    /// accesses are served locally until the next cache invalidation.
+    CachedRemote,
+    /// A remote page with no usable local copy: the next access pays the
+    /// full detection-plus-fetch path.
+    Remote,
+}
+
+impl Locality {
+    /// True if an access right now would be served without DSM traffic
+    /// (home page or valid cached copy).
+    pub fn is_resident(self) -> bool {
+        !matches!(self, Locality::Remote)
+    }
+
+    /// Short lower-case name for logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Locality::Local => "local",
+            Locality::CachedRemote => "cached-remote",
+            Locality::Remote => "remote",
+        }
+    }
+}
+
+impl std::fmt::Display for Locality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}

@@ -1,0 +1,712 @@
+//! The consistency-protocol engine behind `java_ic`, `java_pf` and
+//! `java_ad`.
+//!
+//! All protocols implement the Java Memory Model the same way (home-based
+//! caching, invalidate on monitor entry, flush field-granularity diffs on
+//! monitor exit — §3.1) and differ *only* in how accesses to remote objects
+//! are detected (§3.2, §3.3):
+//!
+//! * **`java_ic`** — every `get`/`put` performs an explicit in-line locality
+//!   check; a miss triggers a page fetch.  No page protection, no faults, no
+//!   `mprotect`.
+//! * **`java_pf`** — `get`/`put` on a present, unprotected page cost nothing
+//!   beyond the raw access.  Pages of remote objects are access-protected,
+//!   so the first access after initialisation or after a cache invalidation
+//!   takes a (simulated) page fault, fetches the page, and pays an `mprotect`
+//!   to open it; monitor-entry invalidation pays an `mprotect` to re-protect
+//!   the cached region.
+//! * **`java_ad`** — an adaptive extension beyond the paper: every cached
+//!   page runs its own state machine between the two techniques above.  A
+//!   page tracks how often it is re-accessed after each invalidation and is
+//!   flipped — at invalidation time, when its copy is dropped anyway — to
+//!   the technique that would have been cheaper, with hysteresis around the
+//!   cost-model break-even `n* = ⌈(t_fault + t_mprotect) / t_check⌉` (see
+//!   [`hyperion_model::MachineModel::adaptive_break_even`]).  `java_ad` also
+//!   batches page fetches: one RPC may carry a run of contiguous same-home
+//!   pages, either because an in-flight bulk access is certain to touch them
+//!   or because their epoch history shows stable re-access.
+//!
+//! The engine exposes exactly the primitives of the paper's Table 2:
+//! [`DsmSystem::load_into_cache`], [`DsmSystem::invalidate_cache`],
+//! [`DsmSystem::update_main_memory`], [`DsmSystem::get`] and
+//! [`DsmSystem::put`].
+//!
+//! Every protocol-variable decision is delegated to the [`crate::policy`]
+//! layer: the engine holds a [`PolicySet`] and calls through its traits at
+//! the decision points (access detection, epoch close, hint conversion,
+//! flush placement), while all mechanism — RPC framing, ticket bookkeeping,
+//! lock order, batching loops — lives here and in `fetch.rs` / the RPC
+//! services.
+
+use std::sync::Arc;
+
+use hyperion_model::{NodeStats, ThreadClock, VTime};
+use hyperion_pm2::{Cluster, GlobalAddr, Node, NodeId, PageId, ServiceId, SLOTS_PER_PAGE};
+
+use crate::config::{AdaptiveParams, DeferredFlush, Locality, ProtocolKind, TransportConfig};
+use crate::diff::{decode_migration_grant, encode_diff, encode_diff_batch, DiffEntry, HintRun};
+use crate::page::PageFrame;
+use crate::policy::{resolve_marks, AccessAction, PolicySet, PolicySpec};
+use crate::services::{DiffApplyService, PageFetchService};
+use crate::table::DsmStore;
+
+/// The DSM system of one cluster run: the protocol engine plus its services.
+pub struct DsmSystem {
+    pub(crate) cluster: Arc<Cluster>,
+    pub(crate) store: Arc<DsmStore>,
+    pub(crate) kind: ProtocolKind,
+    /// The `(hi, lo)` marks the adaptive parameters resolve to on this
+    /// cluster's machine — reported by [`DsmSystem::adaptive_thresholds`]
+    /// for every protocol (tools and sweeps query them regardless of kind).
+    pub(crate) configured_marks: (u64, u64),
+    pub(crate) policies: PolicySet,
+    pub(crate) transport: TransportConfig,
+    pub(crate) page_fetch: ServiceId,
+    pub(crate) diff_apply: ServiceId,
+}
+
+impl DsmSystem {
+    /// Build a DSM system over an existing cluster and store, registering the
+    /// page-fetch and diff-apply services with the communication subsystem.
+    /// `java_ad` runs with the default [`AdaptiveParams`]; use
+    /// [`DsmSystem::with_params`] to tune it.
+    pub fn new(cluster: Arc<Cluster>, store: Arc<DsmStore>, kind: ProtocolKind) -> Arc<Self> {
+        Self::with_params(cluster, store, kind, &AdaptiveParams::default())
+    }
+
+    /// Build a DSM system with explicit adaptive-protocol parameters (they
+    /// are resolved against the cluster's machine model and ignored by
+    /// `java_ic` / `java_pf`) and the default transport.
+    pub fn with_params(
+        cluster: Arc<Cluster>,
+        store: Arc<DsmStore>,
+        kind: ProtocolKind,
+        params: &AdaptiveParams,
+    ) -> Arc<Self> {
+        Self::with_config(cluster, store, kind, params, &TransportConfig::default())
+    }
+
+    /// Build a DSM system with explicit adaptive-protocol parameters and an
+    /// explicit transport configuration (the legacy flag surface: the flags
+    /// are mapped onto default policy objects via [`PolicySpec::from_config`]).
+    pub fn with_config(
+        cluster: Arc<Cluster>,
+        store: Arc<DsmStore>,
+        kind: ProtocolKind,
+        params: &AdaptiveParams,
+        transport: &TransportConfig,
+    ) -> Arc<Self> {
+        let policies = PolicySpec::from_config(kind, params, transport)
+            .build(cluster.machine(), cluster.num_nodes());
+        Self::with_policies(cluster, store, kind, params, transport, policies)
+    }
+
+    /// Build a DSM system from explicit policy objects — the typed surface
+    /// behind [`DsmSystem::with_config`].  `params` is still taken for the
+    /// configured-threshold accessors (sweeps query them regardless of the
+    /// detection policy in use); `transport` supplies the engine-level
+    /// mechanism switches (fetch overlap, backend) that are not policies.
+    pub fn with_policies(
+        cluster: Arc<Cluster>,
+        store: Arc<DsmStore>,
+        kind: ProtocolKind,
+        params: &AdaptiveParams,
+        transport: &TransportConfig,
+        policies: PolicySet,
+    ) -> Arc<Self> {
+        let cpu = cluster.machine().cpu.clone();
+        let dsm = cluster.machine().dsm.clone();
+        let configured_marks = resolve_marks(params, cluster.machine().adaptive_break_even());
+        let page_fetch = cluster.register_service(Arc::new(PageFetchService {
+            store: Arc::clone(&store),
+            cpu: cpu.clone(),
+            dsm: dsm.clone(),
+            predictor: Arc::clone(&policies.predictor),
+        }));
+        let diff_apply = cluster.register_service(Arc::new(DiffApplyService {
+            store: Arc::clone(&store),
+            cpu,
+            dsm,
+            migration: Arc::clone(&policies.migration),
+        }));
+        Arc::new(DsmSystem {
+            cluster,
+            store,
+            kind,
+            configured_marks,
+            policies,
+            transport: transport.clone(),
+            page_fetch,
+            diff_apply,
+        })
+    }
+
+    /// The protocol this system runs.
+    #[inline]
+    pub fn kind(&self) -> ProtocolKind {
+        self.kind
+    }
+
+    /// The policy objects this engine consults.
+    #[inline]
+    pub fn policies(&self) -> &PolicySet {
+        &self.policies
+    }
+
+    /// The resolved `java_ad` switching thresholds `(hi, lo)` in absolute
+    /// accesses-per-epoch (for tests, tools and the ablation benchmarks).
+    /// These are the *configured* marks; with online tuning a node's current
+    /// marks may differ — see [`DsmSystem::adaptive_thresholds_on`].
+    pub fn adaptive_thresholds(&self) -> (u64, u64) {
+        self.configured_marks
+    }
+
+    /// The `hi`/`lo` marks node `node` currently switches on (equal to
+    /// [`DsmSystem::adaptive_thresholds`] unless online tuning has moved
+    /// them).
+    pub fn adaptive_thresholds_on(&self, node: NodeId) -> (u64, u64) {
+        self.policies
+            .detection
+            .thresholds_on(node)
+            .unwrap_or(self.configured_marks)
+    }
+
+    /// The transport configuration of this system.
+    pub fn transport(&self) -> &TransportConfig {
+        &self.transport
+    }
+
+    /// The cluster this system runs on.
+    #[inline]
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// The shared page store.
+    #[inline]
+    pub fn store(&self) -> &Arc<DsmStore> {
+        &self.store
+    }
+
+    /// Issue a split-transaction RPC, treating transport failure as fatal.
+    /// The protocol cannot make progress without its home nodes — a lost
+    /// peer on a socket backend leaves the page table inconsistent — so a
+    /// failed round trip aborts the run instead of limping on.
+    pub(crate) fn rpc_split_or_die(
+        &self,
+        clock: &mut ThreadClock,
+        from: NodeId,
+        to: NodeId,
+        service: ServiceId,
+        payload: &[u8],
+    ) -> (Vec<u8>, VTime) {
+        self.cluster
+            .rpc_split(clock, from, to, service, payload)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "DSM '{}' RPC from node {} to node {} failed: {e}",
+                    self.cluster.service_name(service),
+                    from.0,
+                    to.0
+                )
+            })
+    }
+
+    /// Retrieve a field (an 8-byte slot): the `get` primitive of Table 2.
+    ///
+    /// Charges the protocol-dependent access-detection cost to `clock` and
+    /// fetches the containing page if it is not available locally.
+    pub fn get(&self, node: NodeId, clock: &mut ThreadClock, addr: GlobalAddr) -> u64 {
+        let node_ref = self.cluster.node(node);
+        NodeStats::bump(&node_ref.stats.field_reads);
+        let page = addr.page();
+        let frame = self.store.frame(node, page);
+        self.ensure_access(node, node_ref, clock, page, &frame, 1);
+        frame.load_slot(addr.slot())
+    }
+
+    /// Modify a field: the `put` primitive of Table 2.
+    ///
+    /// The modification is recorded with field granularity (dirty-slot
+    /// bitmap) so `updateMainMemory` can flush exactly the modified fields.
+    pub fn put(&self, node: NodeId, clock: &mut ThreadClock, addr: GlobalAddr, value: u64) {
+        let node_ref = self.cluster.node(node);
+        NodeStats::bump(&node_ref.stats.field_writes);
+        let page = addr.page();
+        let frame = self.store.frame(node, page);
+        self.ensure_access(node, node_ref, clock, page, &frame, 1);
+        frame.store_slot(addr.slot(), value);
+    }
+
+    /// Classify the current locality of `page` as seen from `node`.
+    ///
+    /// This is a pure query: it charges nothing and touches no protocol
+    /// state.  Callers that want the paper's in-line check semantics (one
+    /// check, one check cost) should go through the runtime layer, which
+    /// charges the protocol-dependent cost on top.
+    pub fn locality(&self, node: NodeId, page: PageId) -> Locality {
+        self.store.with_frame(node, page, |f| {
+            if f.is_home() {
+                Locality::Local
+            } else if f.is_present() && !f.is_protected() {
+                Locality::CachedRemote
+            } else {
+                Locality::Remote
+            }
+        })
+    }
+
+    /// Bulk read of `out.len()` consecutive slots starting at `addr`: the
+    /// per-*page* counterpart of [`DsmSystem::get`].
+    ///
+    /// Access detection is performed once per touched page instead of once
+    /// per element: under `java_ic` a slice spanning `p` pages costs `p`
+    /// in-line checks (against `out.len()` for the element-wise loop); under
+    /// `java_pf` the behaviour is unchanged (faults were already per-page).
+    /// Consistency is identical to the element-wise loop — both read the
+    /// node's current copies and are only as fresh as the last acquire.
+    pub fn read_slice(
+        &self,
+        node: NodeId,
+        clock: &mut ThreadClock,
+        addr: GlobalAddr,
+        out: &mut [u64],
+    ) {
+        if out.is_empty() {
+            return;
+        }
+        let node_ref = self.cluster.node(node);
+        NodeStats::bump(&node_ref.stats.bulk_reads);
+        NodeStats::bump_by(&node_ref.stats.field_reads, out.len() as u64);
+        let mut done = 0usize;
+        while done < out.len() {
+            let a = addr.offset(done as u64);
+            let slot = a.slot();
+            let run = (SLOTS_PER_PAGE - slot).min(out.len() - done);
+            let frame = self.store.frame(node, a.page());
+            // Pages this slice is still certain to touch, counting the
+            // current one — the batching hint for `java_ad` fetches.
+            let bulk_pages = 1 + (out.len() - done - run).div_ceil(SLOTS_PER_PAGE);
+            self.ensure_access(node, node_ref, clock, a.page(), &frame, bulk_pages);
+            for k in 0..run {
+                out[done + k] = frame.load_slot(slot + k);
+            }
+            done += run;
+        }
+    }
+
+    /// Bulk write of `values` to consecutive slots starting at `addr`: the
+    /// per-*page* counterpart of [`DsmSystem::put`].
+    ///
+    /// Like [`DsmSystem::read_slice`], detection is paid once per touched
+    /// page.  Writes are recorded in the ordinary dirty-slot bitmaps, so the
+    /// next `updateMainMemory` flushes exactly the modified fields — bulk
+    /// writes lose nothing of the field-granularity diffing.
+    pub fn write_slice(
+        &self,
+        node: NodeId,
+        clock: &mut ThreadClock,
+        addr: GlobalAddr,
+        values: &[u64],
+    ) {
+        if values.is_empty() {
+            return;
+        }
+        let node_ref = self.cluster.node(node);
+        NodeStats::bump(&node_ref.stats.bulk_writes);
+        NodeStats::bump_by(&node_ref.stats.field_writes, values.len() as u64);
+        let mut done = 0usize;
+        while done < values.len() {
+            let a = addr.offset(done as u64);
+            let slot = a.slot();
+            let run = (SLOTS_PER_PAGE - slot).min(values.len() - done);
+            let frame = self.store.frame(node, a.page());
+            let bulk_pages = 1 + (values.len() - done - run).div_ceil(SLOTS_PER_PAGE);
+            self.ensure_access(node, node_ref, clock, a.page(), &frame, bulk_pages);
+            for k in 0..run {
+                frame.store_slot(slot + k, values[done + k]);
+            }
+            done += run;
+        }
+    }
+
+    /// Explicitly load a page into the local cache (the `loadIntoCache`
+    /// primitive of Table 2).  A no-op for home pages and pages already
+    /// cached.
+    pub fn load_into_cache(&self, node: NodeId, clock: &mut ThreadClock, page: PageId) {
+        let node_ref = self.cluster.node(node);
+        let frame = self.store.frame(node, page);
+        if frame.is_home() || (frame.is_present() && !frame.is_protected()) {
+            return;
+        }
+        // An explicit prefetch is not an access: it leaves the page's epoch
+        // statistics alone.  The mprotect that opens the page is only due if
+        // the page was protection-detected.
+        let unprotect = self.policies.detection.unprotect_on_install(&frame);
+        if self.policies.detection.fetch_batching().is_some() {
+            self.fetch_page_adaptive(node, node_ref, clock, page, &frame, unprotect, 1, false);
+        } else {
+            self.fetch_page(node, node_ref, clock, page, &frame, unprotect, false);
+        }
+    }
+
+    /// Prefetch every absent page of the `pages` consecutive pages starting
+    /// at `first`: the span form of [`DsmSystem::load_into_cache`].
+    ///
+    /// The whole span is *certain* to be touched (the caller said so), so
+    /// under `java_ad` the remaining span rides along in batched fetches on
+    /// certainty alone — history speculation is suppressed, because piling
+    /// speculative riders onto an explicit prefetch would compound two
+    /// guesses and inflate page traffic the program never asked for.
+    pub fn prefetch_span(&self, node: NodeId, clock: &mut ThreadClock, first: PageId, pages: u64) {
+        let node_ref = self.cluster.node(node);
+        for k in 0..pages {
+            let page = PageId(first.0 + k);
+            let frame = self.store.frame(node, page);
+            if frame.is_home() || (frame.is_present() && !frame.is_protected()) {
+                continue;
+            }
+            let unprotect = self.policies.detection.unprotect_on_install(&frame);
+            if self.policies.detection.fetch_batching().is_some() {
+                self.fetch_page_adaptive_inner(
+                    node,
+                    node_ref,
+                    clock,
+                    page,
+                    &frame,
+                    unprotect,
+                    (pages - k) as usize,
+                    false,
+                    false,
+                );
+            } else {
+                self.fetch_page(node, node_ref, clock, page, &frame, unprotect, false);
+            }
+        }
+    }
+
+    /// Invalidate all cached (non-home) pages on `node`: the
+    /// `invalidateCache` primitive of Table 2, executed on monitor entry.
+    ///
+    /// Pages holding unflushed modifications are flushed first so that no
+    /// update can be lost by an acquire that precedes the matching release.
+    /// Under `java_pf` the cached region is re-protected, which costs one
+    /// `mprotect` call (§3.3).
+    pub fn invalidate_cache(&self, node: NodeId, clock: &mut ThreadClock) {
+        let node_ref = self.cluster.node(node);
+        NodeStats::bump(&node_ref.stats.cache_invalidations);
+
+        let detection = &self.policies.detection;
+        let mut cached: Vec<(PageId, Arc<PageFrame>)> = Vec::new();
+        let mut switches = 0u64;
+        let mut wasted = 0u64;
+        self.store.for_each_frame(node, |page, frame| {
+            if frame.is_home() {
+                return;
+            }
+            let outcome = detection.on_epoch_close(node, frame);
+            if outcome.switched {
+                switches += 1;
+            }
+            if outcome.wasted_prefetch {
+                wasted += 1;
+            }
+            if frame.is_present() {
+                cached.push((page, self.store.frame(node, page)));
+            }
+        });
+
+        let machine = self.cluster.machine();
+        if switches > 0 {
+            NodeStats::bump_by(&node_ref.stats.protocol_switches, switches);
+            clock.advance(machine.protocol_switch().times(switches));
+        }
+        if wasted > 0 {
+            NodeStats::bump_by(&node_ref.stats.pages_prefetch_wasted, wasted);
+        }
+        detection.after_invalidate(node, &node_ref.stats);
+        if cached.is_empty() {
+            return;
+        }
+
+        // Flush any pending modifications before dropping the copies
+        // (batched like `updateMainMemory`'s flush).
+        let dirty: Vec<(PageId, Arc<PageFrame>)> = cached
+            .iter()
+            .filter(|(_, frame)| frame.has_dirty_slots())
+            .map(|(page, frame)| (*page, Arc::clone(frame)))
+            .collect();
+        self.flush_frames(node, node_ref, clock, &dirty);
+        // A migration grant may have promoted one of these frames to home
+        // mid-invalidation; re-filter so the new main-memory copy survives.
+        cached.retain(|(_, frame)| !frame.is_home());
+        if cached.is_empty() {
+            return;
+        }
+
+        let mut reprotected = false;
+        let mut hint_waste = 0u64;
+        let mut abandoned: Vec<PageId> = Vec::new();
+        for (page, frame) in &cached {
+            let reprotect = detection.reprotect_on_invalidate(frame);
+            reprotected |= reprotect;
+            // A hinted ticket still pending here means the predicted demand
+            // miss never came: the hint was wasted.  The counter feeds the
+            // requester-side throttle in `issue_hint_fetches`, and the page
+            // is remembered so the ticket can be re-armed below.
+            if frame.inflight_is_hinted() {
+                hint_waste += 1;
+                abandoned.push(*page);
+            }
+            frame.invalidate(reprotect);
+        }
+        if hint_waste > 0 {
+            NodeStats::bump_by(&node_ref.stats.hinted_fetches_wasted, hint_waste);
+        }
+
+        let n = cached.len() as u64;
+        NodeStats::bump_by(&node_ref.stats.pages_invalidated, n);
+        clock.advance(
+            machine
+                .cpu
+                .cycles(machine.dsm.invalidate_cycles_per_page * n as f64),
+        );
+        if reprotected {
+            // One mprotect call covers the (iso-address, hence contiguous-ish)
+            // cached region that is being re-protected.
+            NodeStats::bump(&node_ref.stats.mprotect_calls);
+            clock.advance(machine.dsm.mprotect_call);
+        }
+
+        // Re-arm abandoned hint tickets: the directory predicted these pages
+        // would be demanded and the node *was* holding overlapped fetches for
+        // them, so the next epoch very likely misses on them again.  Re-issue
+        // the split transactions now, at the acquire, so those misses complete
+        // in-flight RPCs.  The accuracy throttle inside `issue_hint_fetches`
+        // sees the waste recorded above and suppresses re-issue on nodes
+        // whose hints are not earning their keep.
+        if !abandoned.is_empty()
+            && self.policies.predictor.converts_hints()
+            && self.transport.overlapped_fetches
+        {
+            abandoned.sort_unstable_by_key(|p| p.0);
+            abandoned.dedup();
+            let mut runs: Vec<HintRun> = Vec::new();
+            for page in abandoned {
+                match runs.last_mut() {
+                    Some((first, len)) if first.0 + *len as u64 == page.0 && *len < u16::MAX => {
+                        *len += 1;
+                    }
+                    _ => runs.push((page, 1)),
+                }
+            }
+            let reissued = self.issue_hint_fetches(node, node_ref, clock, &runs);
+            if reissued > 0 {
+                NodeStats::bump_by(&node_ref.stats.hinted_fetches_reissued, reissued);
+            }
+        }
+    }
+
+    /// Flush all locally recorded modifications to the corresponding home
+    /// nodes: the `updateMainMemory` primitive of Table 2, executed on
+    /// monitor exit.
+    pub fn update_main_memory(&self, node: NodeId, clock: &mut ThreadClock) {
+        let node_ref = self.cluster.node(node);
+        let dirty = self.collect_dirty(node);
+        self.flush_frames(node, node_ref, clock, &dirty);
+    }
+
+    /// All non-home frames of `node` holding unflushed modifications, in
+    /// page-id order (the shape `flush_frames` batches over).
+    fn collect_dirty(&self, node: NodeId) -> Vec<(PageId, Arc<PageFrame>)> {
+        let mut dirty: Vec<(PageId, Arc<PageFrame>)> = Vec::new();
+        self.store.for_each_frame(node, |page, frame| {
+            if !frame.is_home() && frame.has_dirty_slots() {
+                dirty.push((page, self.store.frame(node, page)));
+            }
+        });
+        dirty
+    }
+
+    /// Deferred-release form of [`DsmSystem::update_main_memory`]: the diff
+    /// batches are issued as split transactions, the caller is charged only
+    /// the issue path, and the returned [`DeferredFlush`] names the virtual
+    /// instant the last flush RPC completes.  The caller (the monitor layer)
+    /// must make the *next acquire of the same monitor* merge that instant —
+    /// that is exactly the happens-before edge the JMM requires of a
+    /// release, so deferring to the hand-off is semantics-preserving.
+    ///
+    /// With a non-deferring [`crate::policy::FlushPolicy`] (or nothing
+    /// dirty) this falls back to the blocking flush and returns `None`.
+    pub fn update_main_memory_deferred(
+        &self,
+        node: NodeId,
+        clock: &mut ThreadClock,
+    ) -> Option<DeferredFlush> {
+        if !self.policies.flush.defers_release() {
+            self.update_main_memory(node, clock);
+            return None;
+        }
+        let node_ref = self.cluster.node(node);
+        let dirty = self.collect_dirty(node);
+        let completion = self.flush_frames_inner(node, node_ref, clock, &dirty, true)?;
+        Some(DeferredFlush {
+            issue: clock.now(),
+            completion,
+        })
+    }
+
+    /// True if `node` currently holds an accessible copy of `page`.
+    pub fn is_cached(&self, node: NodeId, page: PageId) -> bool {
+        self.store.with_frame(node, page, |f| {
+            f.is_home() || (f.is_present() && !f.is_protected())
+        })
+    }
+
+    /// Number of non-home pages currently cached (present) on `node`.
+    pub fn pages_cached_on(&self, node: NodeId) -> usize {
+        let mut n = 0;
+        self.store.for_each_frame(node, |_, f| {
+            if !f.is_home() && f.is_present() {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    // ----- internal helpers ------------------------------------------------
+
+    /// Apply the protocol's access-detection policy for one access.
+    ///
+    /// `bulk_pages` is the number of consecutive pages (including this one)
+    /// the caller is certain to touch — 1 for scalar `get`/`put`, the
+    /// remaining page span for bulk slice transfers.  Only batching
+    /// detection policies consult it, to size batched fetches.
+    pub(crate) fn ensure_access(
+        &self,
+        node: NodeId,
+        node_ref: &Node,
+        clock: &mut ThreadClock,
+        page: PageId,
+        frame: &PageFrame,
+        bulk_pages: usize,
+    ) {
+        // First real use of an overlapped fetch completes the transaction:
+        // merge the completion timestamp (the residual latency) before the
+        // access proceeds.
+        self.complete_inflight(node_ref, clock, frame);
+        match self
+            .policies
+            .detection
+            .on_access(&node_ref.stats, clock, frame)
+        {
+            AccessAction::Granted => {}
+            AccessAction::Fetch { unprotect } => {
+                if self.policies.detection.fetch_batching().is_some() {
+                    self.fetch_page_adaptive(
+                        node, node_ref, clock, page, frame, unprotect, bulk_pages, true,
+                    );
+                } else {
+                    self.fetch_page(node, node_ref, clock, page, frame, unprotect, true);
+                }
+            }
+        }
+    }
+
+    /// Flush the dirty slots of `dirty` (page-id ordered) to their home
+    /// nodes, coalescing runs of contiguous same-home pages into one diff
+    /// RPC (up to [`crate::policy::FlushPolicy::max_batch_pages`]) exactly
+    /// like batched page fetches coalesce the opposite direction.
+    pub(crate) fn flush_frames(
+        &self,
+        node: NodeId,
+        node_ref: &Node,
+        clock: &mut ThreadClock,
+        dirty: &[(PageId, Arc<PageFrame>)],
+    ) {
+        self.flush_frames_inner(node, node_ref, clock, dirty, false);
+    }
+
+    /// [`DsmSystem::flush_frames`] with an explicit completion mode: with
+    /// `deferred` set, each diff RPC is issued as a split transaction (only
+    /// the issue path is charged to `clock`) and the watermark of the batch
+    /// completion times is returned; blocking mode merges each completion on
+    /// the spot and returns `None`.
+    fn flush_frames_inner(
+        &self,
+        node: NodeId,
+        node_ref: &Node,
+        clock: &mut ThreadClock,
+        dirty: &[(PageId, Arc<PageFrame>)],
+        deferred: bool,
+    ) -> Option<VTime> {
+        let machine = self.cluster.machine();
+        let max_batch = self.policies.flush.max_batch_pages().max(1);
+        let mut watermark: Option<VTime> = None;
+        let mut i = 0usize;
+        while i < dirty.len() {
+            let (first, _) = dirty[i];
+            let home = self.store.home_of(first);
+            let mut j = i + 1;
+            while j < dirty.len()
+                && j - i < max_batch
+                && dirty[j].0 .0 == first.0 + (j - i) as u64
+                && self.store.home_of(dirty[j].0) == home
+            {
+                j += 1;
+            }
+            let per_page: Vec<Vec<DiffEntry>> =
+                dirty[i..j].iter().map(|(_, f)| f.take_dirty()).collect();
+            let slots: usize = per_page.iter().map(Vec::len).sum();
+            if slots == 0 {
+                // Every page in the run was flushed by someone else already.
+                i = j;
+                continue;
+            }
+            let pages = per_page.len();
+            NodeStats::bump(&node_ref.stats.diff_messages);
+            NodeStats::bump_by(&node_ref.stats.diff_slots_flushed, slots as u64);
+            clock.advance(
+                machine
+                    .cpu
+                    .cycles(machine.dsm.diff_record_cycles_per_slot * slots as f64),
+            );
+            let payload = if pages == 1 {
+                encode_diff(first, &per_page[0])
+            } else {
+                NodeStats::bump(&node_ref.stats.batched_flushes);
+                clock.advance(machine.batch_flush_overhead((pages - 1) as u64));
+                encode_diff_batch(first, &per_page)
+            };
+            NodeStats::bump_by(&node_ref.stats.diff_bytes, payload.len() as u64);
+            let (reply, completion) =
+                self.rpc_split_or_die(clock, node, home, self.diff_apply, &payload);
+            if deferred {
+                // Hand the transaction to the deferred queue: the caller
+                // stores the completion watermark on the releasing monitor
+                // and the next acquire of that monitor merges it.
+                NodeStats::bump(&node_ref.stats.deferred_flushes);
+                watermark = Some(watermark.map_or(completion, |w| w.max(completion)));
+            } else {
+                clock.merge(completion);
+            }
+            if decode_migration_grant(&reply).is_some() {
+                // The home handler promoted this node's frame already; the
+                // grant reply is the accounting record of the hand-over.
+                NodeStats::bump(&node_ref.stats.pages_migrated);
+            }
+            i = j;
+        }
+        watermark
+    }
+}
+
+impl std::fmt::Debug for DsmSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DsmSystem")
+            .field("protocol", &self.kind.name())
+            .field("nodes", &self.cluster.num_nodes())
+            .field("pages", &self.store.allocator().num_pages())
+            .finish()
+    }
+}

@@ -1,0 +1,415 @@
+//! Requester-side page-fetch mechanics of the [`DsmSystem`] engine: the
+//! single-page and batched fetch paths, hint-to-ticket conversion and
+//! in-flight transaction completion.
+//!
+//! This is a second `impl DsmSystem` block (split out of `engine.rs` to
+//! keep the engine readable): everything here is mechanism — RPC framing,
+//! fetch-lock order, ticket bookkeeping — parameterised by the policy
+//! decisions ([`crate::policy::DetectionPolicy::fetch_batching`],
+//! [`crate::policy::DetectionPolicy::predicts_reaccess`],
+//! [`crate::policy::Predictor::converts_hints`]) that the engine already
+//! resolved.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use hyperion_model::{NodeStats, ThreadClock, VTime};
+use hyperion_pm2::{Node, NodeId, PageId};
+
+use crate::diff::{
+    encode_page_batch_request, encode_page_request, encode_page_request_nohint, split_fetch_reply,
+    HintRun,
+};
+use crate::engine::DsmSystem;
+use crate::page::PageFrame;
+use crate::services::PAGE_BYTES;
+
+impl DsmSystem {
+    /// Bring a page into the local cache from its home node.
+    ///
+    /// `demand` distinguishes a fetch triggered by an access (the access is
+    /// the first use, so the transaction completes on the spot and the full
+    /// round trip is charged, exactly as the blocking transport does) from
+    /// an explicit prefetch, which under the overlapped transport records an
+    /// in-flight ticket and lets the caller keep computing.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn fetch_page(
+        &self,
+        node: NodeId,
+        node_ref: &Node,
+        clock: &mut ThreadClock,
+        page: PageId,
+        frame: &PageFrame,
+        unprotect_after: bool,
+        demand: bool,
+    ) {
+        let guard = frame.fetch_lock().lock();
+        if frame.is_present() && !frame.is_protected() {
+            // Another thread on this node completed the load while we were
+            // waiting on the fetch lock.
+            drop(guard);
+            return;
+        }
+        NodeStats::bump(&node_ref.stats.page_loads);
+        let home = self.store.home_of(page);
+        let payload = encode_page_request(page);
+        let machine = self.cluster.machine();
+        let (bytes, mut completion) =
+            self.rpc_split_or_die(clock, node, home, self.page_fetch, &payload);
+        // Hidden latency is measured from the end of the issue path: that is
+        // the instant a blocking transport would have started stalling.
+        let issue = clock.now();
+        let (data, hints) = split_fetch_reply(&bytes, 1);
+        if frame.is_home() {
+            // A concurrent migration grant promoted this frame to home while
+            // the fetch was in flight: the frame already holds the
+            // authoritative copy, so installing the (pre-migration) snapshot
+            // would erase newer home writes.  Keep the round trip charged —
+            // it really happened — and drop the stale bytes.
+            drop(guard);
+            clock.merge(completion);
+            return;
+        }
+        frame.install_copy(data);
+
+        if unprotect_after {
+            NodeStats::bump(&node_ref.stats.mprotect_calls);
+        }
+        if demand || !self.transport.overlapped_fetches {
+            drop(guard);
+            clock.merge(completion);
+            if unprotect_after {
+                clock.advance(machine.dsm.mprotect_call);
+            }
+        } else {
+            // The mprotect that opens the page happens when the copy lands,
+            // so it extends the transaction rather than the issue path.
+            if unprotect_after {
+                completion += machine.dsm.mprotect_call;
+            }
+            frame.begin_inflight(issue.as_ps(), completion.as_ps());
+            drop(guard);
+        }
+        self.issue_hint_fetches(node, node_ref, clock, &hints);
+    }
+
+    /// Convert prefetch-directory hints carried on a fetch reply into
+    /// split-transaction tickets: issue one overlapped single-page fetch per
+    /// absent hinted page, so the later demand miss completes an RPC that is
+    /// already in flight instead of paying a fresh round trip.
+    ///
+    /// Hint conversion is throttled by its own measured accuracy — once more
+    /// than 1/16 of the node's hint-driven fetches turn out wasted
+    /// (invalidated untouched), further hints are ignored until the accuracy
+    /// recovers — and hint-issued requests are tagged so their replies never
+    /// carry further hints (no cascades).
+    ///
+    /// Returns the number of overlapped fetches actually issued (pages that
+    /// were present, home, contended or throttled issue nothing).
+    pub(crate) fn issue_hint_fetches(
+        &self,
+        node: NodeId,
+        node_ref: &Node,
+        clock: &mut ThreadClock,
+        hints: &[HintRun],
+    ) -> u64 {
+        let mut issued_now = 0u64;
+        if hints.is_empty()
+            || !self.transport.overlapped_fetches
+            || !self.policies.predictor.converts_hints()
+        {
+            return issued_now;
+        }
+        let machine = self.cluster.machine();
+        let num_pages = self.store.allocator().num_pages();
+        for &(first, run) in hints {
+            for k in 0..run as u64 {
+                let page = PageId(first.0 + k);
+                if page.index() >= num_pages {
+                    break;
+                }
+                let issued = node_ref.stats.hinted_fetches_issued.load(Ordering::Relaxed);
+                let wasted = node_ref.stats.hinted_fetches_wasted.load(Ordering::Relaxed);
+                // The low floor makes the throttle bite after a single early
+                // waste: a node must prove hint accuracy on a healthy issued
+                // count before any further misprediction is tolerated.
+                if wasted.saturating_mul(16) > issued.max(8) {
+                    return issued_now;
+                }
+                let frame = self.store.frame(node, page);
+                if frame.is_home() || frame.is_present() {
+                    continue;
+                }
+                // A contended fetch lock means another thread is already
+                // loading the page; the hint has nothing left to add.
+                let Some(guard) = frame.fetch_lock().try_lock() else {
+                    continue;
+                };
+                if frame.is_present() {
+                    drop(guard);
+                    continue;
+                }
+                let unprotect = self.policies.detection.unprotect_on_install(&frame);
+                NodeStats::bump(&node_ref.stats.page_loads);
+                NodeStats::bump(&node_ref.stats.hinted_fetches_issued);
+                issued_now += 1;
+                let home = self.store.home_of(page);
+                let payload = encode_page_request_nohint(page);
+                let (bytes, mut completion) =
+                    self.rpc_split_or_die(clock, node, home, self.page_fetch, &payload);
+                let issue = clock.now();
+                if frame.is_home() {
+                    // Concurrent migration promoted the frame (see
+                    // `fetch_page`): charge the round trip, drop the bytes.
+                    drop(guard);
+                    clock.merge(completion);
+                    continue;
+                }
+                let (data, _) = split_fetch_reply(&bytes, 1);
+                frame.install_copy(data);
+                if unprotect {
+                    NodeStats::bump(&node_ref.stats.mprotect_calls);
+                    completion += machine.dsm.mprotect_call;
+                }
+                frame.begin_inflight_hinted(issue.as_ps(), completion.as_ps());
+                drop(guard);
+            }
+        }
+        issued_now
+    }
+
+    /// Batching fetch path (`java_ad`): bring `page` into the cache and
+    /// opportunistically batch a run of contiguous successor pages into the
+    /// same RPC.
+    ///
+    /// A successor page joins the batch only when it shares the demanded
+    /// page's home, is currently absent, and is either *certain* to be
+    /// touched (it lies inside the bulk access that triggered the miss) or
+    /// *predicted* to be touched (the detection policy's
+    /// [`predicts_reaccess`](crate::policy::DetectionPolicy::predicts_reaccess)
+    /// says its epoch history shows stable re-access).  The second
+    /// condition is what keeps batched fetches from inflating page loads:
+    /// only pages with demonstrated per-epoch re-access are speculated on.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn fetch_page_adaptive(
+        &self,
+        node: NodeId,
+        node_ref: &Node,
+        clock: &mut ThreadClock,
+        page: PageId,
+        frame: &PageFrame,
+        unprotect_after: bool,
+        bulk_pages: usize,
+        demand: bool,
+    ) {
+        self.fetch_page_adaptive_inner(
+            node,
+            node_ref,
+            clock,
+            page,
+            frame,
+            unprotect_after,
+            bulk_pages,
+            demand,
+            true,
+        );
+    }
+
+    /// [`DsmSystem::fetch_page_adaptive`] with explicit control over
+    /// history-driven speculation (suppressed by span prefetches).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn fetch_page_adaptive_inner(
+        &self,
+        node: NodeId,
+        node_ref: &Node,
+        clock: &mut ThreadClock,
+        page: PageId,
+        frame: &PageFrame,
+        unprotect_after: bool,
+        bulk_pages: usize,
+        demand: bool,
+        speculate: bool,
+    ) {
+        let guard = frame.fetch_lock().lock();
+        if frame.is_present() && !frame.is_protected() {
+            // Another thread on this node completed the load while we were
+            // waiting on the fetch lock.
+            drop(guard);
+            return;
+        }
+        let home = self.store.home_of(page);
+        let max_batch = self.policies.detection.fetch_batching().unwrap_or(1);
+
+        // Speculation is throttled by its own measured accuracy: once more
+        // than 1/16 of the node's *speculative* prefetches turn out wasted
+        // (invalidated untouched), only pages certain to be accessed may
+        // ride along.  Certain (bulk-covered) riders are deliberately not in
+        // the denominator — they can never be wasted and would otherwise
+        // dilute the bound.  This keeps a mispredicting workload (e.g.
+        // dynamic work reassignment) from inflating page traffic noticeably.
+        let speculated = node_ref
+            .stats
+            .pages_prefetch_speculative
+            .load(Ordering::Relaxed);
+        let waste = node_ref.stats.pages_prefetch_wasted.load(Ordering::Relaxed);
+        let may_speculate = speculate && waste.saturating_mul(16) <= speculated.max(16);
+
+        // Candidate phase: grow the contiguous window page by page.
+        let num_pages = self.store.allocator().num_pages();
+        let mut candidates: Vec<(Arc<PageFrame>, bool)> = Vec::new();
+        for k in 1..max_batch as u64 {
+            let q = PageId(page.0 + k);
+            if q.index() >= num_pages || self.store.home_of(q) != home {
+                break;
+            }
+            let qf = self.store.frame(node, q);
+            if qf.is_home() || qf.is_present() {
+                break;
+            }
+            let certain = (k as usize) < bulk_pages;
+            let predicted = may_speculate && self.policies.detection.predicts_reaccess(&qf);
+            if !certain && !predicted {
+                break;
+            }
+            candidates.push((qf, !certain));
+        }
+        // Lock phase: keep the prefix whose fetch locks are free right now;
+        // a contended or concurrently-installed page ends the run (the batch
+        // must stay contiguous).
+        let mut guards = Vec::with_capacity(candidates.len());
+        for (qf, _) in &candidates {
+            let Some(g) = qf.fetch_lock().try_lock() else {
+                break;
+            };
+            if qf.is_present() {
+                break;
+            }
+            guards.push(g);
+        }
+        let batch = guards.len();
+        let count = 1 + batch;
+
+        let machine = self.cluster.machine();
+        NodeStats::bump_by(&node_ref.stats.page_loads, count as u64);
+        let payload = if count == 1 {
+            encode_page_request(page)
+        } else {
+            NodeStats::bump(&node_ref.stats.batched_fetches);
+            NodeStats::bump_by(&node_ref.stats.pages_prefetched, (count - 1) as u64);
+            clock.advance(machine.batch_request_overhead((count - 1) as u64));
+            encode_page_batch_request(page, count as u32)
+        };
+        let (bytes, wire_completion) =
+            self.rpc_split_or_die(clock, node, home, self.page_fetch, &payload);
+        let issue = clock.now();
+        let (data, hints) = split_fetch_reply(&bytes, count);
+        // A concurrent migration grant may have promoted any frame of the
+        // run to home while the fetch was in flight; such a frame already
+        // holds the authoritative copy and must not be overwritten with the
+        // pre-migration snapshot (see `fetch_page`).
+        let promoted = frame.is_home();
+        if !promoted {
+            frame.install_copy(&data[0..PAGE_BYTES]);
+        }
+        // Installing a rider that was protection-detected clears its access
+        // protection, which costs an mprotect just as the demanded page's
+        // fault path does — without it java_ad's modeled cost would be
+        // understated for exactly the pages the prefetcher targets.
+        let mut riders_protected = false;
+        let mut speculative_riders = 0u64;
+        for (i, (qf, speculative)) in candidates.iter().take(batch).enumerate() {
+            if qf.is_home() {
+                continue;
+            }
+            riders_protected |= qf.ad_mode() == crate::page::AdMode::Protect;
+            qf.install_copy(&data[(i + 1) * PAGE_BYTES..(i + 2) * PAGE_BYTES]);
+            if *speculative {
+                qf.ad_mark_prefetched();
+                speculative_riders += 1;
+            }
+        }
+        if speculative_riders > 0 {
+            NodeStats::bump_by(
+                &node_ref.stats.pages_prefetch_speculative,
+                speculative_riders,
+            );
+        }
+
+        let needs_mprotect = unprotect_after || riders_protected;
+        if needs_mprotect {
+            // One mprotect call opens the whole contiguous run.
+            NodeStats::bump(&node_ref.stats.mprotect_calls);
+        }
+        let overlapped = self.transport.overlapped_fetches;
+        if demand || !overlapped {
+            clock.merge(wire_completion);
+            if needs_mprotect {
+                clock.advance(machine.dsm.mprotect_call);
+            }
+            if overlapped {
+                // The demanded page completed here, but its riders are live
+                // split transactions finishing with this batch.  The thread
+                // stalled for the whole round trip on the demanded page, so
+                // the riders hid nothing — their tickets carry `done` as
+                // both issue and completion (zero residual, zero hidden),
+                // and only make a slower thread that touches a rider first
+                // wait until the batch had actually arrived.
+                let done = clock.now();
+                for (qf, _) in candidates.iter().take(batch) {
+                    if !qf.is_home() {
+                        qf.begin_inflight(done.as_ps(), done.as_ps());
+                    }
+                }
+            }
+        } else {
+            let completion = if needs_mprotect {
+                wire_completion + machine.dsm.mprotect_call
+            } else {
+                wire_completion
+            };
+            if !promoted {
+                frame.begin_inflight(issue.as_ps(), completion.as_ps());
+            }
+            for (qf, _) in candidates.iter().take(batch) {
+                if !qf.is_home() {
+                    qf.begin_inflight(issue.as_ps(), completion.as_ps());
+                }
+            }
+        }
+        drop(guards);
+        drop(guard);
+        self.issue_hint_fetches(node, node_ref, clock, &hints);
+    }
+
+    /// Complete an in-flight split fetch transaction on its first real use:
+    /// merge the completion timestamp (charging the residual latency) and
+    /// account the part of the round trip that compute already covered.
+    pub(crate) fn complete_inflight(
+        &self,
+        node_ref: &Node,
+        clock: &mut ThreadClock,
+        frame: &PageFrame,
+    ) {
+        let Some((issue_ps, completion_ps, hinted)) = frame.take_inflight() else {
+            return;
+        };
+        if hinted {
+            // This demand miss finished an RPC the prefetch directory had
+            // already put in flight.
+            NodeStats::bump(&node_ref.stats.hinted_fetches_completed);
+        }
+        let hidden_ps = clock
+            .now()
+            .as_ps()
+            .min(completion_ps)
+            .saturating_sub(issue_ps);
+        if hidden_ps > 0 {
+            let cycles = hidden_ps as f64 / self.cluster.machine().cpu.ps_per_cycle();
+            NodeStats::bump_by(
+                &node_ref.stats.fetch_overlap_cycles_hidden,
+                (cycles as u64).max(1),
+            );
+        }
+        clock.merge(VTime::from_ps(completion_ps));
+    }
+}

@@ -15,26 +15,39 @@
 //!   pages (§3.3);
 //! * [`ProtocolKind::JavaAd`] — adaptive per-page selection between the two
 //!   techniques with batched contiguous page fetches (extension beyond the
-//!   paper; see [`protocol::AdaptiveParams`]).
+//!   paper; see [`AdaptiveParams`]).
 //!
 //! Module map:
 //!
 //! * [`page`] — page frames, presence/protection bits, dirty-slot bitmaps;
 //! * [`table`] — per-node frame tables and the cluster-wide [`DsmStore`];
 //! * [`diff`] — wire encoding of page fetches and field-granularity diffs;
-//! * [`protocol`] — the [`DsmSystem`] protocol engine and its RPC services.
+//! * [`config`] — protocol / transport configuration data;
+//! * [`policy`] — the pluggable policy traits ([`policy::DetectionPolicy`],
+//!   [`policy::Predictor`], [`policy::MigrationPolicy`],
+//!   [`policy::FlushPolicy`]) and their default implementations;
+//! * [`engine`] — the [`DsmSystem`] protocol engine (with its fetch
+//!   mechanics in `fetch` and its RPC services in `services`), which calls
+//!   through the policy traits at every decision point.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod config;
 pub mod diff;
+pub mod engine;
+mod fetch;
 pub mod page;
-pub mod protocol;
+pub mod policy;
+mod services;
 pub mod table;
 
+pub use config::{AdaptiveParams, DeferredFlush, Locality, ProtocolKind, TransportConfig};
+pub use engine::DsmSystem;
 pub use hyperion_pm2::TransportBackend;
 pub use page::{AdMode, PageData, PageFrame};
-pub use protocol::{
-    AdaptiveParams, DeferredFlush, DsmSystem, Locality, ProtocolKind, TransportConfig,
-};
+// `policy` is deliberately not wildcard re-exported at the crate root: the
+// deferred-flush *policy* (`policy::DeferredFlush`) would collide with the
+// deferred-flush *record* (`DeferredFlush`) above.  Use `policy::...` paths.
+pub use policy::{PolicyError, PolicySet, PolicySpec};
 pub use table::DsmStore;

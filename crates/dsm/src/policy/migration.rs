@@ -1,0 +1,77 @@
+//! Home-migration policies: when the home of a write-shared page should
+//! move to the writer that dominates its diff traffic.
+//!
+//! The policy only makes the *decision*; the hand-over mechanics (promote
+//! the writer's frame from the authoritative snapshot, re-route the home,
+//! demote the old home, ship the grant on the reply) stay in the
+//! diff-apply service, because they are what keeps a migration atomic with
+//! respect to concurrent fetches.
+
+use hyperion_pm2::NodeId;
+
+use crate::page::PageFrame;
+
+/// The home-migration decision policy, consulted by the diff-apply handler
+/// once per applied diff page.
+///
+/// **JMM obligations.**  Migration re-labels which replica is
+/// authoritative; it must never be decided *between* the diff application
+/// and the snapshot that seeds the new home — the handler calls this while
+/// holding the home frame, immediately after applying the diff, so the
+/// granted snapshot always contains the diff that triggered it.  A policy
+/// is free to say "never" ([`NoopMigration`]); it must not say "migrate"
+/// for the current home itself (`writer == home`), which would demote the
+/// only authoritative copy.
+pub trait MigrationPolicy: Send + Sync {
+    /// Short policy name (`"nomig"` / `"mig"`): used in figure-row variant
+    /// labels.
+    fn name(&self) -> &'static str;
+
+    /// Decide whether `frame` (the current home copy of a page, diff just
+    /// applied) should hand its home over to `writer`.  Called at most once
+    /// per diff message per page, with `grant`-per-message exclusivity
+    /// enforced by the handler.
+    ///
+    /// Implementations may keep per-page vote state on the frame; they must
+    /// leave the frame's *data* untouched.
+    fn should_migrate(&self, frame: &PageFrame, writer: NodeId, home: NodeId) -> bool;
+}
+
+/// Never migrate: homes stay where the allocator placed them, and no vote
+/// state is touched — byte-identical to running with home migration
+/// compiled out.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopMigration;
+
+impl MigrationPolicy for NoopMigration {
+    fn name(&self) -> &'static str {
+        "nomig"
+    }
+
+    fn should_migrate(&self, _frame: &PageFrame, _writer: NodeId, _home: NodeId) -> bool {
+        false
+    }
+}
+
+/// Boyer–Moore majority vote over the page's incoming diff stream: the home
+/// migrates to a writer once it dominates `streak` consecutive net votes,
+/// with the required streak doubling per page after each migration so
+/// ping-ponging homes back off geometrically.
+#[derive(Clone, Copy, Debug)]
+pub struct MajorityVoteMigration {
+    /// Majority count a non-home writer must reach before the home migrates
+    /// to it.
+    pub streak: u32,
+}
+
+impl MigrationPolicy for MajorityVoteMigration {
+    fn name(&self) -> &'static str {
+        "mig"
+    }
+
+    fn should_migrate(&self, frame: &PageFrame, writer: NodeId, home: NodeId) -> bool {
+        // Only genuinely remote writers vote, and only a writer that
+        // dominates the page's recent diff stream wins.
+        writer != home && frame.mig_observe_writer(writer.0 as u64, self.streak as u64)
+    }
+}

@@ -1,0 +1,354 @@
+//! Pluggable protocol policies: the decision points of the DSM protocol,
+//! extracted behind traits so alternative strategies (Zipf-aware
+//! predictors, quorum placement, hierarchical detection) can slot in
+//! without touching the engine.
+//!
+//! The engine ([`crate::DsmSystem`]) owns every *mechanism* — page fetch
+//! RPCs, diff application, in-flight tickets, invalidation, flush
+//! coalescing — and consults one policy object per decision point:
+//!
+//! | Trait               | Decision                                | Defaults                                        |
+//! |---------------------|-----------------------------------------|-------------------------------------------------|
+//! | [`DetectionPolicy`] | how a remote access is noticed          | `java_ic` / `java_pf` / [`AdaptiveDetection`]   |
+//! | [`Predictor`]       | which hints a fetch reply carries       | [`NoopPredictor`] / [`DirectoryPredictor`]      |
+//! | [`MigrationPolicy`] | when a page's home moves to a writer    | [`NoopMigration`] / [`MajorityVoteMigration`]   |
+//! | [`FlushPolicy`]     | how release diffs reach their homes     | [`BatchedFlush`] / [`DeferredFlush`]            |
+//!
+//! [`PolicySpec`] is the data-level description (what configs and builders
+//! carry); [`PolicySpec::build`] turns it into the [`PolicySet`] of live
+//! policy objects the engine holds.  [`PolicySpec::validate`] rejects
+//! illegal combinations with a typed [`PolicyError`] before any cluster
+//! state exists.
+
+mod detection;
+mod flush;
+mod migration;
+mod predictor;
+
+use std::sync::Arc;
+
+use hyperion_model::MachineModel;
+
+pub(crate) use detection::resolve_marks;
+pub use detection::{
+    AccessAction, AdaptiveDetection, DetectionPolicy, EpochOutcome, InlineCheckDetection,
+    PageProtectDetection,
+};
+pub use flush::{BatchedFlush, DeferredFlush, FlushPolicy};
+pub use migration::{MajorityVoteMigration, MigrationPolicy, NoopMigration};
+pub use predictor::{DirectoryPredictor, FetchObservation, NoopPredictor, Predictor};
+
+use crate::config::{AdaptiveParams, ProtocolKind, TransportConfig};
+
+/// The four live policy objects one [`crate::DsmSystem`] consults.
+#[derive(Clone)]
+pub struct PolicySet {
+    /// Access-detection state machine (the protocol proper).
+    pub detection: Arc<dyn DetectionPolicy>,
+    /// Home-side prefetch prediction.
+    pub predictor: Arc<dyn Predictor>,
+    /// Home-migration decision.
+    pub migration: Arc<dyn MigrationPolicy>,
+    /// Release-flush placement.
+    pub flush: Arc<dyn FlushPolicy>,
+}
+
+impl std::fmt::Debug for PolicySet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicySet")
+            .field("detection", &self.detection.name())
+            .field("predictor", &self.predictor.name())
+            .field("migration", &self.migration.name())
+            .field("flush", &self.flush.name())
+            .finish()
+    }
+}
+
+/// Data-level choice of access-detection policy.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DetectionSpec {
+    /// `java_ic`: in-line locality checks.
+    InlineCheck,
+    /// `java_pf`: page-fault-based detection.
+    PageProtect,
+    /// `java_ad`: the adaptive per-page state machine, with its tunables.
+    Adaptive(AdaptiveParams),
+}
+
+impl DetectionSpec {
+    /// The name the built policy will report (`"java_ic"` / `"java_pf"` /
+    /// `"java_ad"`).
+    pub fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// The [`ProtocolKind`] this spec describes.
+    pub fn kind(&self) -> ProtocolKind {
+        match self {
+            DetectionSpec::InlineCheck => ProtocolKind::JavaIc,
+            DetectionSpec::PageProtect => ProtocolKind::JavaPf,
+            DetectionSpec::Adaptive(_) => ProtocolKind::JavaAd,
+        }
+    }
+
+    /// Build the live policy object against a machine model.
+    pub fn build(&self, machine: &MachineModel, nodes: usize) -> Arc<dyn DetectionPolicy> {
+        match self {
+            DetectionSpec::InlineCheck => Arc::new(InlineCheckDetection::new(machine)),
+            DetectionSpec::PageProtect => Arc::new(PageProtectDetection::new(machine)),
+            DetectionSpec::Adaptive(params) => {
+                Arc::new(AdaptiveDetection::new(params, machine, nodes))
+            }
+        }
+    }
+}
+
+/// Data-level choice of prefetch predictor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PredictorSpec {
+    /// No hints (the directory records nothing).
+    Noop,
+    /// The cluster-wide prefetch directory.
+    Directory {
+        /// Largest number of contiguous pages one reply's hint run may name.
+        hint_window: usize,
+    },
+}
+
+impl PredictorSpec {
+    /// The name the built policy will report (`"nohints"` / `"dir"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PredictorSpec::Noop => "nohints",
+            PredictorSpec::Directory { .. } => "dir",
+        }
+    }
+
+    /// Build the live policy object.
+    pub fn build(&self) -> Arc<dyn Predictor> {
+        match *self {
+            PredictorSpec::Noop => Arc::new(NoopPredictor),
+            PredictorSpec::Directory { hint_window } => {
+                Arc::new(DirectoryPredictor { hint_window })
+            }
+        }
+    }
+}
+
+/// Data-level choice of home-migration policy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MigrationSpec {
+    /// Homes never move.
+    Noop,
+    /// Boyer–Moore majority vote with geometric back-off.
+    MajorityVote {
+        /// Majority count a writer must reach before the home migrates.
+        streak: u32,
+    },
+}
+
+impl MigrationSpec {
+    /// The name the built policy will report (`"nomig"` / `"mig"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MigrationSpec::Noop => "nomig",
+            MigrationSpec::MajorityVote { .. } => "mig",
+        }
+    }
+
+    /// Build the live policy object.
+    pub fn build(&self) -> Arc<dyn MigrationPolicy> {
+        match *self {
+            MigrationSpec::Noop => Arc::new(NoopMigration),
+            MigrationSpec::MajorityVote { streak } => Arc::new(MajorityVoteMigration { streak }),
+        }
+    }
+}
+
+/// Data-level choice of release-flush policy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlushSpec {
+    /// Synchronous (possibly batched) release flushing.
+    Batched {
+        /// Batch ceiling in pages; 1 disables batching.
+        max_pages: usize,
+    },
+    /// Deferred release flushing (split transactions completing at the next
+    /// acquire of the same monitor).
+    Deferred {
+        /// Batch ceiling in pages; 1 disables batching.
+        max_pages: usize,
+    },
+}
+
+impl FlushSpec {
+    /// The name the built policy will report (`"sync"` / `"dfl"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FlushSpec::Batched { .. } => "sync",
+            FlushSpec::Deferred { .. } => "dfl",
+        }
+    }
+
+    /// Build the live policy object.
+    pub fn build(&self) -> Arc<dyn FlushPolicy> {
+        match *self {
+            FlushSpec::Batched { max_pages } => Arc::new(BatchedFlush { max_pages }),
+            FlushSpec::Deferred { max_pages } => Arc::new(DeferredFlush { max_pages }),
+        }
+    }
+}
+
+/// The full data-level policy selection of one run: what configs carry and
+/// builders construct, turned into live objects by [`PolicySpec::build`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolicySpec {
+    /// Access-detection choice.
+    pub detection: DetectionSpec,
+    /// Prefetch-prediction choice.
+    pub predictor: PredictorSpec,
+    /// Home-migration choice.
+    pub migration: MigrationSpec,
+    /// Release-flush choice.
+    pub flush: FlushSpec,
+}
+
+impl PolicySpec {
+    /// The spec the legacy flag surface describes: a [`ProtocolKind`] plus
+    /// [`TransportConfig`] booleans map onto exactly one policy per
+    /// decision point (`false` flags map to the `Noop`/synchronous
+    /// defaults).
+    pub fn from_config(
+        kind: ProtocolKind,
+        params: &AdaptiveParams,
+        transport: &TransportConfig,
+    ) -> PolicySpec {
+        let detection = match kind {
+            ProtocolKind::JavaIc => DetectionSpec::InlineCheck,
+            ProtocolKind::JavaPf => DetectionSpec::PageProtect,
+            ProtocolKind::JavaAd => DetectionSpec::Adaptive(params.clone()),
+        };
+        PolicySpec {
+            detection,
+            predictor: transport.predictor_spec(),
+            migration: transport.migration_spec(),
+            flush: transport.flush_spec(),
+        }
+    }
+
+    /// Build the live [`PolicySet`] against a machine model.
+    pub fn build(&self, machine: &MachineModel, nodes: usize) -> PolicySet {
+        PolicySet {
+            detection: self.detection.build(machine, nodes),
+            predictor: self.predictor.build(),
+            migration: self.migration.build(),
+            flush: self.flush.build(),
+        }
+    }
+
+    /// Reject illegal policy combinations before any cluster state exists.
+    ///
+    /// `overlapped_fetches` is the engine's split-transaction mode (see
+    /// [`TransportConfig::overlapped_fetches`]): the directory predictor is
+    /// pointless without it — hints convert into overlapped fetches — so
+    /// that combination is rejected rather than silently ignored.
+    pub fn validate(&self, overlapped_fetches: bool) -> Result<(), PolicyError> {
+        if let DetectionSpec::Adaptive(params) = &self.detection {
+            validate_adaptive(params)?;
+        }
+        match self.predictor {
+            PredictorSpec::Directory { hint_window } => {
+                if hint_window == 0 {
+                    return Err(PolicyError::ZeroHintWindow);
+                }
+                if !overlapped_fetches {
+                    return Err(PolicyError::HintsRequireOverlappedFetches);
+                }
+            }
+            PredictorSpec::Noop => {}
+        }
+        if let MigrationSpec::MajorityVote { streak } = self.migration {
+            if streak == 0 {
+                return Err(PolicyError::ZeroMigrationStreak);
+            }
+        }
+        match self.flush {
+            FlushSpec::Batched { max_pages } => {
+                if max_pages == 0 {
+                    return Err(PolicyError::ZeroFlushBatch);
+                }
+            }
+            FlushSpec::Deferred { max_pages } => {
+                if max_pages == 0 {
+                    return Err(PolicyError::DeferredFlushWithoutBatching);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validate [`AdaptiveParams`] on their own (they are checked for every
+/// run, whichever protocol is selected, so a sweep harness fails fast).
+pub fn validate_adaptive(params: &AdaptiveParams) -> Result<(), PolicyError> {
+    if params.max_batch_pages == 0 {
+        return Err(PolicyError::ZeroAdaptiveBatch);
+    }
+    if params.hi_multiple <= 0.0
+        || params.lo_multiple < 0.0
+        || params.lo_multiple >= params.hi_multiple
+    {
+        return Err(PolicyError::InvalidHysteresis);
+    }
+    Ok(())
+}
+
+/// An illegal policy selection, rejected at config-build time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyError {
+    /// `AdaptiveParams::max_batch_pages` is 0 (1 batches nothing, 0 fetches
+    /// nothing).
+    ZeroAdaptiveBatch,
+    /// The adaptive switching band is not a hysteresis band
+    /// (`0 <= lo_multiple < hi_multiple` is required).
+    InvalidHysteresis,
+    /// A synchronous flush with a zero page ceiling would flush nothing.
+    ZeroFlushBatch,
+    /// Deferred release flushing hands *batches* to the deferred queue; a
+    /// zero batch ceiling leaves it nothing to defer.
+    DeferredFlushWithoutBatching,
+    /// A majority-vote migration with a zero streak would migrate on no
+    /// evidence.
+    ZeroMigrationStreak,
+    /// A directory predictor with a zero hint window can never hint.
+    ZeroHintWindow,
+    /// The directory predictor converts hints into overlapped fetches;
+    /// without [`TransportConfig::overlapped_fetches`] it would silently
+    /// generate hints nobody uses.
+    HintsRequireOverlappedFetches,
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            PolicyError::ZeroAdaptiveBatch => {
+                "max_batch_pages must be at least 1 (1 batches nothing, 0 fetches nothing)"
+            }
+            PolicyError::InvalidHysteresis => {
+                "switching hysteresis needs 0 <= lo_multiple < hi_multiple"
+            }
+            PolicyError::ZeroFlushBatch => "max_flush_batch_pages must be at least 1",
+            PolicyError::DeferredFlushWithoutBatching => {
+                "deferred release flushing needs a flush batch of at least 1 page"
+            }
+            PolicyError::ZeroMigrationStreak => "migration_streak must be at least 1",
+            PolicyError::ZeroHintWindow => "hint_window must be at least 1",
+            PolicyError::HintsRequireOverlappedFetches => {
+                "prefetch hints require overlapped fetches (hints convert into split transactions)"
+            }
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for PolicyError {}

@@ -1,0 +1,158 @@
+//! The home-side RPC services of the DSM: page fetch and diff apply.
+//!
+//! Both handlers are pure mechanism — copy pages, apply diffs, charge the
+//! modelled service cost — and consult one policy each at their single
+//! decision point: the [`Predictor`] for which hints a fetch reply carries,
+//! the [`MigrationPolicy`] for whether an applied diff hands the page's
+//! home to the writer.
+
+use std::sync::Arc;
+
+use hyperion_model::{CpuModel, DsmCostModel, NodeStats};
+use hyperion_pm2::{Node, NodeId, PageId, RpcHandler, RpcReply, SLOTS_PER_PAGE};
+
+use crate::diff::{decode_diff_message, decode_page_fetch_request, encode_migration_grant};
+use crate::policy::{MigrationPolicy, Predictor};
+use crate::table::DsmStore;
+
+/// Bytes of one page on the wire.
+pub(crate) const PAGE_BYTES: usize = SLOTS_PER_PAGE * 8;
+
+/// RPC service: ship a copy of a home page to a requesting node and, when
+/// the predictor asks for it, piggyback "a neighbour also fetched p..p+k"
+/// hints derived from the home's per-page fetch history.
+pub(crate) struct PageFetchService {
+    pub(crate) store: Arc<DsmStore>,
+    pub(crate) cpu: CpuModel,
+    pub(crate) dsm: DsmCostModel,
+    pub(crate) predictor: Arc<dyn Predictor>,
+}
+
+impl RpcHandler for PageFetchService {
+    fn handle(&self, target: &Node, caller: NodeId, payload: &[u8]) -> RpcReply {
+        let (first, count, hints_ok) = decode_page_fetch_request(payload);
+        let mut bytes = Vec::with_capacity(PAGE_BYTES * count as usize);
+        let home = target.id();
+        // Directory bookkeeping exists only when the predictor opts in: a
+        // `NoopPredictor` declines the observation, and the fetch handler
+        // does exactly what the plain split-transaction transport did (no
+        // stamps, no history writes).
+        let obs = self
+            .predictor
+            .observe_fetch(&self.store, home, caller, first, count);
+        for k in 0..count as u64 {
+            let page = PageId(first.0 + k);
+            // Serve the *current* home's copy: normally that is `target`,
+            // but a concurrent home migration may have moved the page after
+            // the caller looked its home up, in which case the old home
+            // forwards the authoritative frame (the shared store gives the
+            // modelled handler direct access to it).
+            let home_now = self.store.home_of(page);
+            debug_assert!(
+                home_now == target.id() || self.store.page_migrated(page),
+                "page fetch sent to a node that is not the page's home"
+            );
+            bytes.extend_from_slice(&self.store.with_frame(home_now, page, |f| {
+                if let Some(o) = &obs {
+                    self.predictor.record_served_page(f, caller, o);
+                }
+                f.data().snapshot_bytes()
+            }));
+        }
+        let mut hint_entries = 0u16;
+        if hints_ok {
+            if let Some(o) = &obs {
+                if let Some((start, run)) =
+                    self.predictor
+                        .predict(&self.store, home, caller, first, count, o)
+                {
+                    crate::diff::append_fetch_hints(&mut bytes, &[(start, run)]);
+                    hint_entries = 1;
+                    NodeStats::bump_by(&target.stats.hints_sent, run as u64);
+                }
+            }
+        }
+        let service = self.cpu.cycles(
+            self.dsm.page_copy_cycles_per_slot * (SLOTS_PER_PAGE * count as usize) as f64
+                + self.dsm.batch_page_cycles * (count - 1) as f64
+                + self.dsm.hint_entry_cycles * hint_entries as f64,
+        );
+        RpcReply::with_data(bytes, service)
+    }
+
+    fn name(&self) -> &'static str {
+        "dsm.page_fetch"
+    }
+}
+
+/// RPC service: apply one or more field-granularity diffs to home pages,
+/// and — when the migration policy says so — hand the home of a
+/// write-shared page over to the writer that dominates its diff traffic.
+pub(crate) struct DiffApplyService {
+    pub(crate) store: Arc<DsmStore>,
+    pub(crate) cpu: CpuModel,
+    pub(crate) dsm: DsmCostModel,
+    pub(crate) migration: Arc<dyn MigrationPolicy>,
+}
+
+impl RpcHandler for DiffApplyService {
+    fn handle(&self, target: &Node, caller: NodeId, payload: &[u8]) -> RpcReply {
+        let diffs = decode_diff_message(payload);
+        let mut slots = 0usize;
+        let mut grant: Option<(PageId, Vec<u8>)> = None;
+        for (page, entries) in &diffs {
+            slots += entries.len();
+            // Apply to the *current* home frame (see `PageFetchService` on
+            // why this may differ from `target` under concurrent migration).
+            let home_now = self.store.home_of(*page);
+            debug_assert!(
+                home_now == target.id() || self.store.page_migrated(*page),
+                "diff sent to a node that is not the page's home"
+            );
+            let migrate = self.store.with_frame(home_now, *page, |f| {
+                debug_assert!(f.is_home() || self.store.page_migrated(*page));
+                for &(slot, value) in entries {
+                    f.apply_diff_slot(slot as usize, value);
+                }
+                // Migration decision: one grant per message at most (the
+                // `grant.is_none()` guard runs first so a policy's vote
+                // state is untouched once this message granted).
+                grant.is_none() && self.migration.should_migrate(f, caller, home_now)
+            });
+            if migrate {
+                // Execute the hand-over while still inside the handler so no
+                // fetch can observe a half-migrated page: promote the
+                // writer's frame from the authoritative snapshot (keeping
+                // any newer local writes it has pending), then re-route the
+                // home and demote the old home to an ordinary cached copy.
+                let (snapshot, back_off) = self.store.with_frame(home_now, *page, |f| {
+                    (f.data().snapshot_bytes(), f.mig_required())
+                });
+                self.store.with_frame(caller, *page, |f| {
+                    f.promote_to_home(&snapshot);
+                    f.mig_inherit_required(back_off);
+                });
+                self.store.set_home(*page, caller);
+                self.store
+                    .with_frame(home_now, *page, |f| f.demote_from_home());
+                grant = Some((*page, snapshot));
+            }
+        }
+        let service = self.cpu.cycles(
+            self.dsm.diff_apply_cycles_per_slot * slots as f64
+                + self.dsm.batch_flush_cycles * (diffs.len() - 1) as f64,
+        );
+        match grant {
+            // The grant reply carries the page snapshot so shipping the
+            // authoritative copy to the new home is charged on the wire.
+            Some((page, snapshot)) => {
+                RpcReply::with_data(encode_migration_grant(page, &snapshot), service)
+            }
+            None => RpcReply::ack(service),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dsm.diff_apply"
+    }
+}

@@ -1,0 +1,1266 @@
+//! Behavior tests of the DSM protocol engine and its default policies
+//! (moved from the former `protocol.rs` module tests when the
+//! engine/policy split landed).  They exercise only the public API, so
+//! they run as an integration test.
+
+use std::sync::Arc;
+
+use hyperion_dsm::{AdaptiveParams, DsmStore, DsmSystem, Locality, ProtocolKind, TransportConfig};
+use hyperion_model::{myrinet_200, NodeStats, ThreadClock, VTime};
+use hyperion_pm2::{Cluster, IsoAllocator, NodeId, SLOTS_PER_PAGE};
+
+struct Fixture {
+    cluster: Arc<Cluster>,
+    alloc: Arc<IsoAllocator>,
+    dsm: Arc<DsmSystem>,
+}
+
+fn fixture(nodes: usize, kind: ProtocolKind) -> Fixture {
+    fixture_with(
+        nodes,
+        kind,
+        &AdaptiveParams::default(),
+        &TransportConfig::default(),
+    )
+}
+
+fn fixture_with(
+    nodes: usize,
+    kind: ProtocolKind,
+    params: &AdaptiveParams,
+    transport: &TransportConfig,
+) -> Fixture {
+    let cluster = Cluster::new(myrinet_200().machine, nodes);
+    let alloc = Arc::new(IsoAllocator::new(nodes));
+    let store = DsmStore::new(Arc::clone(&alloc), nodes);
+    let dsm = DsmSystem::with_config(Arc::clone(&cluster), store, kind, params, transport);
+    Fixture {
+        cluster,
+        alloc,
+        dsm,
+    }
+}
+
+#[test]
+fn protocol_kind_names_match_paper() {
+    assert_eq!(ProtocolKind::JavaIc.name(), "java_ic");
+    assert_eq!(ProtocolKind::JavaPf.name(), "java_pf");
+    assert_eq!(ProtocolKind::JavaAd.name(), "java_ad");
+    assert_eq!(ProtocolKind::all().len(), 2);
+    assert_eq!(ProtocolKind::all_extended().len(), 3);
+    assert_eq!(format!("{}", ProtocolKind::JavaPf), "java_pf");
+    assert_eq!(format!("{}", ProtocolKind::JavaAd), "java_ad");
+}
+
+#[test]
+fn home_access_round_trips_values() {
+    for kind in ProtocolKind::all() {
+        let f = fixture(1, kind);
+        let addr = f.alloc.alloc(8, NodeId(0));
+        let mut clock = ThreadClock::new();
+        f.dsm.put(NodeId(0), &mut clock, addr.offset(3), 42);
+        assert_eq!(f.dsm.get(NodeId(0), &mut clock, addr.offset(3)), 42);
+        assert_eq!(f.dsm.get(NodeId(0), &mut clock, addr.offset(4)), 0);
+    }
+}
+
+#[test]
+fn ic_charges_checks_even_on_home_pages_pf_does_not() {
+    let ic = fixture(1, ProtocolKind::JavaIc);
+    let pf = fixture(1, ProtocolKind::JavaPf);
+    let a_ic = ic.alloc.alloc(4, NodeId(0));
+    let a_pf = pf.alloc.alloc(4, NodeId(0));
+
+    let mut c_ic = ThreadClock::new();
+    let mut c_pf = ThreadClock::new();
+    for i in 0..100 {
+        ic.dsm.put(NodeId(0), &mut c_ic, a_ic, i);
+        pf.dsm.put(NodeId(0), &mut c_pf, a_pf, i);
+    }
+    assert_eq!(ic.cluster.node_stats(NodeId(0)).locality_checks, 100);
+    assert_eq!(pf.cluster.node_stats(NodeId(0)).locality_checks, 0);
+    assert_eq!(pf.cluster.node_stats(NodeId(0)).page_faults, 0);
+    // The in-line check protocol is strictly slower on an all-local run.
+    assert!(c_ic.now() > c_pf.now());
+    assert_eq!(c_pf.now(), VTime::ZERO);
+}
+
+#[test]
+fn remote_read_fetches_page_and_sees_home_values() {
+    for kind in ProtocolKind::all_extended() {
+        let f = fixture(2, kind);
+        let addr = f.alloc.alloc(8, NodeId(1));
+        // The home node writes a value directly.
+        let mut home_clock = ThreadClock::new();
+        f.dsm.put(NodeId(1), &mut home_clock, addr, 1234);
+
+        // Node 0 reads it remotely.
+        let mut clock = ThreadClock::new();
+        let v = f.dsm.get(NodeId(0), &mut clock, addr);
+        assert_eq!(v, 1234, "{kind:?}");
+
+        let s0 = f.cluster.node_stats(NodeId(0));
+        assert_eq!(s0.page_loads, 1);
+        match kind {
+            ProtocolKind::JavaIc => {
+                assert_eq!(s0.page_faults, 0);
+                assert_eq!(s0.mprotect_calls, 0);
+                assert_eq!(s0.locality_checks, 1);
+            }
+            ProtocolKind::JavaPf => {
+                assert_eq!(s0.page_faults, 1);
+                assert_eq!(s0.mprotect_calls, 1);
+                assert_eq!(s0.locality_checks, 0);
+            }
+            // A fresh page starts in check mode: ic mechanics.
+            ProtocolKind::JavaAd => {
+                assert_eq!(s0.page_faults, 0);
+                assert_eq!(s0.mprotect_calls, 0);
+                assert_eq!(s0.locality_checks, 1);
+            }
+        }
+        // Second read hits the cache: no further page loads.
+        let before = clock.now();
+        let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+        assert_eq!(f.cluster.node_stats(NodeId(0)).page_loads, 1);
+        match kind {
+            ProtocolKind::JavaIc | ProtocolKind::JavaAd => assert!(clock.now() > before),
+            ProtocolKind::JavaPf => assert_eq!(clock.now(), before),
+        }
+    }
+}
+
+#[test]
+fn remote_miss_is_more_expensive_under_pf_but_hits_are_free() {
+    let ic = fixture(2, ProtocolKind::JavaIc);
+    let pf = fixture(2, ProtocolKind::JavaPf);
+    let a_ic = ic.alloc.alloc(4, NodeId(1));
+    let a_pf = pf.alloc.alloc(4, NodeId(1));
+
+    let mut c_ic = ThreadClock::new();
+    let mut c_pf = ThreadClock::new();
+    let _ = ic.dsm.get(NodeId(0), &mut c_ic, a_ic);
+    let _ = pf.dsm.get(NodeId(0), &mut c_pf, a_pf);
+    // The pf miss pays the fault and the mprotect on top of the fetch.
+    assert!(c_pf.now() > c_ic.now());
+    let machine = pf.cluster.machine();
+    assert!(c_pf.now() >= c_ic.now() + machine.dsm.page_fault);
+}
+
+#[test]
+fn prefetch_effect_neighbouring_object_on_same_page_is_free() {
+    let f = fixture(2, ProtocolKind::JavaIc);
+    // Two small objects allocated back to back share a page.
+    let a = f.alloc.alloc(4, NodeId(1));
+    let b = f.alloc.alloc(4, NodeId(1));
+    assert_eq!(a.page(), b.page());
+    let mut clock = ThreadClock::new();
+    let _ = f.dsm.get(NodeId(0), &mut clock, a);
+    let _ = f.dsm.get(NodeId(0), &mut clock, b);
+    assert_eq!(f.cluster.node_stats(NodeId(0)).page_loads, 1);
+}
+
+#[test]
+fn diff_flush_propagates_writes_to_home() {
+    for kind in ProtocolKind::all() {
+        let f = fixture(2, kind);
+        let addr = f.alloc.alloc(8, NodeId(1));
+        let mut w = ThreadClock::new();
+        f.dsm.put(NodeId(0), &mut w, addr.offset(2), 99);
+        // Before the flush the home still sees the old value.
+        let mut h = ThreadClock::new();
+        assert_eq!(f.dsm.get(NodeId(1), &mut h, addr.offset(2)), 0);
+        // Flush.
+        f.dsm.update_main_memory(NodeId(0), &mut w);
+        assert_eq!(f.dsm.get(NodeId(1), &mut h, addr.offset(2)), 99);
+        let s0 = f.cluster.node_stats(NodeId(0));
+        assert_eq!(s0.diff_messages, 1);
+        assert_eq!(s0.diff_slots_flushed, 1);
+        // A second flush with nothing dirty sends nothing.
+        f.dsm.update_main_memory(NodeId(0), &mut w);
+        assert_eq!(f.cluster.node_stats(NodeId(0)).diff_messages, 1);
+    }
+}
+
+#[test]
+fn invalidate_forces_refetch_and_charges_mprotect_only_under_pf() {
+    for kind in ProtocolKind::all_extended() {
+        let f = fixture(2, kind);
+        let addr = f.alloc.alloc(8, NodeId(1));
+        let mut clock = ThreadClock::new();
+        let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+        assert!(f.dsm.is_cached(NodeId(0), addr.page()));
+        assert_eq!(f.dsm.pages_cached_on(NodeId(0)), 1);
+
+        let mprotect_before = f.cluster.node_stats(NodeId(0)).mprotect_calls;
+        f.dsm.invalidate_cache(NodeId(0), &mut clock);
+        assert!(!f.dsm.is_cached(NodeId(0), addr.page()));
+        assert_eq!(f.dsm.pages_cached_on(NodeId(0)), 0);
+        let s = f.cluster.node_stats(NodeId(0));
+        assert_eq!(s.cache_invalidations, 1);
+        assert_eq!(s.pages_invalidated, 1);
+        match kind {
+            ProtocolKind::JavaIc => assert_eq!(s.mprotect_calls, mprotect_before),
+            ProtocolKind::JavaPf => assert_eq!(s.mprotect_calls, mprotect_before + 1),
+            // One sparse access leaves the page in check mode, so no
+            // re-protection is due.
+            ProtocolKind::JavaAd => assert_eq!(s.mprotect_calls, mprotect_before),
+        }
+
+        // The next access loads the page again.
+        let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+        assert_eq!(f.cluster.node_stats(NodeId(0)).page_loads, 2);
+    }
+}
+
+#[test]
+fn invalidate_flushes_pending_writes_first() {
+    let f = fixture(2, ProtocolKind::JavaPf);
+    let addr = f.alloc.alloc(8, NodeId(1));
+    let mut clock = ThreadClock::new();
+    f.dsm.put(NodeId(0), &mut clock, addr, 7);
+    f.dsm.invalidate_cache(NodeId(0), &mut clock);
+    // The home must have received the value even though the cache copy
+    // was dropped.
+    let mut h = ThreadClock::new();
+    assert_eq!(f.dsm.get(NodeId(1), &mut h, addr), 7);
+}
+
+#[test]
+fn invalidate_on_clean_cacheless_node_is_cheap() {
+    let f = fixture(2, ProtocolKind::JavaPf);
+    let _ = f.alloc.alloc(8, NodeId(1));
+    let mut clock = ThreadClock::new();
+    f.dsm.invalidate_cache(NodeId(0), &mut clock);
+    assert_eq!(clock.now(), VTime::ZERO);
+    assert_eq!(f.cluster.node_stats(NodeId(0)).mprotect_calls, 0);
+}
+
+#[test]
+fn explicit_load_into_cache_prefetches() {
+    for kind in ProtocolKind::all() {
+        let f = fixture(2, kind);
+        let addr = f.alloc.alloc(8, NodeId(1));
+        let mut clock = ThreadClock::new();
+        f.dsm.load_into_cache(NodeId(0), &mut clock, addr.page());
+        assert!(f.dsm.is_cached(NodeId(0), addr.page()));
+        let loads_before = f.cluster.node_stats(NodeId(0)).page_loads;
+        let faults_before = f.cluster.node_stats(NodeId(0)).page_faults;
+        let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+        let s = f.cluster.node_stats(NodeId(0));
+        assert_eq!(
+            s.page_loads, loads_before,
+            "{kind:?}: access after prefetch reloaded"
+        );
+        assert_eq!(s.page_faults, faults_before);
+        // Loading an already-cached or home page is a no-op.
+        f.dsm.load_into_cache(NodeId(0), &mut clock, addr.page());
+        f.dsm.load_into_cache(NodeId(1), &mut clock, addr.page());
+        assert_eq!(f.cluster.node_stats(NodeId(0)).page_loads, loads_before);
+        assert_eq!(f.cluster.node_stats(NodeId(1)).page_loads, 0);
+    }
+}
+
+#[test]
+fn concurrent_threads_on_one_node_fetch_a_page_once() {
+    let f = fixture(2, ProtocolKind::JavaIc);
+    let addr = f.alloc.alloc(8, NodeId(1));
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let dsm = &f.dsm;
+            s.spawn(move || {
+                let mut clock = ThreadClock::new();
+                assert_eq!(dsm.get(NodeId(0), &mut clock, addr), 0);
+            });
+        }
+    });
+    assert_eq!(f.cluster.node_stats(NodeId(0)).page_loads, 1);
+}
+
+#[test]
+fn locality_classification_tracks_protocol_state() {
+    let f = fixture(2, ProtocolKind::JavaPf);
+    let addr = f.alloc.alloc(8, NodeId(1));
+    let page = addr.page();
+    assert_eq!(f.dsm.locality(NodeId(1), page), Locality::Local);
+    assert_eq!(f.dsm.locality(NodeId(0), page), Locality::Remote);
+
+    let mut clock = ThreadClock::new();
+    let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+    assert_eq!(f.dsm.locality(NodeId(0), page), Locality::CachedRemote);
+
+    f.dsm.invalidate_cache(NodeId(0), &mut clock);
+    assert_eq!(f.dsm.locality(NodeId(0), page), Locality::Remote);
+    // The query itself never charges anything.
+    let before = clock.now();
+    let _ = f.dsm.locality(NodeId(0), page);
+    assert_eq!(clock.now(), before);
+    assert!(Locality::Local.is_resident());
+    assert!(Locality::CachedRemote.is_resident());
+    assert!(!Locality::Remote.is_resident());
+    assert_eq!(format!("{}", Locality::CachedRemote), "cached-remote");
+}
+
+#[test]
+fn bulk_read_checks_once_per_page_under_ic() {
+    let f = fixture(2, ProtocolKind::JavaIc);
+    let slots = SLOTS_PER_PAGE * 2 + 10; // spans three pages
+    let addr = f.alloc.alloc_page_aligned(slots, NodeId(1));
+    let mut clock = ThreadClock::new();
+    let mut out = vec![0u64; slots];
+    f.dsm.read_slice(NodeId(0), &mut clock, addr, &mut out);
+    let s = f.cluster.node_stats(NodeId(0));
+    assert_eq!(s.locality_checks, 3, "one in-line check per touched page");
+    assert_eq!(s.page_loads, 3);
+    assert_eq!(s.field_reads, slots as u64);
+    assert_eq!(s.bulk_reads, 1);
+
+    // The element-wise loop pays one check per element on a fresh system.
+    let g = fixture(2, ProtocolKind::JavaIc);
+    let addr2 = g.alloc.alloc_page_aligned(slots, NodeId(1));
+    let mut clock2 = ThreadClock::new();
+    for i in 0..slots {
+        let _ = g.dsm.get(NodeId(0), &mut clock2, addr2.offset(i as u64));
+    }
+    let t = g.cluster.node_stats(NodeId(0));
+    assert_eq!(t.locality_checks, slots as u64);
+    assert_eq!(t.page_loads, 3, "page traffic is identical either way");
+    assert!(clock.now() < clock2.now(), "bulk must be cheaper under ic");
+}
+
+#[test]
+fn bulk_write_round_trips_and_flushes_field_granularity_diffs() {
+    for kind in ProtocolKind::all() {
+        let f = fixture(2, kind);
+        let addr = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE + 4, NodeId(1));
+        let values: Vec<u64> = (0..SLOTS_PER_PAGE as u64 + 4).map(|v| v * 3 + 1).collect();
+        let mut clock = ThreadClock::new();
+        f.dsm.write_slice(NodeId(0), &mut clock, addr, &values);
+        let mut out = vec![0u64; values.len()];
+        f.dsm.read_slice(NodeId(0), &mut clock, addr, &mut out);
+        assert_eq!(out, values, "{kind:?}");
+
+        // Flush and verify the home sees every slot.
+        f.dsm.update_main_memory(NodeId(0), &mut clock);
+        let s = f.cluster.node_stats(NodeId(0));
+        assert_eq!(s.diff_slots_flushed, values.len() as u64);
+        assert_eq!(s.bulk_writes, 1);
+        let mut home_clock = ThreadClock::new();
+        let mut home = vec![0u64; values.len()];
+        f.dsm
+            .read_slice(NodeId(1), &mut home_clock, addr, &mut home);
+        assert_eq!(home, values);
+    }
+}
+
+#[test]
+fn bulk_ops_match_elementwise_results_exactly() {
+    for kind in ProtocolKind::all() {
+        let bulk = fixture(2, kind);
+        let elem = fixture(2, kind);
+        let n = 100usize;
+        let ab = bulk.alloc.alloc(n, NodeId(1));
+        let ae = elem.alloc.alloc(n, NodeId(1));
+        let values: Vec<u64> = (0..n as u64).map(|v| v.wrapping_mul(0x9E3779B9)).collect();
+
+        let mut cb = ThreadClock::new();
+        bulk.dsm.write_slice(NodeId(0), &mut cb, ab, &values);
+        let mut out_b = vec![0u64; n];
+        bulk.dsm.read_slice(NodeId(0), &mut cb, ab, &mut out_b);
+
+        let mut ce = ThreadClock::new();
+        for (i, v) in values.iter().enumerate() {
+            elem.dsm.put(NodeId(0), &mut ce, ae.offset(i as u64), *v);
+        }
+        let out_e: Vec<u64> = (0..n)
+            .map(|i| elem.dsm.get(NodeId(0), &mut ce, ae.offset(i as u64)))
+            .collect();
+
+        assert_eq!(out_b, out_e, "{kind:?}");
+        let sb = bulk.cluster.node_stats(NodeId(0));
+        let se = elem.cluster.node_stats(NodeId(0));
+        assert_eq!(sb.field_reads, se.field_reads);
+        assert_eq!(sb.field_writes, se.field_writes);
+        assert_eq!(sb.page_loads, se.page_loads);
+        assert!(sb.locality_checks <= se.locality_checks);
+    }
+}
+
+#[test]
+fn field_granularity_flush_does_not_clobber_concurrent_home_writes() {
+    // Node 0 writes slot 0, the home writes slot 1; after node 0 flushes,
+    // both values must survive at the home (no false sharing).
+    let f = fixture(2, ProtocolKind::JavaIc);
+    let addr = f.alloc.alloc(8, NodeId(1));
+    let mut c0 = ThreadClock::new();
+    let mut c1 = ThreadClock::new();
+    let _ = f.dsm.get(NodeId(0), &mut c0, addr); // cache the page
+    f.dsm.put(NodeId(1), &mut c1, addr.offset(1), 111); // home writes slot 1
+    f.dsm.put(NodeId(0), &mut c0, addr.offset(0), 222); // cached write slot 0
+    f.dsm.update_main_memory(NodeId(0), &mut c0);
+    assert_eq!(f.dsm.get(NodeId(1), &mut c1, addr.offset(0)), 222);
+    assert_eq!(f.dsm.get(NodeId(1), &mut c1, addr.offset(1)), 111);
+}
+
+// ----- java_ad -----------------------------------------------------------
+
+#[test]
+fn adaptive_home_accesses_are_free_like_pf() {
+    let f = fixture(1, ProtocolKind::JavaAd);
+    let addr = f.alloc.alloc(4, NodeId(0));
+    let mut clock = ThreadClock::new();
+    for i in 0..100 {
+        f.dsm.put(NodeId(0), &mut clock, addr, i);
+    }
+    assert_eq!(clock.now(), VTime::ZERO);
+    let s = f.cluster.node_stats(NodeId(0));
+    assert_eq!(s.locality_checks, 0);
+    assert_eq!(s.page_faults, 0);
+}
+
+#[test]
+fn adaptive_dense_page_switches_to_protection_and_back() {
+    let f = fixture(2, ProtocolKind::JavaAd);
+    let addr = f.alloc.alloc(8, NodeId(1));
+    let (hi, lo) = f.dsm.adaptive_thresholds();
+    assert!(hi > 1, "break-even must exceed one access");
+    assert!(lo < hi);
+
+    // Epoch 1: very dense re-access (checks all the way, ic mechanics).
+    // 4·hi accesses push the smoothed average to exactly hi in a single
+    // epoch (avg ← closed / 4 from a cold start).
+    let mut clock = ThreadClock::new();
+    for _ in 0..4 * hi {
+        let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+    }
+    let s = f.cluster.node_stats(NodeId(0));
+    assert_eq!(s.locality_checks, 4 * hi);
+    assert_eq!(s.page_faults, 0);
+    assert_eq!(s.protocol_switches, 0);
+
+    // The invalidation closes the epoch and flips the page: the cached
+    // region is re-protected, which costs one mprotect like java_pf.
+    f.dsm.invalidate_cache(NodeId(0), &mut clock);
+    let s = f.cluster.node_stats(NodeId(0));
+    assert_eq!(s.protocol_switches, 1);
+    assert_eq!(s.mprotect_calls, 1);
+
+    // Epoch 2: the page is protection-detected — one fault, then free.
+    let checks_before = s.locality_checks;
+    for _ in 0..hi {
+        let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+    }
+    let s = f.cluster.node_stats(NodeId(0));
+    assert_eq!(
+        s.locality_checks, checks_before,
+        "no checks in protect mode"
+    );
+    assert_eq!(s.page_faults, 1);
+
+    // Sparse epochs decay the smoothed average below the low-water mark
+    // and flip the page back — the hysteresis means it takes a few.
+    f.dsm.invalidate_cache(NodeId(0), &mut clock);
+    for _ in 0..8 {
+        if f.cluster.node_stats(NodeId(0)).protocol_switches == 2 {
+            break;
+        }
+        let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+        f.dsm.invalidate_cache(NodeId(0), &mut clock);
+    }
+    let s = f.cluster.node_stats(NodeId(0));
+    assert_eq!(s.protocol_switches, 2, "sparse access must flip it back");
+    let faults_before = s.page_faults;
+    let checks_before = s.locality_checks;
+    let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+    let s = f.cluster.node_stats(NodeId(0));
+    assert_eq!(s.page_faults, faults_before, "back to ic mechanics");
+    assert_eq!(s.locality_checks, checks_before + 1);
+}
+
+#[test]
+fn adaptive_bulk_read_batches_contiguous_pages_into_one_rpc() {
+    let ad = fixture(2, ProtocolKind::JavaAd);
+    let ic = fixture(2, ProtocolKind::JavaIc);
+    let slots = SLOTS_PER_PAGE * 3; // three whole pages
+    let a_ad = ad.alloc.alloc_page_aligned(slots, NodeId(1));
+    let a_ic = ic.alloc.alloc_page_aligned(slots, NodeId(1));
+
+    let mut c_ad = ThreadClock::new();
+    let mut c_ic = ThreadClock::new();
+    let mut out = vec![0u64; slots];
+    ad.dsm.read_slice(NodeId(0), &mut c_ad, a_ad, &mut out);
+    ic.dsm.read_slice(NodeId(0), &mut c_ic, a_ic, &mut out);
+
+    let s_ad = ad.cluster.node_stats(NodeId(0));
+    let s_ic = ic.cluster.node_stats(NodeId(0));
+    // Identical page traffic, but one RPC instead of three.
+    assert_eq!(s_ad.page_loads, 3);
+    assert_eq!(s_ic.page_loads, 3);
+    assert_eq!(s_ad.batched_fetches, 1);
+    assert_eq!(s_ad.pages_prefetched, 2);
+    assert_eq!(s_ad.rpc_requests, 1);
+    assert_eq!(s_ic.rpc_requests, 3);
+    assert!(
+        c_ad.now() < c_ic.now(),
+        "batching must beat three round trips: {} vs {}",
+        c_ad.now(),
+        c_ic.now()
+    );
+}
+
+#[test]
+fn adaptive_history_prefetch_needs_a_stable_streak() {
+    let f = fixture(2, ProtocolKind::JavaAd);
+    let slots = SLOTS_PER_PAGE * 2;
+    let addr = f.alloc.alloc_page_aligned(slots, NodeId(1));
+    let second = addr.offset(SLOTS_PER_PAGE as u64);
+    let mut clock = ThreadClock::new();
+
+    // Three epochs of scalar access to both pages: no prefetch yet (the
+    // streak is built from *completed* epochs), each page loads alone.
+    for _ in 0..3 {
+        let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+        let _ = f.dsm.get(NodeId(0), &mut clock, second);
+        f.dsm.invalidate_cache(NodeId(0), &mut clock);
+    }
+    let s = f.cluster.node_stats(NodeId(0));
+    assert_eq!(s.page_loads, 6);
+    assert_eq!(s.batched_fetches, 0);
+
+    // Fourth epoch: both pages now have a streak of 3, so the miss on
+    // the first page pulls the second one into the same fetch.
+    let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+    let s = f.cluster.node_stats(NodeId(0));
+    assert_eq!(s.batched_fetches, 1);
+    assert_eq!(s.pages_prefetched, 1);
+    assert_eq!(s.page_loads, 8);
+    // The prefetched neighbour is served without any further load.
+    let loads_before = s.page_loads;
+    let _ = f.dsm.get(NodeId(0), &mut clock, second);
+    assert_eq!(f.cluster.node_stats(NodeId(0)).page_loads, loads_before);
+}
+
+#[test]
+fn adaptive_batch_never_crosses_a_home_boundary() {
+    let f = fixture(3, ProtocolKind::JavaAd);
+    // Page on node 1 followed in the address space by a page on node 2.
+    let a = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE, NodeId(1));
+    let b = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE, NodeId(2));
+    assert_eq!(b.page().index(), a.page().index() + 1);
+
+    let mut clock = ThreadClock::new();
+    // Build a streak on both pages.
+    for _ in 0..3 {
+        let _ = f.dsm.get(NodeId(0), &mut clock, a);
+        let _ = f.dsm.get(NodeId(0), &mut clock, b);
+        f.dsm.invalidate_cache(NodeId(0), &mut clock);
+    }
+    let _ = f.dsm.get(NodeId(0), &mut clock, a);
+    // The neighbour is homed elsewhere: it must not ride along.
+    let s = f.cluster.node_stats(NodeId(0));
+    assert_eq!(s.batched_fetches, 0);
+    assert_eq!(s.pages_prefetched, 0);
+}
+
+#[test]
+fn adaptive_batch_pays_mprotect_for_protect_mode_riders() {
+    let f = fixture(2, ProtocolKind::JavaAd);
+    let slots = SLOTS_PER_PAGE * 2;
+    let addr = f.alloc.alloc_page_aligned(slots, NodeId(1));
+    let second = addr.offset(SLOTS_PER_PAGE as u64);
+    let (hi, _) = f.dsm.adaptive_thresholds();
+    let mut clock = ThreadClock::new();
+
+    // Three epochs: the first page stays sparse (check mode), the second
+    // is dense enough to flip to protection while building its streak.
+    for _ in 0..3 {
+        let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+        for _ in 0..4 * hi {
+            let _ = f.dsm.get(NodeId(0), &mut clock, second);
+        }
+        f.dsm.invalidate_cache(NodeId(0), &mut clock);
+    }
+    let before = f.cluster.node_stats(NodeId(0));
+    assert!(before.protocol_switches >= 1);
+
+    // Fourth epoch: the check-mode miss on the first page prefetches the
+    // protection-detected neighbour — opening it costs one mprotect even
+    // though the demanded page itself needs none.
+    let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+    let s = f.cluster.node_stats(NodeId(0));
+    assert_eq!(s.batched_fetches, before.batched_fetches + 1);
+    assert_eq!(
+        s.pages_prefetch_speculative,
+        before.pages_prefetch_speculative + 1
+    );
+    assert_eq!(s.mprotect_calls, before.mprotect_calls + 1);
+    // The opened rider is then accessed for free, like any pf-resident
+    // page.
+    let t = clock.now();
+    let _ = f.dsm.get(NodeId(0), &mut clock, second);
+    assert_eq!(clock.now(), t);
+    assert_eq!(f.cluster.node_stats(NodeId(0)).page_loads, s.page_loads);
+}
+
+#[test]
+fn adaptive_custom_params_shift_the_thresholds() {
+    let cluster = Cluster::new(myrinet_200().machine, 2);
+    let alloc = Arc::new(IsoAllocator::new(2));
+    let store = DsmStore::new(Arc::clone(&alloc), 2);
+    let tuned = AdaptiveParams {
+        hi_multiple: 2.0,
+        lo_multiple: 0.25,
+        max_batch_pages: 1,
+        min_prefetch_streak: 2,
+        online_thresholds: false,
+    };
+    let dsm = DsmSystem::with_params(cluster, store, ProtocolKind::JavaAd, &tuned);
+    let n_star = myrinet_200().machine.adaptive_break_even();
+    let (hi, lo) = dsm.adaptive_thresholds();
+    assert_eq!(hi, (n_star as f64 * 2.0).ceil() as u64);
+    assert_eq!(lo, (n_star as f64 * 0.25).floor() as u64);
+    assert!(lo < hi);
+    // Default parameters sit at the break-even itself.
+    let defaults = AdaptiveParams::default();
+    assert_eq!(defaults.hi_multiple, 1.0);
+    assert!(defaults.lo_multiple < defaults.hi_multiple);
+}
+
+// ----- split-transaction transport --------------------------------------
+
+#[test]
+fn overlapped_prefetch_hides_latency_behind_compute() {
+    let overlapped = TransportConfig {
+        overlapped_fetches: true,
+        ..TransportConfig::default()
+    };
+    for kind in ProtocolKind::all_extended() {
+        let blocking = fixture(2, kind);
+        let split = fixture_with(2, kind, &AdaptiveParams::default(), &overlapped);
+        let a_b = blocking.alloc.alloc(8, NodeId(1));
+        let a_s = split.alloc.alloc(8, NodeId(1));
+        blocking
+            .dsm
+            .put(NodeId(1), &mut ThreadClock::new(), a_b, 11);
+        split.dsm.put(NodeId(1), &mut ThreadClock::new(), a_s, 11);
+
+        // Prefetch, then compute for a while, then use the value.
+        let compute = VTime::from_us(20);
+        let mut c_b = ThreadClock::new();
+        blocking
+            .dsm
+            .load_into_cache(NodeId(0), &mut c_b, a_b.page());
+        c_b.advance(compute);
+        assert_eq!(blocking.dsm.get(NodeId(0), &mut c_b, a_b), 11);
+
+        let mut c_s = ThreadClock::new();
+        split.dsm.load_into_cache(NodeId(0), &mut c_s, a_s.page());
+        c_s.advance(compute);
+        assert_eq!(split.dsm.get(NodeId(0), &mut c_s, a_s), 11, "{kind:?}");
+
+        assert!(
+            c_s.now() < c_b.now(),
+            "{kind:?}: overlap must hide the compute window: {} vs {}",
+            c_s.now(),
+            c_b.now()
+        );
+        // The blocking run stalls at the prefetch; the split run hides
+        // exactly the compute window inside the round trip.
+        assert!(c_b.now() >= c_s.now() + compute - VTime::from_ns(1));
+        let s = split.cluster.node_stats(NodeId(0));
+        assert!(s.fetch_overlap_cycles_hidden > 0, "{kind:?}");
+        assert_eq!(
+            blocking
+                .cluster
+                .node_stats(NodeId(0))
+                .fetch_overlap_cycles_hidden,
+            0
+        );
+        // Identical protocol traffic either way.
+        assert_eq!(
+            s.page_loads,
+            blocking.cluster.node_stats(NodeId(0)).page_loads
+        );
+    }
+}
+
+#[test]
+fn overlapped_ticket_completes_exactly_once_and_clears_on_invalidate() {
+    let overlapped = TransportConfig {
+        overlapped_fetches: true,
+        ..TransportConfig::default()
+    };
+    let f = fixture_with(
+        2,
+        ProtocolKind::JavaPf,
+        &AdaptiveParams::default(),
+        &overlapped,
+    );
+    let addr = f.alloc.alloc(8, NodeId(1));
+    let mut clock = ThreadClock::new();
+
+    // Prefetch and never use: the invalidation abandons the ticket and
+    // no hidden cycles are recorded.
+    f.dsm.load_into_cache(NodeId(0), &mut clock, addr.page());
+    let frame = f.dsm.store().frame(NodeId(0), addr.page());
+    assert!(frame.has_inflight());
+    f.dsm.invalidate_cache(NodeId(0), &mut clock);
+    assert!(!frame.has_inflight());
+    assert_eq!(
+        f.cluster.node_stats(NodeId(0)).fetch_overlap_cycles_hidden,
+        0
+    );
+
+    // Prefetch and use twice: the ticket is consumed exactly once (the
+    // second access is an ordinary cached hit).
+    f.dsm.load_into_cache(NodeId(0), &mut clock, addr.page());
+    clock.advance(VTime::from_us(5));
+    let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+    let hidden = f.cluster.node_stats(NodeId(0)).fetch_overlap_cycles_hidden;
+    assert!(hidden > 0);
+    let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+    assert_eq!(
+        f.cluster.node_stats(NodeId(0)).fetch_overlap_cycles_hidden,
+        hidden
+    );
+}
+
+#[test]
+fn batched_flush_coalesces_contiguous_same_home_dirty_pages() {
+    let batched = fixture(2, ProtocolKind::JavaIc);
+    let unbatched = fixture_with(
+        2,
+        ProtocolKind::JavaIc,
+        &AdaptiveParams::default(),
+        &TransportConfig::blocking(),
+    );
+    let slots = SLOTS_PER_PAGE * 3;
+    let values: Vec<u64> = (0..slots as u64).map(|v| v * 7 + 1).collect();
+
+    let run = |f: &Fixture| -> (VTime, u64, u64, u64, u64) {
+        let addr = f.alloc.alloc_page_aligned(slots, NodeId(1));
+        let mut clock = ThreadClock::new();
+        f.dsm.write_slice(NodeId(0), &mut clock, addr, &values);
+        f.dsm.update_main_memory(NodeId(0), &mut clock);
+        // The home sees every slot either way.
+        let mut out = vec![0u64; slots];
+        f.dsm
+            .read_slice(NodeId(1), &mut ThreadClock::new(), addr, &mut out);
+        assert_eq!(out, values);
+        let s = f.cluster.node_stats(NodeId(0));
+        (
+            clock.now(),
+            s.diff_messages,
+            s.batched_flushes,
+            s.diff_slots_flushed,
+            s.diff_bytes,
+        )
+    };
+
+    let (t_b, msgs_b, batches_b, slots_b, bytes_b) = run(&batched);
+    let (t_u, msgs_u, batches_u, slots_u, bytes_u) = run(&unbatched);
+    assert_eq!(msgs_b, 1, "three contiguous pages share one diff RPC");
+    assert_eq!(batches_b, 1);
+    assert_eq!(msgs_u, 3);
+    assert_eq!(batches_u, 0);
+    assert_eq!(slots_b, slots_u);
+    assert!(bytes_b > 0 && bytes_u > 0);
+    assert!(
+        t_b < t_u,
+        "one RPC must beat three round trips: {t_b} vs {t_u}"
+    );
+}
+
+#[test]
+fn flush_batches_never_cross_home_boundaries() {
+    let f = fixture(3, ProtocolKind::JavaIc);
+    let a = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE, NodeId(1));
+    let b = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE, NodeId(2));
+    assert_eq!(b.page().index(), a.page().index() + 1);
+    let mut clock = ThreadClock::new();
+    f.dsm.put(NodeId(0), &mut clock, a, 1);
+    f.dsm.put(NodeId(0), &mut clock, b, 2);
+    f.dsm.update_main_memory(NodeId(0), &mut clock);
+    let s = f.cluster.node_stats(NodeId(0));
+    assert_eq!(s.diff_messages, 2, "different homes, different RPCs");
+    assert_eq!(s.batched_flushes, 0);
+}
+
+// ----- home migration ----------------------------------------------------
+
+#[test]
+fn home_migrates_to_the_dominant_writer() {
+    let transport = TransportConfig {
+        home_migration: true,
+        migration_streak: 3,
+        ..TransportConfig::default()
+    };
+    let f = fixture_with(
+        2,
+        ProtocolKind::JavaPf,
+        &AdaptiveParams::default(),
+        &transport,
+    );
+    let addr = f.alloc.alloc(8, NodeId(0));
+    let page = addr.page();
+    assert_eq!(f.dsm.locality(NodeId(0), page), Locality::Local);
+
+    // Node 1 dominates the page's diff traffic: write + release, thrice.
+    let mut w = ThreadClock::new();
+    for i in 0..3u64 {
+        f.dsm.put(NodeId(1), &mut w, addr, 100 + i);
+        f.dsm.update_main_memory(NodeId(1), &mut w);
+    }
+    let s1 = f.cluster.node_stats(NodeId(1));
+    assert_eq!(s1.diff_messages, 3);
+    assert_eq!(s1.pages_migrated, 1, "third consecutive diff wins the home");
+    assert_eq!(f.dsm.locality(NodeId(1), page), Locality::Local);
+    assert_eq!(f.dsm.store().home_of(page), NodeId(1));
+    assert_eq!(f.dsm.store().migrated_pages(), 1);
+
+    // The new home's writes are plain local stores: no further diffs.
+    f.dsm.put(NodeId(1), &mut w, addr, 999);
+    f.dsm.update_main_memory(NodeId(1), &mut w);
+    assert_eq!(f.cluster.node_stats(NodeId(1)).diff_messages, 3);
+
+    // The old home still reads the value it held, and re-fetches the
+    // authoritative copy from the new home after its next acquire.
+    let mut r = ThreadClock::new();
+    f.dsm.invalidate_cache(NodeId(0), &mut r);
+    assert_eq!(f.dsm.get(NodeId(0), &mut r, addr), 999);
+    assert_eq!(f.dsm.locality(NodeId(0), page), Locality::CachedRemote);
+
+    // And the old home's writes now flush towards the new home.
+    f.dsm.put(NodeId(0), &mut r, addr.offset(1), 7);
+    f.dsm.update_main_memory(NodeId(0), &mut r);
+    assert_eq!(f.dsm.get(NodeId(1), &mut w, addr.offset(1)), 7);
+}
+
+#[test]
+fn alternating_writers_never_migrate_the_home() {
+    let transport = TransportConfig {
+        home_migration: true,
+        migration_streak: 3,
+        ..TransportConfig::default()
+    };
+    let f = fixture_with(
+        3,
+        ProtocolKind::JavaIc,
+        &AdaptiveParams::default(),
+        &transport,
+    );
+    let addr = f.alloc.alloc(8, NodeId(0));
+    let mut c1 = ThreadClock::new();
+    let mut c2 = ThreadClock::new();
+    for i in 0..10u64 {
+        f.dsm.put(NodeId(1), &mut c1, addr, i);
+        f.dsm.update_main_memory(NodeId(1), &mut c1);
+        f.dsm.put(NodeId(2), &mut c2, addr.offset(1), i);
+        f.dsm.update_main_memory(NodeId(2), &mut c2);
+    }
+    // The Boyer–Moore vote never settles on either writer.
+    assert_eq!(f.dsm.store().home_of(addr.page()), NodeId(0));
+    assert_eq!(f.dsm.store().migrated_pages(), 0);
+    let total = f.cluster.total_stats();
+    assert_eq!(total.pages_migrated, 0);
+}
+
+#[test]
+fn repeated_migrations_back_off_geometrically() {
+    let transport = TransportConfig {
+        home_migration: true,
+        migration_streak: 2,
+        ..TransportConfig::default()
+    };
+    let f = fixture_with(
+        2,
+        ProtocolKind::JavaIc,
+        &AdaptiveParams::default(),
+        &transport,
+    );
+    let addr = f.alloc.alloc(8, NodeId(0));
+    let page = addr.page();
+    let burst = |node: NodeId, n: u64| {
+        let mut c = ThreadClock::new();
+        for i in 0..n {
+            f.dsm.put(node, &mut c, addr, i);
+            f.dsm.update_main_memory(node, &mut c);
+            f.dsm.invalidate_cache(node, &mut c);
+        }
+    };
+    burst(NodeId(1), 2);
+    assert_eq!(f.dsm.store().home_of(page), NodeId(1));
+    // Moving it back now requires a doubled streak from node 0.
+    burst(NodeId(0), 2);
+    assert_eq!(f.dsm.store().home_of(page), NodeId(1), "bar doubled to 4");
+    burst(NodeId(0), 2);
+    assert_eq!(f.dsm.store().home_of(page), NodeId(0));
+}
+
+// ----- online-adaptive thresholds ---------------------------------------
+
+#[test]
+fn online_thresholds_widen_when_a_workload_flaps() {
+    let params = AdaptiveParams {
+        online_thresholds: true,
+        ..AdaptiveParams::default()
+    };
+    let online = fixture_with(
+        2,
+        ProtocolKind::JavaAd,
+        &params,
+        &TransportConfig::default(),
+    );
+    let f_static = fixture(2, ProtocolKind::JavaAd);
+    let (hi0, lo0) = online.dsm.adaptive_thresholds();
+    assert_eq!(online.dsm.adaptive_thresholds_on(NodeId(0)), (hi0, lo0));
+
+    // A mispredicting workload: one dense epoch followed by four idle
+    // epochs, repeatedly.  Under the static thresholds every dense epoch
+    // flips the page to protection and the idle decay flips it back —
+    // sustained flapping that pays a switch plus an mprotect/fault pair
+    // per cycle for re-access that never materialises.
+    let run = |f: &Fixture| {
+        let addr = f.alloc.alloc(8, NodeId(1));
+        let mut clock = ThreadClock::new();
+        for cycle in 0..8 {
+            for _ in 0..4 * hi0 {
+                let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+            }
+            f.dsm.invalidate_cache(NodeId(0), &mut clock);
+            for _ in 0..4 {
+                f.dsm.invalidate_cache(NodeId(0), &mut clock);
+            }
+            let _ = cycle;
+        }
+        f.cluster.node_stats(NodeId(0)).protocol_switches
+    };
+    let switches_static = run(&f_static);
+    let switches_online = run(&online);
+
+    // The node tightened its own hysteresis: the band is wider than the
+    // configured one...
+    let (hi_now, lo_now) = online.dsm.adaptive_thresholds_on(NodeId(0));
+    assert!(
+        hi_now > hi0 && lo_now <= lo0,
+        "band must widen: ({hi_now}, {lo_now}) vs ({hi0}, {lo0})"
+    );
+    // ...and the flapping stopped, while the static run kept switching.
+    assert!(
+        switches_online < switches_static,
+        "online tuning must cut mode churn: {switches_online} vs {switches_static}"
+    );
+    // The configured thresholds are untouched.
+    assert_eq!(online.dsm.adaptive_thresholds(), (hi0, lo0));
+}
+
+// ----- prefetch directory ------------------------------------------------
+
+fn directory_fixture(nodes: usize, kind: ProtocolKind) -> Fixture {
+    fixture_with(
+        nodes,
+        kind,
+        &AdaptiveParams::default(),
+        &TransportConfig::directory(),
+    )
+}
+
+#[test]
+fn neighbour_fetch_piggybacks_a_hint_that_becomes_a_ticket() {
+    let f = directory_fixture(3, ProtocolKind::JavaPf);
+    let addr = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE * 2, NodeId(2));
+    let second = addr.offset(SLOTS_PER_PAGE as u64);
+    f.dsm.put(NodeId(2), &mut ThreadClock::new(), second, 77);
+
+    // Node 0 touches both pages: the home's directory now knows that a
+    // fetch of the first page is followed by the second.
+    let mut c0 = ThreadClock::new();
+    let _ = f.dsm.get(NodeId(0), &mut c0, addr);
+    let _ = f.dsm.get(NodeId(0), &mut c0, second);
+
+    // Node 1 demand-misses the first page only: the reply carries the
+    // "your neighbour also fetched the next page" hint, which node 1
+    // converts into an in-flight split transaction.
+    let mut c1 = ThreadClock::new();
+    let _ = f.dsm.get(NodeId(1), &mut c1, addr);
+    let s1 = f.cluster.node_stats(NodeId(1));
+    assert!(f.cluster.node_stats(NodeId(2)).hints_sent >= 1);
+    assert_eq!(s1.hinted_fetches_issued, 1);
+    assert_eq!(s1.page_loads, 2, "demand fetch + hinted fetch");
+    let frame = f.dsm.store().frame(NodeId(1), second.page());
+    assert!(frame.has_inflight());
+    assert!(frame.inflight_is_hinted());
+
+    // The later demand miss completes the in-flight RPC instead of
+    // issuing one: no new page load, ticket consumed, value correct.
+    assert_eq!(f.dsm.get(NodeId(1), &mut c1, second), 77);
+    let s1 = f.cluster.node_stats(NodeId(1));
+    assert_eq!(s1.page_loads, 2);
+    assert_eq!(s1.hinted_fetches_completed, 1);
+    assert!(!frame.has_inflight());
+}
+
+#[test]
+fn stride_run_extends_hints_across_the_window() {
+    let f = directory_fixture(2, ProtocolKind::JavaIc);
+    let addr = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE * 4, NodeId(1));
+    let page = |k: u64| addr.offset(SLOTS_PER_PAGE as u64 * k);
+
+    let mut clock = ThreadClock::new();
+    let _ = f.dsm.get(NodeId(0), &mut clock, page(0));
+    // The second fetch extends a stride run: the home hints the rest of
+    // the same-home span and node 0 puts both remaining pages in flight.
+    let _ = f.dsm.get(NodeId(0), &mut clock, page(1));
+    let s = f.cluster.node_stats(NodeId(0));
+    assert_eq!(s.hinted_fetches_issued, 2);
+    assert_eq!(s.page_loads, 4);
+    assert_eq!(f.cluster.node_stats(NodeId(1)).hints_sent, 2);
+    // Scanning on completes the tickets without further loads.
+    let _ = f.dsm.get(NodeId(0), &mut clock, page(2));
+    let _ = f.dsm.get(NodeId(0), &mut clock, page(3));
+    let s = f.cluster.node_stats(NodeId(0));
+    assert_eq!(s.page_loads, 4);
+    assert_eq!(s.hinted_fetches_completed, 2);
+}
+
+#[test]
+fn learned_successor_pairs_hint_non_contiguous_pages() {
+    let f = directory_fixture(2, ProtocolKind::JavaIc);
+    let addr = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE * 3, NodeId(1));
+    let third = addr.offset(SLOTS_PER_PAGE as u64 * 2);
+    let mut clock = ThreadClock::new();
+
+    // One epoch of the non-contiguous pattern (first page, then the
+    // third — the middle page is never touched) teaches the home the
+    // successor pair.
+    let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+    let _ = f.dsm.get(NodeId(0), &mut clock, third);
+    f.dsm.invalidate_cache(NodeId(0), &mut clock);
+    let before = f.cluster.node_stats(NodeId(0));
+    assert_eq!(before.hinted_fetches_issued, 0, "no hints while learning");
+
+    // Second epoch: the miss on the first page is answered with a hint
+    // for its learned (non-contiguous) successor, which the node puts
+    // in flight; the later demand miss completes that RPC.
+    let _ = f.dsm.get(NodeId(0), &mut clock, addr);
+    let s = f.cluster.node_stats(NodeId(0));
+    assert_eq!(s.hinted_fetches_issued, before.hinted_fetches_issued + 1);
+    let loads_before = s.page_loads;
+    let _ = f.dsm.get(NodeId(0), &mut clock, third);
+    let s = f.cluster.node_stats(NodeId(0));
+    assert_eq!(s.page_loads, loads_before, "hinted page served in flight");
+    assert_eq!(s.hinted_fetches_completed, 1);
+    // The untouched middle page was never speculated on.
+    assert!(!f
+        .dsm
+        .is_cached(NodeId(0), addr.offset(SLOTS_PER_PAGE as u64).page()));
+}
+
+#[test]
+fn unused_hints_are_counted_as_waste_at_invalidation() {
+    let f = directory_fixture(3, ProtocolKind::JavaPf);
+    let addr = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE * 2, NodeId(2));
+    let second = addr.offset(SLOTS_PER_PAGE as u64);
+
+    let mut c0 = ThreadClock::new();
+    let _ = f.dsm.get(NodeId(0), &mut c0, addr);
+    let _ = f.dsm.get(NodeId(0), &mut c0, second);
+    let mut c1 = ThreadClock::new();
+    let _ = f.dsm.get(NodeId(1), &mut c1, addr);
+    assert_eq!(f.cluster.node_stats(NodeId(1)).hinted_fetches_issued, 1);
+
+    // Node 1 never touches the hinted page: the acquire-side
+    // invalidation books the pending ticket as waste.
+    f.dsm.invalidate_cache(NodeId(1), &mut c1);
+    let s1 = f.cluster.node_stats(NodeId(1));
+    assert_eq!(s1.hinted_fetches_wasted, 1);
+    assert_eq!(s1.hinted_fetches_completed, 0);
+    // With no accuracy history the first waste trips the throttle, so
+    // the abandoned ticket is *not* re-armed.
+    assert_eq!(s1.hinted_fetches_reissued, 0);
+}
+
+#[test]
+fn abandoned_hint_tickets_are_reissued_at_the_next_acquire() {
+    let f = directory_fixture(3, ProtocolKind::JavaPf);
+    let addr = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE * 2, NodeId(2));
+    let second = addr.offset(SLOTS_PER_PAGE as u64);
+    f.dsm.put(NodeId(2), &mut ThreadClock::new(), second, 77);
+
+    // Teach the home's directory the two-page pattern.
+    let mut c0 = ThreadClock::new();
+    let _ = f.dsm.get(NodeId(0), &mut c0, addr);
+    let _ = f.dsm.get(NodeId(0), &mut c0, second);
+
+    // Give node 1 a healthy accuracy history so the single waste booked
+    // below does not trip the conversion throttle.
+    NodeStats::bump_by(&f.cluster.node(NodeId(1)).stats.hinted_fetches_issued, 64);
+
+    // Node 1 demand-misses the first page and converts the piggybacked
+    // hint into an in-flight ticket for the second.
+    let mut c1 = ThreadClock::new();
+    let _ = f.dsm.get(NodeId(1), &mut c1, addr);
+    let frame = f.dsm.store().frame(NodeId(1), second.page());
+    assert!(frame.inflight_is_hinted());
+    let loads_before = f.cluster.node_stats(NodeId(1)).page_loads;
+
+    // The acquire invalidates before the predicted miss arrives: the
+    // ticket is booked as waste *and* re-armed on the spot — the node was
+    // holding an overlapped fetch for this page, so the next epoch very
+    // likely misses on it again.
+    f.dsm.invalidate_cache(NodeId(1), &mut c1);
+    let s1 = f.cluster.node_stats(NodeId(1));
+    assert_eq!(s1.hinted_fetches_wasted, 1);
+    assert_eq!(s1.hinted_fetches_reissued, 1);
+    assert_eq!(s1.page_loads, loads_before + 1, "one re-issued fetch");
+    assert!(frame.inflight_is_hinted(), "ticket re-armed");
+
+    // The demand miss that does come completes the re-issued RPC instead
+    // of paying a fresh round trip, and observes the right value.
+    assert_eq!(f.dsm.get(NodeId(1), &mut c1, second), 77);
+    let s1 = f.cluster.node_stats(NodeId(1));
+    assert_eq!(s1.page_loads, loads_before + 1);
+    assert_eq!(s1.hinted_fetches_completed, 1);
+    assert!(!frame.has_inflight());
+}
+
+#[test]
+fn hint_conversion_is_throttled_by_measured_waste() {
+    let f = directory_fixture(3, ProtocolKind::JavaPf);
+    let addr = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE * 2, NodeId(2));
+    let second = addr.offset(SLOTS_PER_PAGE as u64);
+    let mut c0 = ThreadClock::new();
+    let mut c1 = ThreadClock::new();
+
+    // Round after round, node 1 receives the hint, wastes it, and
+    // invalidates.  The measured-waste throttle must stop the node from
+    // converting hints long before the rounds run out.
+    for _ in 0..12 {
+        let _ = f.dsm.get(NodeId(0), &mut c0, addr);
+        let _ = f.dsm.get(NodeId(0), &mut c0, second);
+        f.dsm.invalidate_cache(NodeId(0), &mut c0);
+        let _ = f.dsm.get(NodeId(1), &mut c1, addr);
+        f.dsm.invalidate_cache(NodeId(1), &mut c1);
+    }
+    let s1 = f.cluster.node_stats(NodeId(1));
+    assert!(
+        s1.hinted_fetches_issued <= 2,
+        "throttle must stop hint conversion: issued {}",
+        s1.hinted_fetches_issued
+    );
+    assert_eq!(s1.hinted_fetches_wasted, s1.hinted_fetches_issued);
+}
+
+#[test]
+fn hints_require_the_directory_transport() {
+    // Default transport: the same access pattern produces no hints.
+    let f = fixture(3, ProtocolKind::JavaPf);
+    let addr = f.alloc.alloc_page_aligned(SLOTS_PER_PAGE * 2, NodeId(2));
+    let second = addr.offset(SLOTS_PER_PAGE as u64);
+    let mut c0 = ThreadClock::new();
+    let _ = f.dsm.get(NodeId(0), &mut c0, addr);
+    let _ = f.dsm.get(NodeId(0), &mut c0, second);
+    let mut c1 = ThreadClock::new();
+    let _ = f.dsm.get(NodeId(1), &mut c1, addr);
+    let total = f.cluster.total_stats();
+    assert_eq!(total.hints_sent, 0);
+    assert_eq!(total.hinted_fetches_issued, 0);
+    assert_eq!(f.cluster.node_stats(NodeId(1)).page_loads, 1);
+}
+
+#[test]
+fn hinted_fetches_never_change_observed_values() {
+    // The same scan, with and without the directory: identical values.
+    let run = |transport: &TransportConfig| -> Vec<u64> {
+        let f = fixture_with(
+            2,
+            ProtocolKind::JavaIc,
+            &AdaptiveParams::default(),
+            transport,
+        );
+        let slots = SLOTS_PER_PAGE * 4;
+        let addr = f.alloc.alloc_page_aligned(slots, NodeId(1));
+        let mut home = ThreadClock::new();
+        for k in 0..slots as u64 {
+            f.dsm.put(NodeId(1), &mut home, addr.offset(k), k * 3 + 1);
+        }
+        let mut clock = ThreadClock::new();
+        (0..slots as u64)
+            .map(|k| f.dsm.get(NodeId(0), &mut clock, addr.offset(k)))
+            .collect()
+    };
+    assert_eq!(
+        run(&TransportConfig::default()),
+        run(&TransportConfig::directory())
+    );
+}
+
+// ----- deferred release flushing -----------------------------------------
+
+#[test]
+fn deferred_flush_returns_a_watermark_and_applies_the_diffs() {
+    let f = directory_fixture(2, ProtocolKind::JavaIc);
+    let addr = f.alloc.alloc(8, NodeId(1));
+    let mut w = ThreadClock::new();
+    f.dsm.put(NodeId(0), &mut w, addr, 41);
+
+    let d = f
+        .dsm
+        .update_main_memory_deferred(NodeId(0), &mut w)
+        .expect("dirty pages under a deferred transport");
+    // Only the issue path was charged; the completion lies ahead.
+    assert_eq!(d.issue, w.now());
+    assert!(d.completion > w.now());
+    let s0 = f.cluster.node_stats(NodeId(0));
+    assert_eq!(s0.deferred_flushes, 1);
+    assert_eq!(s0.diff_messages, 1);
+    // The home already holds the value (the wire carried it; only the
+    // latency accounting is deferred).
+    let mut h = ThreadClock::new();
+    assert_eq!(f.dsm.get(NodeId(1), &mut h, addr), 41);
+    // Nothing dirty: a second deferred flush is a no-op.
+    assert!(f
+        .dsm
+        .update_main_memory_deferred(NodeId(0), &mut w)
+        .is_none());
+}
+
+#[test]
+fn deferred_flush_falls_back_to_blocking_without_the_transport() {
+    let f = fixture(2, ProtocolKind::JavaIc);
+    let addr = f.alloc.alloc(8, NodeId(1));
+    let mut w = ThreadClock::new();
+    f.dsm.put(NodeId(0), &mut w, addr, 9);
+    let before = w.now();
+    assert!(f
+        .dsm
+        .update_main_memory_deferred(NodeId(0), &mut w)
+        .is_none());
+    assert!(w.now() > before, "blocking fallback charges the round trip");
+    assert_eq!(f.cluster.node_stats(NodeId(0)).deferred_flushes, 0);
+    let mut h = ThreadClock::new();
+    assert_eq!(f.dsm.get(NodeId(1), &mut h, addr), 9);
+}
+
+#[test]
+fn deferred_flush_issue_path_is_cheaper_than_blocking() {
+    let blocking = fixture(2, ProtocolKind::JavaIc);
+    let deferred = directory_fixture(2, ProtocolKind::JavaIc);
+    let run = |f: &Fixture, defer: bool| -> VTime {
+        let addr = f.alloc.alloc(8, NodeId(1));
+        let mut w = ThreadClock::new();
+        f.dsm.put(NodeId(0), &mut w, addr, 1);
+        if defer {
+            let _ = f.dsm.update_main_memory_deferred(NodeId(0), &mut w);
+        } else {
+            f.dsm.update_main_memory(NodeId(0), &mut w);
+        }
+        w.now()
+    };
+    let t_blocking = run(&blocking, false);
+    let t_deferred = run(&deferred, true);
+    assert!(
+        t_deferred < t_blocking,
+        "deferred release must not stall: {t_deferred} vs {t_blocking}"
+    );
+}

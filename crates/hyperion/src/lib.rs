@@ -79,7 +79,10 @@ pub use runtime::{
 pub use thread::{HThreadHandle, LoadBalancer};
 
 // Re-export the pieces of the lower layers that appear in this crate's API.
-pub use hyperion_dsm::{AdaptiveParams, DeferredFlush, Locality, ProtocolKind, TransportConfig};
+pub use hyperion_dsm::policy;
+pub use hyperion_dsm::{
+    AdaptiveParams, DeferredFlush, Locality, PolicyError, PolicySpec, ProtocolKind, TransportConfig,
+};
 pub use hyperion_model::{
     myrinet_200, sci_450, ClusterSpec, MachineModel, Op, OpCounts, StatsSnapshot, VTime,
     WireServiceSnapshot, WorkEstimate,

@@ -12,7 +12,11 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use hyperion_dsm::{AdaptiveParams, DsmStore, DsmSystem, Locality, ProtocolKind, TransportConfig};
+use hyperion_dsm::policy::validate_adaptive;
+use hyperion_dsm::{
+    AdaptiveParams, DsmStore, DsmSystem, Locality, PolicyError, PolicySpec, ProtocolKind,
+    TransportConfig,
+};
 use hyperion_model::vtime::TimeWatermark;
 use hyperion_model::{
     ClusterSpec, CpuModel, MachineModel, NodeStats, OpCounts, StatsSnapshot, ThreadClock, VTime,
@@ -41,6 +45,12 @@ pub struct HyperionConfig {
     /// batched diff flushing and home migration.  Applies to every protocol
     /// (the mechanisms are semantics-preserving).
     pub transport: TransportConfig,
+    /// Explicit policy selection.  `None` (the default) derives the
+    /// [`PolicySpec`] from `protocol`, `adaptive` and the `transport` flags
+    /// via [`PolicySpec::from_config`]; `Some` chooses the policy object per
+    /// decision point directly.  An explicit spec must agree with `protocol`
+    /// on the detection choice ([`ConfigError::PolicyMismatch`] otherwise).
+    pub policies: Option<PolicySpec>,
     /// Application threads per node.  The paper uses one ("we used only one
     /// application thread per node", §4.3); larger values exercise the
     /// computation/communication-overlap extension.
@@ -72,6 +82,7 @@ impl HyperionConfig {
             protocol,
             adaptive: AdaptiveParams::default(),
             transport: TransportConfig::default(),
+            policies: None,
             threads_per_node: 1,
             pacing_window: Some(VTime::from_us(500)),
         }
@@ -124,6 +135,21 @@ impl HyperionConfig {
         self
     }
 
+    /// Builder-style override of [`HyperionConfig::policies`].
+    pub fn with_policies(mut self, policies: PolicySpec) -> Self {
+        self.policies = Some(policies);
+        self
+    }
+
+    /// The effective policy selection of this run: the explicit
+    /// [`HyperionConfig::policies`] spec if one was set, otherwise the spec
+    /// the legacy flag surface describes ([`PolicySpec::from_config`]).
+    pub fn policy_spec(&self) -> PolicySpec {
+        self.policies.clone().unwrap_or_else(|| {
+            PolicySpec::from_config(self.protocol, &self.adaptive, &self.transport)
+        })
+    }
+
     /// Total number of application (computation) threads the standard SPMD
     /// benchmarks create.
     pub fn total_app_threads(&self) -> usize {
@@ -131,6 +157,16 @@ impl HyperionConfig {
     }
 
     /// Check the configuration for obvious mistakes.
+    ///
+    /// Structural errors (node counts, cluster size, backend limits) keep
+    /// their dedicated variants.  Every policy-level error — adaptive
+    /// hysteresis bands, batch ceilings, hint windows, migration streaks,
+    /// hints without overlapped fetches — is a typed
+    /// [`PolicyError`] wrapped in [`ConfigError::Policy`], produced by
+    /// [`PolicySpec::validate`] on the effective policy spec.  A zero knob
+    /// on a *disabled* feature (e.g. `migration_streak == 0` with
+    /// `home_migration` off) maps to a `Noop` policy and is therefore no
+    /// longer an error.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.nodes == 0 {
             return Err(ConfigError::ZeroNodes);
@@ -144,40 +180,20 @@ impl HyperionConfig {
                 available: self.cluster.max_nodes,
             });
         }
-        if self.adaptive.max_batch_pages == 0 {
-            return Err(ConfigError::InvalidAdaptive(
-                "max_batch_pages must be at least 1 (1 disables batching)",
-            ));
+        // Adaptive tunables are checked whichever protocol runs (a sweep
+        // harness sharing one `AdaptiveParams` should fail fast), then the
+        // effective spec validates each selected policy.
+        validate_adaptive(&self.adaptive)?;
+        if let Some(explicit) = &self.policies {
+            if explicit.detection.kind() != self.protocol {
+                return Err(ConfigError::PolicyMismatch {
+                    protocol: self.protocol,
+                    policies: explicit.detection.kind(),
+                });
+            }
         }
-        if self.adaptive.hi_multiple <= 0.0
-            || self.adaptive.lo_multiple < 0.0
-            || self.adaptive.lo_multiple >= self.adaptive.hi_multiple
-        {
-            return Err(ConfigError::InvalidAdaptive(
-                "switching hysteresis needs 0 <= lo_multiple < hi_multiple",
-            ));
-        }
-        if self.transport.max_flush_batch_pages == 0 {
-            return Err(ConfigError::InvalidTransport(
-                "max_flush_batch_pages must be at least 1 (1 disables batching)",
-            ));
-        }
-        if self.transport.migration_streak == 0 {
-            return Err(ConfigError::InvalidTransport(
-                "migration_streak must be at least 1",
-            ));
-        }
-        if self.transport.hint_window == 0 {
-            return Err(ConfigError::InvalidTransport(
-                "hint_window must be at least 1",
-            ));
-        }
-        if self.transport.prefetch_hints && !self.transport.overlapped_fetches {
-            return Err(ConfigError::InvalidTransport(
-                "prefetch_hints requires overlapped_fetches (hints become split-transaction \
-                 tickets)",
-            ));
-        }
+        self.policy_spec()
+            .validate(self.transport.overlapped_fetches)?;
         if self.transport.backend != TransportBackend::Sim && self.nodes > 64 {
             return Err(ConfigError::InvalidTransport(
                 "socket backends keep an O(nodes²) connection pool; use at most 64 nodes",
@@ -197,6 +213,7 @@ pub struct ConfigBuilder {
     protocol: Option<ProtocolKind>,
     adaptive: Option<AdaptiveParams>,
     transport: Option<TransportConfig>,
+    policies: Option<PolicySpec>,
     threads_per_node: Option<usize>,
     pacing_window: Option<Option<VTime>>,
 }
@@ -236,6 +253,15 @@ impl ConfigBuilder {
         self
     }
 
+    /// Explicit per-decision-point policy selection (see
+    /// [`HyperionConfig::policies`]).  Defaults to the spec derived from the
+    /// `protocol`, `adaptive` and `transport` fields; an explicit spec must
+    /// agree with `protocol` on the detection choice.
+    pub fn policies(mut self, policies: PolicySpec) -> Self {
+        self.policies = Some(policies);
+        self
+    }
+
     /// Application threads per node.  Defaults to 1, as in the paper.
     pub fn threads_per_node(mut self, threads: usize) -> Self {
         self.threads_per_node = Some(threads);
@@ -266,6 +292,9 @@ impl ConfigBuilder {
         if let Some(transport) = self.transport {
             config.transport = transport;
         }
+        if let Some(policies) = self.policies {
+            config.policies = Some(policies);
+        }
         if let Some(threads) = self.threads_per_node {
             config.threads_per_node = threads;
         }
@@ -294,10 +323,26 @@ pub enum ConfigError {
         /// Nodes available in the cluster model.
         available: usize,
     },
-    /// The adaptive-protocol parameters are out of range.
-    InvalidAdaptive(&'static str),
+    /// An illegal policy selection (adaptive tunables, batch ceilings, hint
+    /// windows, migration streaks): the typed verdict of
+    /// [`PolicySpec::validate`].
+    Policy(PolicyError),
+    /// An explicit [`HyperionConfig::policies`] spec whose detection choice
+    /// disagrees with the `protocol` field.
+    PolicyMismatch {
+        /// The protocol the configuration names.
+        protocol: ProtocolKind,
+        /// The detection protocol the explicit policy spec selects.
+        policies: ProtocolKind,
+    },
     /// The transport parameters are out of range.
     InvalidTransport(&'static str),
+}
+
+impl From<PolicyError> for ConfigError {
+    fn from(err: PolicyError) -> Self {
+        ConfigError::Policy(err)
+    }
 }
 
 impl std::fmt::Display for ConfigError {
@@ -317,9 +362,15 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "requested {requested} nodes but the modelled cluster has only {available}"
             ),
-            ConfigError::InvalidAdaptive(reason) => {
-                write!(f, "invalid adaptive-protocol parameters: {reason}")
+            ConfigError::Policy(err) => {
+                write!(f, "invalid policy selection: {err}")
             }
+            ConfigError::PolicyMismatch { protocol, policies } => write!(
+                f,
+                "explicit policies select {} detection but the configuration's protocol is {}",
+                policies.name(),
+                protocol.name()
+            ),
             ConfigError::InvalidTransport(reason) => {
                 write!(f, "invalid transport parameters: {reason}")
             }
@@ -327,7 +378,14 @@ impl std::fmt::Display for ConfigError {
     }
 }
 
-impl std::error::Error for ConfigError {}
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Policy(err) => Some(err),
+            _ => None,
+        }
+    }
+}
 
 /// Published virtual-time progress of every thread, used by the conservative
 /// pacing scheme (see [`HyperionConfig::pacing_window`]).  A slot holding
@@ -404,12 +462,17 @@ impl HyperionRuntime {
         );
         let allocator = Arc::new(IsoAllocator::new(config.nodes));
         let store = DsmStore::new(Arc::clone(&allocator), config.nodes);
-        let dsm = DsmSystem::with_config(
+        // Build through the effective policy spec: identical to the legacy
+        // `with_config` path when `config.policies` is `None`, and the typed
+        // override when it is `Some`.
+        let policies = config.policy_spec().build(cluster.machine(), config.nodes);
+        let dsm = DsmSystem::with_policies(
             Arc::clone(&cluster),
             store,
             config.protocol,
             &config.adaptive,
             &config.transport,
+            policies,
         );
         let balancer = LoadBalancer::new(config.nodes);
         Ok(HyperionRuntime {
@@ -1159,14 +1222,100 @@ mod tests {
         c.adaptive.max_batch_pages = 0;
         assert_eq!(
             c.validate(),
-            Err(ConfigError::InvalidAdaptive(
-                "max_batch_pages must be at least 1 (1 disables batching)"
-            ))
+            Err(ConfigError::Policy(PolicyError::ZeroAdaptiveBatch))
         );
         let mut c = config(2, ProtocolKind::JavaAd);
         c.adaptive.lo_multiple = 2.0; // >= hi_multiple
-        assert!(matches!(c.validate(), Err(ConfigError::InvalidAdaptive(_))));
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::Policy(PolicyError::InvalidHysteresis))
+        );
         assert!(format!("{}", c.validate().unwrap_err()).contains("hysteresis"));
+        // The wrapped policy error is exposed as the error's source.
+        use std::error::Error as _;
+        assert!(c.validate().unwrap_err().source().is_some());
+    }
+
+    #[test]
+    fn policy_validation_rejects_illegal_selections_with_named_variants() {
+        // Zero knobs on *enabled* features are policy errors...
+        let mut c = config(2, ProtocolKind::JavaPf);
+        c.transport = TransportConfig::latency_hiding();
+        c.transport.migration_streak = 0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::Policy(PolicyError::ZeroMigrationStreak))
+        );
+        let mut c = config(2, ProtocolKind::JavaPf);
+        c.transport = TransportConfig::directory();
+        c.transport.hint_window = 0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::Policy(PolicyError::ZeroHintWindow))
+        );
+        let mut c = config(2, ProtocolKind::JavaPf);
+        c.transport.max_flush_batch_pages = 0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::Policy(PolicyError::ZeroFlushBatch))
+        );
+        let mut c = config(2, ProtocolKind::JavaPf);
+        c.transport.prefetch_hints = true;
+        c.transport.overlapped_fetches = false;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::Policy(
+                PolicyError::HintsRequireOverlappedFetches
+            ))
+        );
+        // ...while a zero knob on a *disabled* feature selects a Noop policy
+        // and is fine.
+        let mut c = config(2, ProtocolKind::JavaPf);
+        c.transport.migration_streak = 0;
+        assert!(!c.transport.home_migration);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn explicit_policies_flow_from_builder_to_the_engine() {
+        use hyperion_dsm::policy::{DetectionSpec, FlushSpec, MigrationSpec, PredictorSpec};
+        let spec = PolicySpec {
+            detection: DetectionSpec::PageProtect,
+            predictor: PredictorSpec::Noop,
+            migration: MigrationSpec::MajorityVote { streak: 2 },
+            flush: FlushSpec::Batched { max_pages: 4 },
+        };
+        let built = HyperionConfig::builder()
+            .cluster(myrinet_200())
+            .nodes(2)
+            .protocol(ProtocolKind::JavaPf)
+            .policies(spec.clone())
+            .build()
+            .unwrap();
+        assert_eq!(built.policy_spec(), spec);
+        let rt = HyperionRuntime::new(built).unwrap();
+        assert_eq!(rt.dsm().policies().migration.name(), "mig");
+        assert_eq!(rt.dsm().policies().predictor.name(), "nohints");
+        assert_eq!(rt.dsm().policies().flush.name(), "sync");
+        assert_eq!(rt.dsm().policies().detection.name(), "java_pf");
+
+        // A spec whose detection choice disagrees with `protocol` is
+        // rejected before any cluster state exists.
+        let mismatched = HyperionConfig::builder()
+            .cluster(myrinet_200())
+            .nodes(2)
+            .protocol(ProtocolKind::JavaIc)
+            .policies(spec)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            mismatched,
+            ConfigError::PolicyMismatch {
+                protocol: ProtocolKind::JavaIc,
+                policies: ProtocolKind::JavaPf,
+            }
+        );
+        assert!(format!("{mismatched}").contains("java_pf"));
     }
 
     #[test]

@@ -21,10 +21,27 @@
 
 use hyperion_workspace::apps::common::Benchmark;
 use hyperion_workspace::apps::{asp, barnes, jacobi, pi, tsp};
+use hyperion_workspace::dsm::policy::{
+    DetectionSpec, FlushSpec, MigrationSpec, PolicySpec, PredictorSpec,
+};
+use hyperion_workspace::dsm::AdaptiveParams;
 use hyperion_workspace::prelude::*;
-use hyperion_workspace::{HyperionConfig, ProtocolKind, TransportConfig};
+use hyperion_workspace::{HyperionConfig, ProtocolKind, TransportBackend, TransportConfig};
 
 const NODES: usize = 3;
+
+/// The transport the suite treats as its default.  CI re-runs the whole
+/// suite once with `HYPERION_EQUIV_TRANSPORT` set to a non-default —
+/// but semantics-preserving — policy mix, so every equivalence property is
+/// also exercised with the latency-hiding / directory policies selected.
+fn base_transport() -> TransportConfig {
+    match std::env::var("HYPERION_EQUIV_TRANSPORT").as_deref() {
+        Ok("latency-hiding") => TransportConfig::latency_hiding(),
+        Ok("directory") => TransportConfig::directory(),
+        Ok(other) => panic!("unknown HYPERION_EQUIV_TRANSPORT policy mix `{other}`"),
+        Err(_) => TransportConfig::default(),
+    }
+}
 
 fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
     vec![
@@ -37,7 +54,7 @@ fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
 }
 
 fn execute(bench: &dyn Benchmark, protocol: ProtocolKind) -> (f64, RunReport) {
-    execute_with(bench, protocol, &TransportConfig::default())
+    execute_with(bench, protocol, &base_transport())
 }
 
 fn execute_with(
@@ -50,6 +67,25 @@ fn execute_with(
         .nodes(NODES)
         .protocol(protocol)
         .transport(transport.clone())
+        .build()
+        .expect("valid test configuration");
+    bench.execute(config)
+}
+
+/// Like [`execute_with`] but with an explicit [`PolicySpec`] on top of the
+/// transport — the typed surface the policy layer added.
+fn execute_with_policies(
+    bench: &dyn Benchmark,
+    protocol: ProtocolKind,
+    transport: &TransportConfig,
+    policies: PolicySpec,
+) -> (f64, RunReport) {
+    let config = HyperionConfig::builder()
+        .cluster(myrinet_200())
+        .nodes(NODES)
+        .protocol(protocol)
+        .transport(transport.clone())
+        .policies(policies)
         .build()
         .expect("valid test configuration");
     bench.execute(config)
@@ -434,5 +470,182 @@ fn adaptive_speculation_waste_stays_throttled() {
         // and speculative riders are a subset of all riders.
         assert!(total.pages_prefetched >= total.batched_fetches);
         assert!(total.pages_prefetch_speculative <= total.pages_prefetched);
+    }
+}
+
+/// The Noop/synchronous policy selection equivalent to every mechanism
+/// flag being off, with the detection policy matching `protocol`.
+fn noop_spec(protocol: ProtocolKind) -> PolicySpec {
+    PolicySpec {
+        detection: match protocol {
+            ProtocolKind::JavaIc => DetectionSpec::InlineCheck,
+            ProtocolKind::JavaPf => DetectionSpec::PageProtect,
+            ProtocolKind::JavaAd => DetectionSpec::Adaptive(AdaptiveParams::default()),
+        },
+        predictor: PredictorSpec::Noop,
+        migration: MigrationSpec::Noop,
+        flush: FlushSpec::Batched { max_pages: 1 },
+    }
+}
+
+/// A fixed, single-threaded access pattern: two remote multi-page arrays
+/// read and written across four monitor epochs.  It exercises page
+/// fetches, field-granularity diffs, invalidation epochs and — under
+/// `java_ad` — per-page mode switches and batched speculative fetches.
+/// With one OS thread the whole event sequence is deterministic, so two
+/// runs of equivalent configurations must agree in *every* stat counter,
+/// not just in aggregate.
+fn deterministic_workload(
+    protocol: ProtocolKind,
+    transport: &TransportConfig,
+    policies: Option<PolicySpec>,
+) -> (u64, RunReport) {
+    use hyperion_workspace::pm2::SLOTS_PER_PAGE;
+    let mut builder = HyperionConfig::builder()
+        .cluster(myrinet_200())
+        .nodes(NODES)
+        .protocol(protocol)
+        .transport(transport.clone());
+    if let Some(spec) = policies {
+        builder = builder.policies(spec);
+    }
+    let config = builder.build().expect("valid test configuration");
+    let rt = HyperionRuntime::new(config).expect("valid test runtime");
+    let outcome = rt.run(|ctx| {
+        let slots = (3 * SLOTS_PER_PAGE) as u64;
+        let near = ctx.alloc_slots_page_aligned(slots as usize, NodeId(1));
+        let far = ctx.alloc_slots_page_aligned(slots as usize, NodeId(2));
+        let mon = ctx.new_monitor(NodeId(1));
+        let mut acc = 0u64;
+        for epoch in 1..=4u64 {
+            mon.enter(ctx);
+            // A strided sweep (re-fetches everything invalidated at the
+            // acquire) plus a dense tail on the far array (drives java_ad
+            // towards page faults and batched fetches on those pages).
+            for k in (0..slots).step_by(97) {
+                acc = acc.wrapping_add(ctx.get_slot(near.offset(k)));
+                ctx.put_slot(near.offset(k), epoch.wrapping_mul(k + 1));
+            }
+            for k in slots - SLOTS_PER_PAGE as u64..slots {
+                acc = acc.wrapping_add(ctx.get_slot(far.offset(k)));
+                ctx.put_slot(far.offset(k), epoch.wrapping_add(k));
+            }
+            mon.exit(ctx);
+        }
+        acc
+    });
+    (outcome.result, outcome.report)
+}
+
+#[test]
+fn noop_policies_are_byte_identical_to_disabled_flags() {
+    // The legacy flag surface disables a mechanism by leaving its boolean
+    // off; the policy surface disables it by selecting the `Noop` policy
+    // (or the unbatched synchronous flush).  Both must drive the engine
+    // down exactly the same path.  The deterministic single-threaded
+    // workload pins that down to the strongest possible claim — every one
+    // of the stat counters byte-identical, per node, under all three
+    // protocols, on the in-process simulator and behind a real socket
+    // alike.  (The five benchmark apps run real threads, whose host
+    // interleaving perturbs even cluster-wide counter totals between runs
+    // of the *same* configuration; see
+    // `noop_policies_preserve_every_app_digest` for the app-level claim.)
+    for backend in [TransportBackend::Sim, TransportBackend::UnixSocket] {
+        let transport = TransportConfig {
+            backend,
+            ..TransportConfig::blocking()
+        };
+        for protocol in [
+            ProtocolKind::JavaIc,
+            ProtocolKind::JavaPf,
+            ProtocolKind::JavaAd,
+        ] {
+            let (flag_result, flag_report) = deterministic_workload(protocol, &transport, None);
+            let (policy_result, policy_report) =
+                deterministic_workload(protocol, &transport, Some(noop_spec(protocol)));
+            assert_eq!(
+                flag_result,
+                policy_result,
+                "{}/{backend:?}: Noop policies changed the computed result",
+                protocol.name()
+            );
+            assert_eq!(flag_report.node_stats.len(), policy_report.node_stats.len());
+            for (node, (flags, policies)) in flag_report
+                .node_stats
+                .iter()
+                .zip(&policy_report.node_stats)
+                .enumerate()
+            {
+                for ((counter, by_flag), (_, by_policy)) in
+                    flags.fields().into_iter().zip(policies.fields())
+                {
+                    assert_eq!(
+                        by_flag,
+                        by_policy,
+                        "{}/{backend:?} node {node}: `{counter}` differs between \
+                         the disabled-flag and Noop-policy paths",
+                        protocol.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn noop_policies_preserve_every_app_digest() {
+    // App-level side of the Noop-equivalence claim, on all five benchmarks
+    // under all three protocols: the digest must be unchanged, and every
+    // counter of the mechanisms both surfaces disabled must be exactly
+    // zero on both paths.  (Counter-for-counter equality between two runs
+    // is a single-thread-only property — see
+    // `noop_policies_are_byte_identical_to_disabled_flags`.)
+    const DISABLED_MECHANISM_COUNTERS: [&str; 10] = [
+        "hints_sent",
+        "hinted_fetches_issued",
+        "hinted_fetches_completed",
+        "hinted_fetches_wasted",
+        "hinted_fetches_reissued",
+        "pages_migrated",
+        "deferred_flushes",
+        "batched_flushes",
+        "fetch_overlap_cycles_hidden",
+        "flush_overlap_cycles_hidden",
+    ];
+    let transport = TransportConfig::blocking();
+    for bench in all_benchmarks() {
+        for protocol in [
+            ProtocolKind::JavaIc,
+            ProtocolKind::JavaPf,
+            ProtocolKind::JavaAd,
+        ] {
+            let (flag_digest, flag_report) = execute_with(bench.as_ref(), protocol, &transport);
+            let (policy_digest, policy_report) =
+                execute_with_policies(bench.as_ref(), protocol, &transport, noop_spec(protocol));
+            // Pi's digest accumulates in monitor-acquisition order, so it
+            // is only reproducible to float re-association; the others
+            // agree exactly but share the check.
+            let tolerance = flag_digest.abs().max(1.0) * 1e-9;
+            assert!(
+                (flag_digest - policy_digest).abs() <= tolerance,
+                "{}/{}: flag digest {flag_digest} vs Noop-policy digest {policy_digest}",
+                bench.name(),
+                protocol.name()
+            );
+            for (label, report) in [("flags", &flag_report), ("policies", &policy_report)] {
+                for (counter, value) in report.total_stats().fields() {
+                    if DISABLED_MECHANISM_COUNTERS.contains(&counter) {
+                        assert_eq!(
+                            value,
+                            0,
+                            "{}/{} ({label}): disabled mechanism counter \
+                             `{counter}` is non-zero",
+                            bench.name(),
+                            protocol.name()
+                        );
+                    }
+                }
+            }
+        }
     }
 }
