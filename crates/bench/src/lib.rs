@@ -30,7 +30,7 @@
 pub mod report;
 
 use hyperion::prelude::*;
-use hyperion::{StatsSnapshot, WireServiceSnapshot};
+use hyperion::{FaultSpec, StatsSnapshot, WireServiceSnapshot};
 use hyperion_apps::common::{protocols_under_test, Benchmark, BenchmarkName};
 use hyperion_apps::{asp, barnes, jacobi, pi, tsp};
 
@@ -633,6 +633,85 @@ pub fn sweep_modeled_vs_measured(scale: Scale, backend: TransportBackend) -> Vec
         }
     }
     rows
+}
+
+/// The figure number used for the chaos report (fault injection, retry and
+/// node-failure recovery under a seeded [`FaultSpec`]).
+pub const CHAOS_FIGURE: usize = 10;
+
+/// One paired point of the chaos sweep: the same (app, protocol) execution
+/// fault-free (the digest reference) and under the injected schedule with
+/// quorum replication armed.
+#[derive(Clone, Debug)]
+pub struct ChaosPair {
+    /// Fault-free reference run (default transport, no replication).
+    pub baseline: FigureRow,
+    /// The run under the injected `FaultSpec`.
+    pub faulted: FigureRow,
+}
+
+impl ChaosPair {
+    /// True if the faulted run computed the same result as the reference —
+    /// the correctness criterion of the whole fault plane: injected drops,
+    /// delays, duplicates and even a node kill may change *timing*, never
+    /// *values*.
+    pub fn digests_match(&self) -> bool {
+        self.baseline.digest == self.faulted.digest
+    }
+}
+
+/// The chaos sweep behind `figures --fault <spec>`: all five apps under all
+/// three protocols on the Myrinet cluster at [`ADAPTIVE_NODES`] nodes, each
+/// point run twice — once fault-free as the digest reference, once with the
+/// seeded `spec` injected at the transport and `2r/2w` quorum replication
+/// armed so a killed home can be re-elected.  Both runs ride `backend`
+/// (faults are injected by wrapping whichever transport carries the RPCs,
+/// so the schedule replays identically over sockets).  The faulted rows
+/// carry the recovery economics (`rpc_retries`, `rpc_timeouts`,
+/// `frames_dropped_injected`, `nodes_failed`, `pages_resynced`) in their
+/// stats; [`report::chaos_markdown`] renders the comparison.
+pub fn sweep_chaos(scale: Scale, spec: FaultSpec, backend: TransportBackend) -> Vec<ChaosPair> {
+    let cluster = myrinet_200();
+    let reference = TransportConfig {
+        backend,
+        ..TransportConfig::default()
+    };
+    let transport = TransportConfig {
+        backend,
+        fault: Some(spec),
+        replication: Some((2, 2)),
+        ..TransportConfig::default()
+    };
+    let mut pairs = Vec::new();
+    for name in BenchmarkName::all() {
+        for protocol in protocols_under_test() {
+            let mut baseline = run_point_configured(
+                name,
+                scale,
+                &cluster,
+                protocol,
+                ADAPTIVE_NODES,
+                &AdaptiveParams::default(),
+                &reference,
+                String::new(),
+            );
+            baseline.figure = CHAOS_FIGURE;
+            let mut faulted = run_figure_point(
+                name,
+                scale,
+                &cluster,
+                protocol,
+                ADAPTIVE_NODES,
+                &AdaptiveParams::default(),
+                &transport,
+                plus("chaos"),
+                false,
+            );
+            faulted.figure = CHAOS_FIGURE;
+            pairs.push(ChaosPair { baseline, faulted });
+        }
+    }
+    pairs
 }
 
 /// Ablation of the adaptive switching threshold: run `app` under `java_ad`

@@ -4,7 +4,7 @@
 //! ```text
 //! figures [--fig N]... [--tables] [--claims] [--scale quick|harness|paper]
 //!         [--quick] [--json] [--baseline PATH] [--out DIR]
-//!         [--transport sim|socket|tcp]
+//!         [--transport sim|socket|tcp] [--fault SPEC]
 //! ```
 //!
 //! * `--fig N`     regenerate figure N (1–5 from the paper, 6 for the
@@ -35,14 +35,21 @@
 //!   one-page report of modeled virtual-time RPC cost next to measured
 //!   wall-clock socket round trips; the report is also written to
 //!   `MODELED_VS_MEASURED_<run>.md` for the CI artifact upload.
+//! * `--fault SPEC` run the chaos sweep: every app × protocol twice, once
+//!   fault-free and once with the seeded fault schedule `SPEC` (e.g.
+//!   `seed=7,drop=20000,kill=1@300us`) injected at the transport and quorum
+//!   replication armed; prints a digest/recovery-cost report and writes it
+//!   to `CHAOS_<run>.md` for the CI artifact upload.  Combine with
+//!   `--transport` to run the chaos sweep over a socket backend.
 
 use std::io::Write;
 
 use hyperion::prelude::*;
+use hyperion::FaultSpec;
 use hyperion_apps::common::BenchmarkName;
 use hyperion_bench::{
-    bench_report_rows, improvement_summary, report, sweep_adaptive, sweep_directory, sweep_figure,
-    sweep_modeled_vs_measured, sweep_transport, table1_modules, table2_primitives,
+    bench_report_rows, improvement_summary, report, sweep_adaptive, sweep_chaos, sweep_directory,
+    sweep_figure, sweep_modeled_vs_measured, sweep_transport, table1_modules, table2_primitives,
     threshold_ablation, FigureRow, Scale, ADAPTIVE_FIGURE, DIRECTORY_FIGURE, TRANSPORT_FIGURE,
 };
 
@@ -56,6 +63,7 @@ struct Options {
     scale: Scale,
     out_dir: Option<String>,
     transport: Option<TransportBackend>,
+    fault: Option<FaultSpec>,
 }
 
 fn parse_args() -> Options {
@@ -69,6 +77,7 @@ fn parse_args() -> Options {
         scale: Scale::Harness,
         out_dir: None,
         transport: None,
+        fault: None,
     };
     let mut args = std::env::args().skip(1);
     let mut any_selector = false;
@@ -124,6 +133,13 @@ fn parse_args() -> Options {
                 );
                 any_selector = true;
             }
+            "--fault" => {
+                let s = args.next().unwrap_or_default();
+                opts.fault = Some(FaultSpec::parse(&s).unwrap_or_else(|e| {
+                    die(&format!("--fault: {e} (format: seed=N,drop=PPM,dropfirst=N,delay=PPM@DUR,dup=PPM,panic=PPM,kill=NODE@TIME)"))
+                }));
+                any_selector = true;
+            }
             "--quick" => {
                 opts.scale = Scale::Quick;
             }
@@ -137,7 +153,7 @@ fn parse_args() -> Options {
                 println!(
                     "figures [--fig N]... [--tables] [--claims] [--scale quick|harness|paper] \
                      [--quick] [--json] [--baseline PATH] [--out DIR] \
-                     [--transport sim|socket|tcp]"
+                     [--transport sim|socket|tcp] [--fault SPEC]"
                 );
                 std::process::exit(0);
             }
@@ -375,6 +391,26 @@ fn run_modeled_vs_measured(scale: Scale, backend: TransportBackend) {
     eprintln!("wrote {path}");
 }
 
+/// The `--fault` path: run the chaos sweep under the given seeded schedule,
+/// print the digest/recovery-cost report and write it to `CHAOS_<run>.md`
+/// for the CI artifact upload.  Returns `true` if any digest diverged from
+/// its fault-free reference.
+fn run_chaos(scale: Scale, spec: FaultSpec, backend: TransportBackend) -> bool {
+    let spec_str = spec.to_string();
+    println!(
+        "== Chaos sweep: fault schedule `{spec_str}`, {} nodes, {backend} backend ==\n",
+        hyperion_bench::ADAPTIVE_NODES
+    );
+    let pairs = sweep_chaos(scale, spec, backend);
+    let markdown = report::chaos_markdown(&spec_str, &pairs);
+    println!("{markdown}");
+    let run = std::env::var("GITHUB_RUN_ID").unwrap_or_else(|_| "local".to_string());
+    let path = format!("CHAOS_{run}.md");
+    std::fs::write(&path, &markdown).expect("write chaos report");
+    eprintln!("wrote {path}");
+    pairs.iter().any(|p| !p.digests_match())
+}
+
 fn print_tables() {
     println!("== Table 1: Hyperion runtime modules and their Hyperion-RS implementations ==");
     println!("{:<26} {:<66} Implemented by", "Module", "Role (paper)");
@@ -520,6 +556,14 @@ fn main() {
 
     if let Some(backend) = opts.transport {
         run_modeled_vs_measured(opts.scale, backend);
+    }
+
+    if let Some(spec) = opts.fault {
+        let backend = opts.transport.unwrap_or(TransportBackend::Sim);
+        if run_chaos(opts.scale, spec, backend) {
+            eprintln!("figures: chaos sweep digest mismatch");
+            std::process::exit(1);
+        }
     }
 
     if (opts.json || opts.baseline.is_some()) && run_bench_report(&opts) {

@@ -7,9 +7,9 @@
 //! typed surface and [`TransportConfig::policy_spec`] for the bridge).
 
 use hyperion_model::VTime;
-use hyperion_pm2::TransportBackend;
+use hyperion_pm2::{FaultSpec, RetryPolicy, TransportBackend};
 
-use crate::policy::{FlushSpec, MigrationSpec, PolicySpec, PredictorSpec};
+use crate::policy::{FlushSpec, MigrationSpec, PolicySpec, PredictorSpec, ReplicationSpec};
 
 /// Which access-detection technique a run uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -157,6 +157,21 @@ pub struct TransportConfig {
     /// payloads and the virtual-time charging are identical across
     /// backends, only the physical carrier differs.
     pub backend: TransportBackend,
+    /// Retry schedule of the DSM's RPC path: bounded attempts with
+    /// exponential backoff under a deadline, every retry charged to the
+    /// calling thread's virtual clock (and counted in `rpc_retries` /
+    /// `rpc_timeouts`).  On a fault-free run the first attempt always
+    /// succeeds and the schedule charges nothing.
+    pub retry: RetryPolicy,
+    /// Deterministic fault schedule replayed by a
+    /// [`hyperion_pm2::FaultyTransport`] wrapped around the chosen backend;
+    /// `None` (default) leaves the transport untouched.
+    pub fault: Option<FaultSpec>,
+    /// Number of replicated read-homes kept per page and the write quorum a
+    /// diff must reach, i.e. the legacy flag form of
+    /// [`crate::policy::ReplicationSpec::Quorum`].  `None` (default) is the
+    /// Noop policy: no replicas, byte-identical behaviour.
+    pub replication: Option<(usize, usize)>,
 }
 
 impl Default for TransportConfig {
@@ -170,6 +185,9 @@ impl Default for TransportConfig {
             hint_window: 4,
             deferred_flush: false,
             backend: TransportBackend::Sim,
+            retry: RetryPolicy::default(),
+            fault: None,
+            replication: None,
         }
     }
 }
@@ -253,6 +271,17 @@ impl TransportConfig {
             FlushSpec::Batched {
                 max_pages: self.max_flush_batch_pages,
             }
+        }
+    }
+
+    /// The [`ReplicationSpec`] these flags describe.
+    pub fn replication_spec(&self) -> ReplicationSpec {
+        match self.replication {
+            Some((read_replicas, write_quorum)) => ReplicationSpec::Quorum {
+                read_replicas,
+                write_quorum,
+            },
+            None => ReplicationSpec::Noop,
         }
     }
 

@@ -122,12 +122,14 @@ impl DsmSystem {
             cpu: cpu.clone(),
             dsm: dsm.clone(),
             predictor: Arc::clone(&policies.predictor),
+            replication: Arc::clone(&policies.replication),
         }));
         let diff_apply = cluster.register_service(Arc::new(DiffApplyService {
             store: Arc::clone(&store),
             cpu,
             dsm,
             migration: Arc::clone(&policies.migration),
+            replication: Arc::clone(&policies.replication),
         }));
         Arc::new(DsmSystem {
             cluster,
@@ -188,30 +190,6 @@ impl DsmSystem {
         &self.store
     }
 
-    /// Issue a split-transaction RPC, treating transport failure as fatal.
-    /// The protocol cannot make progress without its home nodes — a lost
-    /// peer on a socket backend leaves the page table inconsistent — so a
-    /// failed round trip aborts the run instead of limping on.
-    pub(crate) fn rpc_split_or_die(
-        &self,
-        clock: &mut ThreadClock,
-        from: NodeId,
-        to: NodeId,
-        service: ServiceId,
-        payload: &[u8],
-    ) -> (Vec<u8>, VTime) {
-        self.cluster
-            .rpc_split(clock, from, to, service, payload)
-            .unwrap_or_else(|e| {
-                panic!(
-                    "DSM '{}' RPC from node {} to node {} failed: {e}",
-                    self.cluster.service_name(service),
-                    from.0,
-                    to.0
-                )
-            })
-    }
-
     /// Retrieve a field (an 8-byte slot): the `get` primitive of Table 2.
     ///
     /// Charges the protocol-dependent access-detection cost to `clock` and
@@ -221,7 +199,8 @@ impl DsmSystem {
         NodeStats::bump(&node_ref.stats.field_reads);
         let page = addr.page();
         let frame = self.store.frame(node, page);
-        self.ensure_access(node, node_ref, clock, page, &frame, 1);
+        let access = self.ensure_access(node, node_ref, clock, page, &frame, 1);
+        self.unwrap_rpc(access);
         frame.load_slot(addr.slot())
     }
 
@@ -234,7 +213,8 @@ impl DsmSystem {
         NodeStats::bump(&node_ref.stats.field_writes);
         let page = addr.page();
         let frame = self.store.frame(node, page);
-        self.ensure_access(node, node_ref, clock, page, &frame, 1);
+        let access = self.ensure_access(node, node_ref, clock, page, &frame, 1);
+        self.unwrap_rpc(access);
         frame.store_slot(addr.slot(), value);
     }
 
@@ -287,7 +267,8 @@ impl DsmSystem {
             // Pages this slice is still certain to touch, counting the
             // current one — the batching hint for `java_ad` fetches.
             let bulk_pages = 1 + (out.len() - done - run).div_ceil(SLOTS_PER_PAGE);
-            self.ensure_access(node, node_ref, clock, a.page(), &frame, bulk_pages);
+            let access = self.ensure_access(node, node_ref, clock, a.page(), &frame, bulk_pages);
+            self.unwrap_rpc(access);
             for k in 0..run {
                 out[done + k] = frame.load_slot(slot + k);
             }
@@ -322,7 +303,8 @@ impl DsmSystem {
             let run = (SLOTS_PER_PAGE - slot).min(values.len() - done);
             let frame = self.store.frame(node, a.page());
             let bulk_pages = 1 + (values.len() - done - run).div_ceil(SLOTS_PER_PAGE);
-            self.ensure_access(node, node_ref, clock, a.page(), &frame, bulk_pages);
+            let access = self.ensure_access(node, node_ref, clock, a.page(), &frame, bulk_pages);
+            self.unwrap_rpc(access);
             for k in 0..run {
                 frame.store_slot(slot + k, values[done + k]);
             }
@@ -343,11 +325,12 @@ impl DsmSystem {
         // statistics alone.  The mprotect that opens the page is only due if
         // the page was protection-detected.
         let unprotect = self.policies.detection.unprotect_on_install(&frame);
-        if self.policies.detection.fetch_batching().is_some() {
-            self.fetch_page_adaptive(node, node_ref, clock, page, &frame, unprotect, 1, false);
+        let fetched = if self.policies.detection.fetch_batching().is_some() {
+            self.fetch_page_adaptive(node, node_ref, clock, page, &frame, unprotect, 1, false)
         } else {
-            self.fetch_page(node, node_ref, clock, page, &frame, unprotect, false);
-        }
+            self.fetch_page(node, node_ref, clock, page, &frame, unprotect, false)
+        };
+        self.unwrap_rpc(fetched);
     }
 
     /// Prefetch every absent page of the `pages` consecutive pages starting
@@ -367,7 +350,7 @@ impl DsmSystem {
                 continue;
             }
             let unprotect = self.policies.detection.unprotect_on_install(&frame);
-            if self.policies.detection.fetch_batching().is_some() {
+            let fetched = if self.policies.detection.fetch_batching().is_some() {
                 self.fetch_page_adaptive_inner(
                     node,
                     node_ref,
@@ -378,10 +361,11 @@ impl DsmSystem {
                     (pages - k) as usize,
                     false,
                     false,
-                );
+                )
             } else {
-                self.fetch_page(node, node_ref, clock, page, &frame, unprotect, false);
-            }
+                self.fetch_page(node, node_ref, clock, page, &frame, unprotect, false)
+            };
+            self.unwrap_rpc(fetched);
         }
     }
 
@@ -436,7 +420,8 @@ impl DsmSystem {
             .filter(|(_, frame)| frame.has_dirty_slots())
             .map(|(page, frame)| (*page, Arc::clone(frame)))
             .collect();
-        self.flush_frames(node, node_ref, clock, &dirty);
+        let flushed = self.flush_frames(node, node_ref, clock, &dirty);
+        self.unwrap_rpc(flushed);
         // A migration grant may have promoted one of these frames to home
         // mid-invalidation; re-filter so the new main-memory copy survives.
         cached.retain(|(_, frame)| !frame.is_home());
@@ -513,7 +498,8 @@ impl DsmSystem {
     pub fn update_main_memory(&self, node: NodeId, clock: &mut ThreadClock) {
         let node_ref = self.cluster.node(node);
         let dirty = self.collect_dirty(node);
-        self.flush_frames(node, node_ref, clock, &dirty);
+        let flushed = self.flush_frames(node, node_ref, clock, &dirty);
+        self.unwrap_rpc(flushed);
     }
 
     /// All non-home frames of `node` holding unflushed modifications, in
@@ -549,7 +535,8 @@ impl DsmSystem {
         }
         let node_ref = self.cluster.node(node);
         let dirty = self.collect_dirty(node);
-        let completion = self.flush_frames_inner(node, node_ref, clock, &dirty, true)?;
+        let flushed = self.flush_frames_inner(node, node_ref, clock, &dirty, true);
+        let completion = self.unwrap_rpc(flushed)?;
         Some(DeferredFlush {
             issue: clock.now(),
             completion,
@@ -590,7 +577,7 @@ impl DsmSystem {
         page: PageId,
         frame: &PageFrame,
         bulk_pages: usize,
-    ) {
+    ) -> Result<(), crate::recover::RpcFailure> {
         // First real use of an overlapped fetch completes the transaction:
         // merge the completion timestamp (the residual latency) before the
         // access proceeds.
@@ -600,14 +587,14 @@ impl DsmSystem {
             .detection
             .on_access(&node_ref.stats, clock, frame)
         {
-            AccessAction::Granted => {}
+            AccessAction::Granted => Ok(()),
             AccessAction::Fetch { unprotect } => {
                 if self.policies.detection.fetch_batching().is_some() {
                     self.fetch_page_adaptive(
                         node, node_ref, clock, page, frame, unprotect, bulk_pages, true,
-                    );
+                    )
                 } else {
-                    self.fetch_page(node, node_ref, clock, page, frame, unprotect, true);
+                    self.fetch_page(node, node_ref, clock, page, frame, unprotect, true)
                 }
             }
         }
@@ -623,8 +610,9 @@ impl DsmSystem {
         node_ref: &Node,
         clock: &mut ThreadClock,
         dirty: &[(PageId, Arc<PageFrame>)],
-    ) {
-        self.flush_frames_inner(node, node_ref, clock, dirty, false);
+    ) -> Result<(), crate::recover::RpcFailure> {
+        self.flush_frames_inner(node, node_ref, clock, dirty, false)
+            .map(|_| ())
     }
 
     /// [`DsmSystem::flush_frames`] with an explicit completion mode: with
@@ -639,7 +627,7 @@ impl DsmSystem {
         clock: &mut ThreadClock,
         dirty: &[(PageId, Arc<PageFrame>)],
         deferred: bool,
-    ) -> Option<VTime> {
+    ) -> Result<Option<VTime>, crate::recover::RpcFailure> {
         let machine = self.cluster.machine();
         let max_batch = self.policies.flush.max_batch_pages().max(1);
         let mut watermark: Option<VTime> = None;
@@ -679,8 +667,11 @@ impl DsmSystem {
                 encode_diff_batch(first, &per_page)
             };
             NodeStats::bump_by(&node_ref.stats.diff_bytes, payload.len() as u64);
+            // Anchor re-routing on the first page of the run: the diff-apply
+            // handler resolves each page's home itself, so after a recovery
+            // the identical payload is valid against the re-elected home.
             let (reply, completion) =
-                self.rpc_split_or_die(clock, node, home, self.diff_apply, &payload);
+                self.rpc_to_home(clock, node, node_ref, first, self.diff_apply, &payload)?;
             if deferred {
                 // Hand the transaction to the deferred queue: the caller
                 // stores the completion watermark on the releasing monitor
@@ -697,7 +688,7 @@ impl DsmSystem {
             }
             i = j;
         }
-        watermark
+        Ok(watermark)
     }
 }
 

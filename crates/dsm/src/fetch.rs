@@ -22,6 +22,7 @@ use crate::diff::{
 };
 use crate::engine::DsmSystem;
 use crate::page::PageFrame;
+use crate::recover::RpcFailure;
 use crate::services::PAGE_BYTES;
 
 impl DsmSystem {
@@ -42,20 +43,19 @@ impl DsmSystem {
         frame: &PageFrame,
         unprotect_after: bool,
         demand: bool,
-    ) {
+    ) -> Result<(), RpcFailure> {
         let guard = frame.fetch_lock().lock();
         if frame.is_present() && !frame.is_protected() {
             // Another thread on this node completed the load while we were
             // waiting on the fetch lock.
             drop(guard);
-            return;
+            return Ok(());
         }
         NodeStats::bump(&node_ref.stats.page_loads);
-        let home = self.store.home_of(page);
         let payload = encode_page_request(page);
         let machine = self.cluster.machine();
         let (bytes, mut completion) =
-            self.rpc_split_or_die(clock, node, home, self.page_fetch, &payload);
+            self.rpc_to_home(clock, node, node_ref, page, self.page_fetch, &payload)?;
         // Hidden latency is measured from the end of the issue path: that is
         // the instant a blocking transport would have started stalling.
         let issue = clock.now();
@@ -68,7 +68,7 @@ impl DsmSystem {
             // it really happened — and drop the stale bytes.
             drop(guard);
             clock.merge(completion);
-            return;
+            return Ok(());
         }
         frame.install_copy(data);
 
@@ -91,6 +91,7 @@ impl DsmSystem {
             drop(guard);
         }
         self.issue_hint_fetches(node, node_ref, clock, &hints);
+        Ok(())
     }
 
     /// Convert prefetch-directory hints carried on a fetch reply into
@@ -150,13 +151,20 @@ impl DsmSystem {
                     continue;
                 }
                 let unprotect = self.policies.detection.unprotect_on_install(&frame);
+                let payload = encode_page_request_nohint(page);
+                let Ok((bytes, mut completion)) =
+                    self.rpc_to_home(clock, node, node_ref, page, self.page_fetch, &payload)
+                else {
+                    // Hint conversion is an optimisation, so it degrades
+                    // gracefully: a hint the transport cannot serve is simply
+                    // not issued, and the later demand miss takes the
+                    // ordinary (retried, recovered) fetch path instead.
+                    drop(guard);
+                    return issued_now;
+                };
                 NodeStats::bump(&node_ref.stats.page_loads);
                 NodeStats::bump(&node_ref.stats.hinted_fetches_issued);
                 issued_now += 1;
-                let home = self.store.home_of(page);
-                let payload = encode_page_request_nohint(page);
-                let (bytes, mut completion) =
-                    self.rpc_split_or_die(clock, node, home, self.page_fetch, &payload);
                 let issue = clock.now();
                 if frame.is_home() {
                     // Concurrent migration promoted the frame (see
@@ -201,7 +209,7 @@ impl DsmSystem {
         unprotect_after: bool,
         bulk_pages: usize,
         demand: bool,
-    ) {
+    ) -> Result<(), RpcFailure> {
         self.fetch_page_adaptive_inner(
             node,
             node_ref,
@@ -212,7 +220,7 @@ impl DsmSystem {
             bulk_pages,
             demand,
             true,
-        );
+        )
     }
 
     /// [`DsmSystem::fetch_page_adaptive`] with explicit control over
@@ -229,13 +237,13 @@ impl DsmSystem {
         bulk_pages: usize,
         demand: bool,
         speculate: bool,
-    ) {
+    ) -> Result<(), RpcFailure> {
         let guard = frame.fetch_lock().lock();
         if frame.is_present() && !frame.is_protected() {
             // Another thread on this node completed the load while we were
             // waiting on the fetch lock.
             drop(guard);
-            return;
+            return Ok(());
         }
         let home = self.store.home_of(page);
         let max_batch = self.policies.detection.fetch_batching().unwrap_or(1);
@@ -300,7 +308,7 @@ impl DsmSystem {
             encode_page_batch_request(page, count as u32)
         };
         let (bytes, wire_completion) =
-            self.rpc_split_or_die(clock, node, home, self.page_fetch, &payload);
+            self.rpc_to_home(clock, node, node_ref, page, self.page_fetch, &payload)?;
         let issue = clock.now();
         let (data, hints) = split_fetch_reply(&bytes, count);
         // A concurrent migration grant may have promoted any frame of the
@@ -379,6 +387,7 @@ impl DsmSystem {
         drop(guards);
         drop(guard);
         self.issue_hint_fetches(node, node_ref, clock, &hints);
+        Ok(())
     }
 
     /// Complete an in-flight split fetch transaction on its first real use:

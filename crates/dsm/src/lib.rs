@@ -25,10 +25,15 @@
 //! * [`config`] — protocol / transport configuration data;
 //! * [`policy`] — the pluggable policy traits ([`policy::DetectionPolicy`],
 //!   [`policy::Predictor`], [`policy::MigrationPolicy`],
-//!   [`policy::FlushPolicy`]) and their default implementations;
+//!   [`policy::FlushPolicy`], [`policy::ReplicationPolicy`]) and their
+//!   default implementations;
 //! * [`engine`] — the [`DsmSystem`] protocol engine (with its fetch
 //!   mechanics in `fetch` and its RPC services in `services`), which calls
-//!   through the policy traits at every decision point.
+//!   through the policy traits at every decision point;
+//! * [`recover`] — the fault plane's DSM side: bounded retry with
+//!   exponential backoff on the RPC path and node-failure recovery
+//!   (re-electing homes for a dead node's pages from the replication
+//!   directory).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -39,6 +44,7 @@ pub mod engine;
 mod fetch;
 pub mod page;
 pub mod policy;
+pub mod recover;
 mod services;
 pub mod table;
 
@@ -50,4 +56,5 @@ pub use page::{AdMode, PageData, PageFrame};
 // deferred-flush *policy* (`policy::DeferredFlush`) would collide with the
 // deferred-flush *record* (`DeferredFlush`) above.  Use `policy::...` paths.
 pub use policy::{PolicyError, PolicySet, PolicySpec};
+pub use recover::RpcFailure;
 pub use table::DsmStore;

@@ -7,12 +7,13 @@
 //! RPCs, diff application, in-flight tickets, invalidation, flush
 //! coalescing — and consults one policy object per decision point:
 //!
-//! | Trait               | Decision                                | Defaults                                        |
-//! |---------------------|-----------------------------------------|-------------------------------------------------|
-//! | [`DetectionPolicy`] | how a remote access is noticed          | `java_ic` / `java_pf` / [`AdaptiveDetection`]   |
-//! | [`Predictor`]       | which hints a fetch reply carries       | [`NoopPredictor`] / [`DirectoryPredictor`]      |
-//! | [`MigrationPolicy`] | when a page's home moves to a writer    | [`NoopMigration`] / [`MajorityVoteMigration`]   |
-//! | [`FlushPolicy`]     | how release diffs reach their homes     | [`BatchedFlush`] / [`DeferredFlush`]            |
+//! | Trait                 | Decision                                | Defaults                                        |
+//! |-----------------------|-----------------------------------------|-------------------------------------------------|
+//! | [`DetectionPolicy`]   | how a remote access is noticed          | `java_ic` / `java_pf` / [`AdaptiveDetection`]   |
+//! | [`Predictor`]         | which hints a fetch reply carries       | [`NoopPredictor`] / [`DirectoryPredictor`]      |
+//! | [`MigrationPolicy`]   | when a page's home moves to a writer    | [`NoopMigration`] / [`MajorityVoteMigration`]   |
+//! | [`FlushPolicy`]       | how release diffs reach their homes     | [`BatchedFlush`] / [`DeferredFlush`]            |
+//! | [`ReplicationPolicy`] | replicated read-homes and write quorums | [`NoopReplication`] / [`QuorumReplication`]     |
 //!
 //! [`PolicySpec`] is the data-level description (what configs and builders
 //! carry); [`PolicySpec::build`] turns it into the [`PolicySet`] of live
@@ -24,6 +25,7 @@ mod detection;
 mod flush;
 mod migration;
 mod predictor;
+mod replication;
 
 use std::sync::Arc;
 
@@ -37,10 +39,11 @@ pub use detection::{
 pub use flush::{BatchedFlush, DeferredFlush, FlushPolicy};
 pub use migration::{MajorityVoteMigration, MigrationPolicy, NoopMigration};
 pub use predictor::{DirectoryPredictor, FetchObservation, NoopPredictor, Predictor};
+pub use replication::{NoopReplication, QuorumReplication, ReplicationPolicy};
 
 use crate::config::{AdaptiveParams, ProtocolKind, TransportConfig};
 
-/// The four live policy objects one [`crate::DsmSystem`] consults.
+/// The five live policy objects one [`crate::DsmSystem`] consults.
 #[derive(Clone)]
 pub struct PolicySet {
     /// Access-detection state machine (the protocol proper).
@@ -51,6 +54,8 @@ pub struct PolicySet {
     pub migration: Arc<dyn MigrationPolicy>,
     /// Release-flush placement.
     pub flush: Arc<dyn FlushPolicy>,
+    /// Replicated read-homes and write quorums.
+    pub replication: Arc<dyn ReplicationPolicy>,
 }
 
 impl std::fmt::Debug for PolicySet {
@@ -60,6 +65,7 @@ impl std::fmt::Debug for PolicySet {
             .field("predictor", &self.predictor.name())
             .field("migration", &self.migration.name())
             .field("flush", &self.flush.name())
+            .field("replication", &self.replication.name())
             .finish()
     }
 }
@@ -199,6 +205,44 @@ impl FlushSpec {
     }
 }
 
+/// Data-level choice of replication policy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplicationSpec {
+    /// No replicas (byte-identical to the pre-fault-plane engine).
+    Noop,
+    /// `r`-reader / `w`-quorum replicated read-homes.
+    Quorum {
+        /// Maximum read-replica holders per page (`r`).
+        read_replicas: usize,
+        /// Copies a write must reach, home included (`w`).
+        write_quorum: usize,
+    },
+}
+
+impl ReplicationSpec {
+    /// The name the built policy will report (`"norep"` / `"quorum"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReplicationSpec::Noop => "norep",
+            ReplicationSpec::Quorum { .. } => "quorum",
+        }
+    }
+
+    /// Build the live policy object.
+    pub fn build(&self) -> Arc<dyn ReplicationPolicy> {
+        match *self {
+            ReplicationSpec::Noop => Arc::new(NoopReplication),
+            ReplicationSpec::Quorum {
+                read_replicas,
+                write_quorum,
+            } => Arc::new(QuorumReplication {
+                read_replicas,
+                write_quorum,
+            }),
+        }
+    }
+}
+
 /// The full data-level policy selection of one run: what configs carry and
 /// builders construct, turned into live objects by [`PolicySpec::build`].
 #[derive(Clone, Debug, PartialEq)]
@@ -211,6 +255,8 @@ pub struct PolicySpec {
     pub migration: MigrationSpec,
     /// Release-flush choice.
     pub flush: FlushSpec,
+    /// Replication choice.
+    pub replication: ReplicationSpec,
 }
 
 impl PolicySpec {
@@ -233,6 +279,7 @@ impl PolicySpec {
             predictor: transport.predictor_spec(),
             migration: transport.migration_spec(),
             flush: transport.flush_spec(),
+            replication: transport.replication_spec(),
         }
     }
 
@@ -243,6 +290,7 @@ impl PolicySpec {
             predictor: self.predictor.build(),
             migration: self.migration.build(),
             flush: self.flush.build(),
+            replication: self.replication.build(),
         }
     }
 
@@ -282,6 +330,18 @@ impl PolicySpec {
                 if max_pages == 0 {
                     return Err(PolicyError::DeferredFlushWithoutBatching);
                 }
+            }
+        }
+        if let ReplicationSpec::Quorum {
+            read_replicas,
+            write_quorum,
+        } = self.replication
+        {
+            if read_replicas == 0 {
+                return Err(PolicyError::ZeroReadReplicas);
+            }
+            if write_quorum == 0 || write_quorum > read_replicas + 1 {
+                return Err(PolicyError::InvalidWriteQuorum);
             }
         }
         Ok(())
@@ -326,6 +386,12 @@ pub enum PolicyError {
     /// without [`TransportConfig::overlapped_fetches`] it would silently
     /// generate hints nobody uses.
     HintsRequireOverlappedFetches,
+    /// Quorum replication with zero read replicas keeps no copies to elect
+    /// a new home from.
+    ZeroReadReplicas,
+    /// The write quorum must name at least the home and at most the home
+    /// plus every read replica (`1 <= w <= r + 1`).
+    InvalidWriteQuorum,
 }
 
 impl std::fmt::Display for PolicyError {
@@ -345,6 +411,10 @@ impl std::fmt::Display for PolicyError {
             PolicyError::ZeroHintWindow => "hint_window must be at least 1",
             PolicyError::HintsRequireOverlappedFetches => {
                 "prefetch hints require overlapped fetches (hints convert into split transactions)"
+            }
+            PolicyError::ZeroReadReplicas => "quorum replication needs at least one read replica",
+            PolicyError::InvalidWriteQuorum => {
+                "write quorum must satisfy 1 <= w <= read_replicas + 1"
             }
         };
         f.write_str(msg)

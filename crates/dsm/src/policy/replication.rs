@@ -1,0 +1,136 @@
+//! Replication policy: replicated read-homes with `r`-reader / `w`-quorum
+//! writes, the graceful-degradation slot of the fault plane.
+//!
+//! Under [`QuorumReplication`], a home serving a page fetch registers the
+//! reader as one of up to `r` replica holders in the store's replication
+//! directory, and every release-time diff the home applies is a *quorum
+//! write*: the page's version advances and the first `w − 1` holders are
+//! brought up to it (the home itself is the quorum's first member), with the
+//! shipping cost charged in the diff-apply handler's service time.  When a
+//! node is killed, recovery elects the newest live holder as each orphaned
+//! page's next home (see `crate::recover`) — the quorum guarantees that
+//! holder was at most one write behind the authoritative copy it is re-synced
+//! from.
+//!
+//! [`NoopReplication`] is the default: no holders are ever registered, no
+//! versions advance, no cycles are charged — byte-identical to the
+//! pre-fault-plane engine, which is what the equivalence suites gate.
+
+use crate::table::DsmStore;
+use hyperion_pm2::{NodeId, PageId};
+
+/// The replication decision point: whether fetches create read replicas and
+/// how many quorum members each write must reach.
+pub trait ReplicationPolicy: Send + Sync {
+    /// Short name for labels and `Debug` output.
+    fn name(&self) -> &'static str;
+
+    /// True if this policy maintains replicas at all (the engine's fast
+    /// path skips every replication hook when this is false).
+    fn replicates(&self) -> bool {
+        false
+    }
+
+    /// Maximum read-replica holders per page (`r`).
+    fn read_replicas(&self) -> usize {
+        0
+    }
+
+    /// Copies a write must reach, home included (`w`).
+    fn write_quorum(&self) -> usize {
+        1
+    }
+
+    /// A home served `page` to `reader`: register the replica if the policy
+    /// keeps any.
+    fn on_page_served(&self, _store: &DsmStore, _page: PageId, _reader: NodeId) {}
+
+    /// A home applied a release diff to `page`: perform the quorum write and
+    /// return how many replica holders were updated (the diff-apply handler
+    /// charges shipping cost per updated holder).
+    fn on_diff_applied(&self, _store: &DsmStore, _page: PageId) -> usize {
+        0
+    }
+}
+
+/// No replication: no replicas, no quorum writes, no extra cost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopReplication;
+
+impl ReplicationPolicy for NoopReplication {
+    fn name(&self) -> &'static str {
+        "norep"
+    }
+}
+
+/// `r`-reader / `w`-quorum replicated read-homes (see the module docs).
+#[derive(Clone, Copy, Debug)]
+pub struct QuorumReplication {
+    /// Maximum read-replica holders per page (`r`).
+    pub read_replicas: usize,
+    /// Copies a write must reach, home included (`w`).
+    pub write_quorum: usize,
+}
+
+impl ReplicationPolicy for QuorumReplication {
+    fn name(&self) -> &'static str {
+        "quorum"
+    }
+
+    fn replicates(&self) -> bool {
+        true
+    }
+
+    fn read_replicas(&self) -> usize {
+        self.read_replicas
+    }
+
+    fn write_quorum(&self) -> usize {
+        self.write_quorum
+    }
+
+    fn on_page_served(&self, store: &DsmStore, page: PageId, reader: NodeId) {
+        store.register_replica(page, reader, self.read_replicas);
+    }
+
+    fn on_diff_applied(&self, store: &DsmStore, page: PageId) -> usize {
+        store.quorum_update(page, self.write_quorum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperion_pm2::IsoAllocator;
+    use std::sync::Arc;
+
+    #[test]
+    fn noop_touches_nothing() {
+        let alloc = Arc::new(IsoAllocator::new(2));
+        let store = DsmStore::new(Arc::clone(&alloc), 2);
+        let page = alloc.alloc(4, NodeId(0)).page();
+        let policy = NoopReplication;
+        assert!(!policy.replicates());
+        policy.on_page_served(&store, page, NodeId(1));
+        assert_eq!(policy.on_diff_applied(&store, page), 0);
+        assert!(store.replica_set(page).is_none());
+    }
+
+    #[test]
+    fn quorum_registers_and_updates_holders() {
+        let alloc = Arc::new(IsoAllocator::new(3));
+        let store = DsmStore::new(Arc::clone(&alloc), 3);
+        let page = alloc.alloc(4, NodeId(0)).page();
+        let policy = QuorumReplication {
+            read_replicas: 2,
+            write_quorum: 2,
+        };
+        assert!(policy.replicates());
+        policy.on_page_served(&store, page, NodeId(1));
+        policy.on_page_served(&store, page, NodeId(2));
+        assert_eq!(policy.on_diff_applied(&store, page), 1);
+        let set = store.replica_set(page).expect("holders registered");
+        assert_eq!(set.version, 1);
+        assert_eq!(set.holders, vec![(1, 1), (2, 0)]);
+    }
+}

@@ -1,10 +1,12 @@
 //! The home-side RPC services of the DSM: page fetch and diff apply.
 //!
 //! Both handlers are pure mechanism — copy pages, apply diffs, charge the
-//! modelled service cost — and consult one policy each at their single
-//! decision point: the [`Predictor`] for which hints a fetch reply carries,
-//! the [`MigrationPolicy`] for whether an applied diff hands the page's
-//! home to the writer.
+//! modelled service cost — and consult two policies each at their decision
+//! points: the [`Predictor`] for which hints a fetch reply carries, the
+//! [`MigrationPolicy`] for whether an applied diff hands the page's home to
+//! the writer, and the [`ReplicationPolicy`] on both paths for whether
+//! served pages register read replicas and applied diffs perform quorum
+//! writes (with the replica-shipping cost charged in the service time).
 
 use std::sync::Arc;
 
@@ -12,7 +14,7 @@ use hyperion_model::{CpuModel, DsmCostModel, NodeStats};
 use hyperion_pm2::{Node, NodeId, PageId, RpcHandler, RpcReply, SLOTS_PER_PAGE};
 
 use crate::diff::{decode_diff_message, decode_page_fetch_request, encode_migration_grant};
-use crate::policy::{MigrationPolicy, Predictor};
+use crate::policy::{MigrationPolicy, Predictor, ReplicationPolicy};
 use crate::table::DsmStore;
 
 /// Bytes of one page on the wire.
@@ -26,6 +28,7 @@ pub(crate) struct PageFetchService {
     pub(crate) cpu: CpuModel,
     pub(crate) dsm: DsmCostModel,
     pub(crate) predictor: Arc<dyn Predictor>,
+    pub(crate) replication: Arc<dyn ReplicationPolicy>,
 }
 
 impl RpcHandler for PageFetchService {
@@ -58,6 +61,11 @@ impl RpcHandler for PageFetchService {
                 }
                 f.data().snapshot_bytes()
             }));
+            if self.replication.replicates() {
+                // The served copy doubles as a read replica: the caller is
+                // now a candidate home should this node fail.
+                self.replication.on_page_served(&self.store, page, caller);
+            }
         }
         let mut hint_entries = 0u16;
         if hints_ok {
@@ -93,12 +101,14 @@ pub(crate) struct DiffApplyService {
     pub(crate) cpu: CpuModel,
     pub(crate) dsm: DsmCostModel,
     pub(crate) migration: Arc<dyn MigrationPolicy>,
+    pub(crate) replication: Arc<dyn ReplicationPolicy>,
 }
 
 impl RpcHandler for DiffApplyService {
     fn handle(&self, target: &Node, caller: NodeId, payload: &[u8]) -> RpcReply {
         let diffs = decode_diff_message(payload);
         let mut slots = 0usize;
+        let mut quorum_slots = 0usize;
         let mut grant: Option<(PageId, Vec<u8>)> = None;
         for (page, entries) in &diffs {
             slots += entries.len();
@@ -137,9 +147,16 @@ impl RpcHandler for DiffApplyService {
                     .with_frame(home_now, *page, |f| f.demote_from_home());
                 grant = Some((*page, snapshot));
             }
+            if self.replication.replicates() {
+                // Quorum write: advance the page's replica version and ship
+                // the applied slots to the stamped holders.  The shipping is
+                // charged below as extra apply work per (holder, slot) pair.
+                let members = self.replication.on_diff_applied(&self.store, *page);
+                quorum_slots += members * entries.len();
+            }
         }
         let service = self.cpu.cycles(
-            self.dsm.diff_apply_cycles_per_slot * slots as f64
+            self.dsm.diff_apply_cycles_per_slot * (slots + quorum_slots) as f64
                 + self.dsm.batch_flush_cycles * (diffs.len() - 1) as f64,
         );
         match grant {

@@ -5,13 +5,29 @@
 //! the page; the other nodes' frames are caches.  Frame tables grow lazily as
 //! pages are allocated.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use hyperion_pm2::{IsoAllocator, NodeId, PageId};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, MutexGuard, RwLock};
 
 use crate::page::PageFrame;
+
+/// Replication metadata of one page: which nodes hold read replicas and how
+/// current each holder is.
+///
+/// `version` counts the quorum writes the page's home has applied; each
+/// holder records the version it was last brought up to.  Recovery elects
+/// the *newest* live holder as the page's next home (ties go to the lowest
+/// node id, so elections are deterministic).
+#[derive(Clone, Debug, Default)]
+pub struct ReplicaSet {
+    /// Monotone count of quorum writes applied to the page.
+    pub version: u64,
+    /// `(holder node id, version the holder was last updated to)`, in
+    /// registration order.
+    pub holders: Vec<(u32, u64)>,
+}
 
 /// The frame table of a single node.
 #[derive(Debug, Default)]
@@ -63,6 +79,18 @@ pub struct DsmStore {
     /// of the most recent page that home served to that requester (0 =
     /// none).  Consecutive ids form the stride runs the directory extends.
     last_fetch: Vec<std::sync::atomic::AtomicU64>,
+    /// Replication directory: per-page read-replica holders and their
+    /// quorum-write versions (empty under the Noop replication policy).
+    replicas: RwLock<HashMap<u64, ReplicaSet>>,
+    /// Nodes that have failed fail-stop and been recovered from.
+    failed: RwLock<HashSet<u32>>,
+    /// Entry count of `failed`, readable without the lock so the
+    /// failure-free common case stays a plain load.
+    num_failed: std::sync::atomic::AtomicUsize,
+    /// Serialises node recovery: the first thread to observe a dead peer
+    /// re-homes every page it served; concurrent observers wait here and
+    /// then see the already-recovered routing.
+    recovery: Mutex<()>,
 }
 
 impl DsmStore {
@@ -81,6 +109,10 @@ impl DsmStore {
             last_fetch: (0..num_nodes * num_nodes)
                 .map(|_| std::sync::atomic::AtomicU64::new(0))
                 .collect(),
+            replicas: RwLock::new(HashMap::new()),
+            failed: RwLock::new(HashSet::new()),
+            num_failed: std::sync::atomic::AtomicUsize::new(0),
+            recovery: Mutex::new(()),
         })
     }
 
@@ -196,6 +228,103 @@ impl DsmStore {
         self.nodes[node.index()].len()
     }
 
+    /// Record `holder` as a read-replica of `page`, up to `cap` holders
+    /// (the replication policy's `r`).  A new holder starts at the page's
+    /// current quorum version — it just fetched the current bytes.  The
+    /// page's home never registers as its own replica.
+    pub fn register_replica(&self, page: PageId, holder: NodeId, cap: usize) {
+        if holder == self.home_of(page) {
+            return;
+        }
+        let mut replicas = self.replicas.write();
+        let set = replicas.entry(page.0).or_default();
+        if set.holders.iter().any(|(h, _)| *h == holder.0) {
+            let version = set.version;
+            if let Some(entry) = set.holders.iter_mut().find(|(h, _)| *h == holder.0) {
+                entry.1 = version;
+            }
+            return;
+        }
+        if set.holders.len() < cap {
+            set.holders.push((holder.0, set.version));
+        }
+    }
+
+    /// Apply one quorum write to `page`: advance its version and bring the
+    /// first `quorum - 1` registered holders up to it (the home itself is
+    /// the quorum's first member).  Returns how many holders were updated —
+    /// the cost the diff-apply handler charges for shipping the update.
+    pub fn quorum_update(&self, page: PageId, quorum: usize) -> usize {
+        let mut replicas = self.replicas.write();
+        let set = replicas.entry(page.0).or_default();
+        set.version += 1;
+        let version = set.version;
+        let members = quorum.saturating_sub(1).min(set.holders.len());
+        for entry in set.holders.iter_mut().take(members) {
+            entry.1 = version;
+        }
+        members
+    }
+
+    /// The replica set of `page`, if any holder has registered.
+    pub fn replica_set(&self, page: PageId) -> Option<ReplicaSet> {
+        self.replicas.read().get(&page.0).cloned()
+    }
+
+    /// The live replica holder with the newest quorum version (ties go to
+    /// the lowest node id), if any.  This is the node recovery elects as
+    /// the page's next home.
+    pub fn newest_live_replica(&self, page: PageId) -> Option<NodeId> {
+        let replicas = self.replicas.read();
+        let set = replicas.get(&page.0)?;
+        let failed = self.failed.read();
+        set.holders
+            .iter()
+            .filter(|(h, _)| !failed.contains(h))
+            .max_by(|(ha, va), (hb, vb)| va.cmp(vb).then(hb.cmp(ha)))
+            .map(|(h, _)| NodeId(*h))
+    }
+
+    /// Mark `node` failed fail-stop.  Returns `true` the first time —
+    /// exactly one caller performs the recovery of the node's pages.
+    pub fn mark_failed(&self, node: NodeId) -> bool {
+        let mut failed = self.failed.write();
+        let fresh = failed.insert(node.0);
+        self.num_failed
+            .store(failed.len(), std::sync::atomic::Ordering::Release);
+        fresh
+    }
+
+    /// True if `node` has been marked failed.
+    pub fn is_failed(&self, node: NodeId) -> bool {
+        self.num_failed.load(std::sync::atomic::Ordering::Acquire) > 0
+            && self.failed.read().contains(&node.0)
+    }
+
+    /// Number of nodes marked failed so far.
+    pub fn failed_nodes(&self) -> usize {
+        self.num_failed.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// The lowest-id node not marked failed (the deterministic fallback
+    /// home when a page has no live replica).
+    ///
+    /// # Panics
+    /// Panics if every node has failed.
+    pub fn first_live_node(&self) -> NodeId {
+        let failed = self.failed.read();
+        (0..self.nodes.len() as u32)
+            .find(|n| !failed.contains(n))
+            .map(NodeId)
+            .expect("at least one live node")
+    }
+
+    /// Take the cluster-wide recovery lock: the holder is the one thread
+    /// re-homing a dead node's pages.
+    pub fn recovery_guard(&self) -> MutexGuard<'_, ()> {
+        self.recovery.lock()
+    }
+
     fn grow_table(&self, node: NodeId, page: PageId) {
         let allocated = self.allocator.num_pages();
         assert!(
@@ -290,6 +419,38 @@ mod tests {
         assert!(seen.len() >= 2);
         assert!(seen.iter().any(|(pid, home)| *pid == a.page() && *home));
         assert!(seen.iter().any(|(pid, home)| *pid == b.page() && !*home));
+    }
+
+    #[test]
+    fn replica_registration_quorum_updates_and_election() {
+        let (alloc, store) = store(4);
+        let page = alloc.alloc(4, NodeId(0)).page();
+        store.register_replica(page, NodeId(0), 2); // the home never registers
+        store.register_replica(page, NodeId(1), 2);
+        store.register_replica(page, NodeId(2), 2);
+        store.register_replica(page, NodeId(3), 2); // over the r cap: ignored
+        assert_eq!(store.replica_set(page).unwrap().holders.len(), 2);
+
+        // One w=2 quorum write: the home plus the first registered holder.
+        assert_eq!(store.quorum_update(page, 2), 1);
+        assert_eq!(store.newest_live_replica(page), Some(NodeId(1)));
+
+        // Kill the newest holder: the election falls back to the next one.
+        assert!(store.mark_failed(NodeId(1)));
+        assert!(
+            !store.mark_failed(NodeId(1)),
+            "second observer is not first"
+        );
+        assert!(store.is_failed(NodeId(1)));
+        assert_eq!(store.failed_nodes(), 1);
+        assert_eq!(store.newest_live_replica(page), Some(NodeId(2)));
+        assert_eq!(store.first_live_node(), NodeId(0));
+
+        // A re-registered holder is refreshed to the current version.
+        assert_eq!(store.quorum_update(page, 3), 2);
+        store.register_replica(page, NodeId(2), 2);
+        let set = store.replica_set(page).unwrap();
+        assert!(set.holders.contains(&(2, set.version)));
     }
 
     #[test]

@@ -87,7 +87,9 @@ pub use hyperion_model::{
     myrinet_200, sci_450, ClusterSpec, MachineModel, Op, OpCounts, StatsSnapshot, VTime,
     WireServiceSnapshot, WorkEstimate,
 };
-pub use hyperion_pm2::{GlobalAddr, NodeId, ThreadId, TransportBackend};
+pub use hyperion_pm2::{
+    FaultKill, FaultSpec, GlobalAddr, NodeId, RetryPolicy, ThreadId, TransportBackend,
+};
 
 /// Everything an application kernel typically imports.
 pub mod prelude {

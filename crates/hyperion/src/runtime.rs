@@ -199,6 +199,15 @@ impl HyperionConfig {
                 "socket backends keep an O(nodes²) connection pool; use at most 64 nodes",
             ));
         }
+        self.transport
+            .retry
+            .validate()
+            .map_err(ConfigError::InvalidTransport)?;
+        if let Some(fault) = &self.transport.fault {
+            fault
+                .validate(self.nodes)
+                .map_err(ConfigError::InvalidTransport)?;
+        }
         Ok(())
     }
 }
@@ -455,10 +464,11 @@ impl HyperionRuntime {
     /// Build a runtime from a validated configuration.
     pub fn new(config: HyperionConfig) -> Result<Self, ConfigError> {
         config.validate()?;
-        let cluster = Cluster::for_backend(
+        let cluster = Cluster::for_backend_with_faults(
             config.cluster.machine.clone(),
             config.nodes,
             config.transport.backend,
+            config.transport.fault,
         );
         let allocator = Arc::new(IsoAllocator::new(config.nodes));
         let store = DsmStore::new(Arc::clone(&allocator), config.nodes);
@@ -1278,12 +1288,15 @@ mod tests {
 
     #[test]
     fn explicit_policies_flow_from_builder_to_the_engine() {
-        use hyperion_dsm::policy::{DetectionSpec, FlushSpec, MigrationSpec, PredictorSpec};
+        use hyperion_dsm::policy::{
+            DetectionSpec, FlushSpec, MigrationSpec, PredictorSpec, ReplicationSpec,
+        };
         let spec = PolicySpec {
             detection: DetectionSpec::PageProtect,
             predictor: PredictorSpec::Noop,
             migration: MigrationSpec::MajorityVote { streak: 2 },
             flush: FlushSpec::Batched { max_pages: 4 },
+            replication: ReplicationSpec::Noop,
         };
         let built = HyperionConfig::builder()
             .cluster(myrinet_200())

@@ -148,6 +148,10 @@ pub struct DsmCostModel {
     /// hint entry onto a fetch reply (the hint bytes themselves are charged
     /// on the wire like any other reply payload).
     pub hint_entry_cycles: f64,
+    /// Survivor-side cycles to re-elect a home and re-install one page after
+    /// a node failure (quorum comparison, promotion bookkeeping); the page
+    /// bytes shipped to the new home are charged on the wire separately.
+    pub resync_page_cycles: f64,
 }
 
 /// A homogeneous cluster node: CPU + NIC + DSM event costs.
@@ -227,6 +231,7 @@ pub fn myrinet_200() -> ClusterSpec {
                 batch_page_cycles: 60.0,
                 batch_flush_cycles: 50.0,
                 hint_entry_cycles: 25.0,
+                resync_page_cycles: 800.0,
             },
         },
         max_nodes: 12,
@@ -280,6 +285,7 @@ pub fn sci_450() -> ClusterSpec {
                 batch_page_cycles: 60.0,
                 batch_flush_cycles: 50.0,
                 hint_entry_cycles: 25.0,
+                resync_page_cycles: 800.0,
             },
         },
         max_nodes: 6,

@@ -133,6 +133,16 @@ define_stats! {
     deferred_flushes,
     /// Flush round-trip cycles hidden by deferred release flushing (residual charged at next acquire).
     flush_overlap_cycles_hidden,
+    /// RPC attempts re-issued after a retryable transport failure.
+    rpc_retries,
+    /// RPC attempts that timed out (each charged the configured rpc_timeout).
+    rpc_timeouts,
+    /// Request frames dropped by the fault injector before reaching the handler.
+    frames_dropped_injected,
+    /// Node failures this node detected and recovered from (one per failed peer).
+    nodes_failed,
+    /// Pages re-homed and re-synced onto a survivor after their home failed.
+    pages_resynced,
 }
 
 impl NodeStats {
@@ -360,9 +370,14 @@ mod tests {
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
-        assert_eq!(names.len(), 38);
+        assert_eq!(names.len(), 43);
         for added in [
             "batched_flushes",
+            "rpc_retries",
+            "rpc_timeouts",
+            "frames_dropped_injected",
+            "nodes_failed",
+            "pages_resynced",
             "diff_bytes",
             "pages_migrated",
             "fetch_overlap_cycles_hidden",

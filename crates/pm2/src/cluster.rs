@@ -82,6 +82,37 @@ impl Cluster {
         }
     }
 
+    /// Like [`Cluster::for_backend`], with the chosen transport wrapped in a
+    /// [`FaultyTransport`](crate::fault::FaultyTransport) replaying `fault`.
+    /// A `None` (or no-op) spec skips the wrapper entirely, so the fault-free
+    /// path stays byte-identical to [`Cluster::for_backend`].
+    ///
+    /// # Panics
+    /// Panics if `num_nodes` is zero, or if a socket backend cannot bind its
+    /// per-node servers.
+    pub fn for_backend_with_faults(
+        machine: MachineModel,
+        num_nodes: usize,
+        backend: TransportBackend,
+        fault: Option<crate::fault::FaultSpec>,
+    ) -> Arc<Self> {
+        let spec = match fault {
+            Some(spec) if !spec.is_noop() => spec,
+            _ => return Self::for_backend(machine, num_nodes, backend),
+        };
+        let inner: Arc<dyn Transport> = match backend {
+            TransportBackend::Sim => Arc::new(SimTransport),
+            TransportBackend::UnixSocket | TransportBackend::Tcp => {
+                Arc::new(SocketTransport::for_backend(backend))
+            }
+        };
+        Self::with_transport(
+            machine,
+            num_nodes,
+            Arc::new(crate::fault::FaultyTransport::new(inner, spec)),
+        )
+    }
+
     /// The machine model shared by every node.
     #[inline]
     pub fn machine(&self) -> &MachineModel {

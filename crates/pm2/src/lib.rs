@@ -24,12 +24,18 @@
 //!   in-process cost-model [`SimTransport`] (default) and the
 //!   Unix-domain/TCP(localhost) [`SocketTransport`] that serves each node's
 //!   handler table from behind a real socket.
+//! * [`fault`] — the fault plane: [`FaultyTransport`] wraps either backend
+//!   with a deterministic, seeded [`FaultSpec`] schedule (drop / delay /
+//!   duplicate frames, forced handler panics, a named node killed at a
+//!   named virtual time), and [`RetryPolicy`] carries the bounded
+//!   exponential-backoff knobs the RPC path retries under.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod cluster;
 pub mod comm;
+pub mod fault;
 pub mod iso;
 pub mod node;
 pub mod socket;
@@ -38,6 +44,7 @@ pub mod transport;
 
 pub use cluster::Cluster;
 pub use comm::{RpcHandler, RpcReply, ServiceId};
+pub use fault::{FaultKill, FaultSpec, FaultyTransport, RetryPolicy};
 pub use iso::{GlobalAddr, IsoAllocator, PageId, PAGE_BYTES, SLOTS_PER_PAGE, SLOT_BYTES};
 pub use node::{Node, NodeId};
 pub use socket::SocketTransport;

@@ -42,13 +42,18 @@
 //!
 //! ## Failure handling
 //!
-//! A client connection that hits an I/O error is re-dialled once and the
-//! request retried; a second failure surfaces as [`TransportError::Io`].
-//! Server side, a handler panic is caught and answered with an error frame
-//! (the node keeps serving), and malformed frames are rejected — never
-//! panicked on.  [`SocketTransport::shutdown`] (called from `Drop for
-//! Cluster`) closes every connection, unblocks the accept loops, joins all
-//! threads and removes the socket files; it is idempotent.
+//! A client connection that hits an I/O error is re-dialled under a bounded
+//! deterministic backoff schedule — the same [`RetryPolicy`] shape the DSM
+//! layer retries RPCs under, here applied to *wall-clock* sleeps — and the
+//! request retried on each fresh connection; exhausting the schedule
+//! surfaces as [`TransportError::Io`].  Server side, a handler panic is
+//! caught and answered with an error frame (the node keeps serving), and
+//! malformed frames are rejected — never panicked on.  A peer that is
+//! draining answers [`ERR_SHUTDOWN`], which decodes to the dedicated
+//! [`TransportError::Shutdown`] variant so callers can tell an orderly exit
+//! apart from peer death.  [`SocketTransport::shutdown`] (called from `Drop
+//! for Cluster`) closes every connection, unblocks the accept loops, joins
+//! all threads and removes the socket files; it is idempotent.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -65,6 +70,7 @@ use parking_lot::Mutex;
 
 use crate::cluster::Cluster;
 use crate::comm::ServiceId;
+use crate::fault::RetryPolicy;
 use crate::node::NodeId;
 use crate::transport::{charge_round_trip, Transport, TransportBackend, TransportError};
 
@@ -204,6 +210,7 @@ fn decode_error_payload(service: ServiceId, payload: &[u8]) -> TransportError {
             registered: detail as usize,
         },
         ERR_MALFORMED => TransportError::MalformedFrame(message),
+        ERR_SHUTDOWN => TransportError::Shutdown(message),
         _ => TransportError::Remote(message),
     }
 }
@@ -328,6 +335,8 @@ struct ServerState {
 pub struct SocketTransport {
     backend: TransportBackend,
     wire: WireStats,
+    /// Wall-clock redial schedule for broken client connections.
+    redial: RetryPolicy,
     shutting_down: Arc<AtomicBool>,
     state: Mutex<ServerState>,
     /// One persistent client connection per `(from, to)` node pair, dialled
@@ -365,10 +374,19 @@ impl SocketTransport {
         SocketTransport {
             backend,
             wire: WireStats::default(),
+            redial: RetryPolicy::default(),
             shutting_down: Arc::new(AtomicBool::new(false)),
             state: Mutex::new(ServerState::default()),
             conns: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Replace the wall-clock redial schedule for broken client connections
+    /// (`max_attempts` total tries per round trip, backoff per
+    /// [`RetryPolicy::backoff`] interpreted as wall time).
+    pub fn with_redial(mut self, redial: RetryPolicy) -> Self {
+        self.redial = redial;
+        self
     }
 
     fn dial(&self, to: NodeId) -> std::io::Result<Stream> {
@@ -435,16 +453,42 @@ impl SocketTransport {
         let mut stream = conn.lock();
         let body = match Self::exchange(&mut stream, &frame) {
             Ok(body) => body,
-            Err(_) => {
-                // Reconnect once, then error.  (A request whose reply was
-                // lost may execute twice on this path; the DSM's handlers
-                // are idempotent at page granularity, and in practice the
-                // retry only ever fires on connection-setup races.)
-                *stream = self
-                    .dial(to)
-                    .map_err(|error| TransportError::Io { peer: to, error })?;
-                Self::exchange(&mut stream, &frame)
-                    .map_err(|error| TransportError::Io { peer: to, error })?
+            Err(first) => {
+                // Re-dial under the bounded backoff schedule, retrying the
+                // request on each fresh connection.  (A request whose reply
+                // was lost may execute more than once on this path; the
+                // DSM's handlers are idempotent at page granularity, and in
+                // practice the retry only ever fires on connection-setup
+                // races.)  Exhausting the schedule reports the last error.
+                let mut last = first;
+                let mut recovered = None;
+                for retry in 0..self.redial.max_attempts.saturating_sub(1) {
+                    let backoff = self.redial.backoff(retry).as_ps() / 1_000;
+                    std::thread::sleep(std::time::Duration::from_nanos(backoff));
+                    match self.dial(to) {
+                        Ok(fresh) => *stream = fresh,
+                        Err(error) => {
+                            last = error;
+                            continue;
+                        }
+                    }
+                    match Self::exchange(&mut stream, &frame) {
+                        Ok(body) => {
+                            recovered = Some(body);
+                            break;
+                        }
+                        Err(error) => last = error,
+                    }
+                }
+                match recovered {
+                    Some(body) => body,
+                    None => {
+                        return Err(TransportError::Io {
+                            peer: to,
+                            error: last,
+                        })
+                    }
+                }
             }
         };
         drop(stream);

@@ -91,8 +91,8 @@ pub enum TransportError {
     },
     /// A frame could not be decoded (truncated, bad kind tag, bad lengths).
     MalformedFrame(String),
-    /// Socket-level I/O failure that persisted through the one reconnect
-    /// attempt the socket backend makes.
+    /// Socket-level I/O failure that persisted through the bounded redial
+    /// schedule the socket backend runs.
     Io {
         /// The node whose server could not be reached.
         peer: NodeId,
@@ -102,6 +102,36 @@ pub enum TransportError {
     /// The remote server reported a failure while executing the handler
     /// (for in-process servers: the handler panicked and was caught).
     Remote(String),
+    /// No reply arrived within the caller's RPC timeout — the request or
+    /// reply frame was lost in flight (the fault injector's `drop`).
+    TimedOut {
+        /// The node that never answered.
+        peer: NodeId,
+    },
+    /// The peer has failed fail-stop: it no longer serves RPCs at all.
+    /// Non-retryable — the DSM layer reacts by recovering the pages the
+    /// dead node homed, not by re-sending the same frame.
+    NodeDown {
+        /// The failed node.
+        peer: NodeId,
+    },
+    /// The peer answered with `ERR_SHUTDOWN`: its server is alive but
+    /// draining for an orderly exit.  Distinguishable from peer death —
+    /// callers must not start failure recovery over it.
+    Shutdown(String),
+}
+
+impl TransportError {
+    /// True for transient failures worth re-sending the same frame for
+    /// (lost frames, broken sockets, handler panics).  `NodeDown`,
+    /// `Shutdown`, and caller bugs (`UnknownService`, `MalformedFrame`)
+    /// are not retryable.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            TransportError::Io { .. } | TransportError::TimedOut { .. } | TransportError::Remote(_)
+        )
+    }
 }
 
 impl std::fmt::Display for TransportError {
@@ -116,6 +146,13 @@ impl std::fmt::Display for TransportError {
                 write!(f, "I/O error talking to {peer}: {error}")
             }
             TransportError::Remote(msg) => write!(f, "remote handler failure: {msg}"),
+            TransportError::TimedOut { peer } => {
+                write!(f, "no reply from {peer} within the RPC timeout")
+            }
+            TransportError::NodeDown { peer } => write!(f, "node {peer} is down"),
+            TransportError::Shutdown(msg) => {
+                write!(f, "peer is shutting down: {msg}")
+            }
         }
     }
 }
@@ -332,5 +369,17 @@ mod tests {
         let e = TransportError::Remote("handler panicked".into());
         assert!(format!("{e}").contains("handler panicked"));
         assert!(std::error::Error::source(&e).is_none());
+
+        let e = TransportError::TimedOut { peer: NodeId(5) };
+        assert!(format!("{e}").contains("node5"));
+        assert!(e.is_retryable());
+
+        let e = TransportError::NodeDown { peer: NodeId(7) };
+        assert!(format!("{e}").contains("node7"));
+        assert!(!e.is_retryable());
+
+        let e = TransportError::Shutdown("draining".into());
+        assert!(format!("{e}").contains("draining"));
+        assert!(!e.is_retryable());
     }
 }

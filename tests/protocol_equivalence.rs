@@ -22,7 +22,7 @@
 use hyperion_workspace::apps::common::Benchmark;
 use hyperion_workspace::apps::{asp, barnes, jacobi, pi, tsp};
 use hyperion_workspace::dsm::policy::{
-    DetectionSpec, FlushSpec, MigrationSpec, PolicySpec, PredictorSpec,
+    DetectionSpec, FlushSpec, MigrationSpec, PolicySpec, PredictorSpec, ReplicationSpec,
 };
 use hyperion_workspace::dsm::AdaptiveParams;
 use hyperion_workspace::prelude::*;
@@ -485,6 +485,7 @@ fn noop_spec(protocol: ProtocolKind) -> PolicySpec {
         predictor: PredictorSpec::Noop,
         migration: MigrationSpec::Noop,
         flush: FlushSpec::Batched { max_pages: 1 },
+        replication: ReplicationSpec::Noop,
     }
 }
 
