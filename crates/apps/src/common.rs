@@ -76,7 +76,8 @@ impl std::fmt::Display for AccessMode {
     }
 }
 
-/// Names of the five benchmarks, in the paper's figure order.
+/// Names of the benchmarks: the paper's five (in figure order) plus the
+/// serving-workload extension family (figure 9).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BenchmarkName {
     /// Fig. 1 — Riemann-sum estimation of π.
@@ -89,10 +90,18 @@ pub enum BenchmarkName {
     Tsp,
     /// Fig. 5 — all-pairs shortest paths.
     Asp,
+    /// Fig. 9 — Zipf-skewed sharded key-value store (serving extension).
+    KvStore,
+    /// Fig. 9 — PageRank over a seeded edge list (serving extension).
+    PageRank,
 }
 
 impl BenchmarkName {
-    /// All benchmarks in figure order.
+    /// The paper's five benchmarks in figure order.
+    ///
+    /// The serving extension apps are deliberately excluded: the fig6–8
+    /// gates reproduce the paper's figures over exactly these five, and the
+    /// serving family has its own sweep ([`BenchmarkName::serving`]).
     pub fn all() -> [BenchmarkName; 5] {
         [
             BenchmarkName::Pi,
@@ -103,7 +112,26 @@ impl BenchmarkName {
         ]
     }
 
-    /// The paper's figure number for this benchmark.
+    /// The serving-workload extension apps (figure 9).
+    pub fn serving() -> [BenchmarkName; 2] {
+        [BenchmarkName::KvStore, BenchmarkName::PageRank]
+    }
+
+    /// Every benchmark the harness knows: the paper's five plus serving.
+    pub fn all_extended() -> [BenchmarkName; 7] {
+        [
+            BenchmarkName::Pi,
+            BenchmarkName::Jacobi,
+            BenchmarkName::Barnes,
+            BenchmarkName::Tsp,
+            BenchmarkName::Asp,
+            BenchmarkName::KvStore,
+            BenchmarkName::PageRank,
+        ]
+    }
+
+    /// The figure number for this benchmark (the paper's 1–5; the serving
+    /// extension apps share the extension figure 9).
     pub fn figure(self) -> usize {
         match self {
             BenchmarkName::Pi => 1,
@@ -111,6 +139,7 @@ impl BenchmarkName {
             BenchmarkName::Barnes => 3,
             BenchmarkName::Tsp => 4,
             BenchmarkName::Asp => 5,
+            BenchmarkName::KvStore | BenchmarkName::PageRank => 9,
         }
     }
 
@@ -122,6 +151,8 @@ impl BenchmarkName {
             BenchmarkName::Barnes => "Barnes-Hut",
             BenchmarkName::Tsp => "TSP",
             BenchmarkName::Asp => "ASP",
+            BenchmarkName::KvStore => "KVStore",
+            BenchmarkName::PageRank => "PageRank",
         }
     }
 }
@@ -208,5 +239,23 @@ mod tests {
         let figures: Vec<usize> = all.iter().map(|b| b.figure()).collect();
         assert_eq!(figures, vec![1, 2, 3, 4, 5]);
         assert_eq!(format!("{}", BenchmarkName::Barnes), "Barnes-Hut");
+    }
+
+    #[test]
+    fn serving_names_share_figure_nine() {
+        let serving = BenchmarkName::serving();
+        assert_eq!(serving.len(), 2);
+        assert!(serving.iter().all(|b| b.figure() == 9));
+        assert_eq!(format!("{}", BenchmarkName::KvStore), "KVStore");
+        assert_eq!(format!("{}", BenchmarkName::PageRank), "PageRank");
+        // The extended enumeration is the paper's five plus serving, with no
+        // duplicates.
+        let all = BenchmarkName::all_extended();
+        assert_eq!(all.len(), 7);
+        for pair in all.iter().enumerate() {
+            for other in all.iter().skip(pair.0 + 1) {
+                assert_ne!(pair.1, other);
+            }
+        }
     }
 }

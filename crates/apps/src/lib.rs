@@ -16,6 +16,14 @@
 //! * [`asp`] — all-pairs shortest paths, Floyd-Warshall with a per-iteration
 //!   pivot-row broadcast (paper: 2000-vertex graph).
 //!
+//! The serving-workload extension (figure 9) adds a sixth family that looks
+//! like production traffic rather than a barrier-phased kernel:
+//!
+//! * [`kvstore`] — a sharded key-value/session store hammered with
+//!   Zipf-skewed reads and a monitor-protected write tail;
+//! * [`graph`] — PageRank over a seeded hub-skewed edge list, with
+//!   irregular, non-strided page access.
+//!
 //! Each module also contains a plain sequential reference implementation the
 //! tests use to verify that the distributed execution computes the right
 //! answer, and every benchmark implements the [`Benchmark`] trait so the
@@ -27,7 +35,9 @@
 pub mod asp;
 pub mod barnes;
 pub mod common;
+pub mod graph;
 pub mod jacobi;
+pub mod kvstore;
 pub mod pi;
 pub mod tsp;
 

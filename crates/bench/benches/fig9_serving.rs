@@ -1,0 +1,175 @@
+//! Figure 9 (extension): the serving-workload family — the Zipf-skewed
+//! sharded KV store and the PageRank kernel — under all three protocols.
+//!
+//! Besides the Criterion-style wall-clock measurements this bench performs
+//! a verification pass over the modeled results; a violation panics, so
+//! `cargo bench` doubles as a gate:
+//!
+//! * **Digests**: each app must compute the same answer under `java_ic`,
+//!   `java_pf` and `java_ad` (the serving apps are as
+//!   protocol-independent as the paper's five).
+//! * **KV throughput**: `java_ad` must serve at least as many operations
+//!   per virtual second as the *worse* of the two fixed protocols — the
+//!   adaptive protocol may split the difference, but it must not lose to
+//!   both.  Strict round first, then an aggregate of fresh rounds
+//!   (throughput inherits the per-round barrier-order jitter of the wall
+//!   times it is derived from).
+//! * **Hint economics**: under the prefetch-directory transport the
+//!   Zipf-skewed KV traffic is the adversarial input for a successor-pair
+//!   predictor (hot keys recur, but in no stable order), and the
+//!   cluster-wide hint-waste bound of figure 8 — wasted hints within 1/8
+//!   of hints sent — must hold here too.
+//! * **PageRank page loads**: the adaptive protocol's page loads on the
+//!   irregular graph traffic must stay within 25% of the `java_pf`
+//!   reference — switching detection modes must not thrash the cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperion::prelude::*;
+use hyperion_apps::common::{protocols_under_test, BenchmarkName};
+use hyperion_bench::{run_point, serving_directory_point, FigureRow, Scale, ADAPTIVE_NODES};
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_serving");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for app in BenchmarkName::serving() {
+        for protocol in protocols_under_test() {
+            group.bench_with_input(
+                BenchmarkId::new(app.to_string(), protocol.name()),
+                &protocol,
+                |b, &protocol| {
+                    b.iter(|| {
+                        run_point(app, Scale::Quick, &myrinet_200(), protocol, ADAPTIVE_NODES)
+                            .seconds
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// One quick-scale row per protocol, in `protocols_under_test()` order
+/// (`java_ic`, `java_pf`, `java_ad`).
+fn protocol_rows(app: BenchmarkName) -> Vec<FigureRow> {
+    protocols_under_test()
+        .into_iter()
+        .map(|protocol| run_point(app, Scale::Quick, &myrinet_200(), protocol, ADAPTIVE_NODES))
+        .collect()
+}
+
+fn assert_same_digest(a: &FigureRow, b: &FigureRow) {
+    let tolerance = a.digest.abs().max(1.0) * 1e-9;
+    assert!(
+        (a.digest - b.digest).abs() <= tolerance,
+        "{}: digest diverged between {} and {} ({} vs {})",
+        a.app,
+        a.protocol_label(),
+        b.protocol_label(),
+        a.digest,
+        b.digest
+    );
+}
+
+fn verify_serving_invariants(_c: &mut Criterion) {
+    println!();
+    println!(
+        "== fig9 verification: serving workloads (Zipf KV store, PageRank), quick scale, \
+         {ADAPTIVE_NODES} nodes =="
+    );
+    for app in BenchmarkName::serving() {
+        let rows = protocol_rows(app);
+        let (ic, pf, ad) = (&rows[0], &rows[1], &rows[2]);
+        for row in &rows {
+            println!(
+                "{:<10} {:<8} {:.4}s  {:>8} ops  {:>10.0} ops/s  p99 {:>8.1} us  {:>6} loads",
+                row.app.to_string(),
+                row.protocol_label(),
+                row.seconds,
+                row.stats.serving_ops,
+                row.serving_ops_per_s(),
+                row.serving_p99_us,
+                row.stats.page_loads,
+            );
+            assert!(row.stats.serving_ops > 0, "{app}: no serving ops recorded");
+            assert!(row.serving_p99_us > 0.0, "{app}: no p99 recorded");
+        }
+        assert_same_digest(ic, pf);
+        assert_same_digest(ic, ad);
+
+        match app {
+            BenchmarkName::KvStore => {
+                // Throughput: java_ad must not lose to *both* fixed
+                // protocols.  Strict round first, then aggregate ops over
+                // aggregate virtual time across fresh rounds.
+                let worse = ic.serving_ops_per_s().min(pf.serving_ops_per_s());
+                if ad.serving_ops_per_s() >= worse {
+                    continue;
+                }
+                let mut totals = [
+                    (ic.stats.serving_ops, ic.seconds),
+                    (pf.stats.serving_ops, pf.seconds),
+                    (ad.stats.serving_ops, ad.seconds),
+                ];
+                for _ in 0..3 {
+                    let fresh = protocol_rows(app);
+                    for (acc, row) in totals.iter_mut().zip(&fresh) {
+                        acc.0 += row.stats.serving_ops;
+                        acc.1 += row.seconds;
+                    }
+                }
+                let rate = |(ops, secs): (u64, f64)| ops as f64 / secs;
+                let worse_total = rate(totals[0]).min(rate(totals[1]));
+                let ad_total = rate(totals[2]);
+                println!(
+                    "  KVStore: strict round missed; aggregate of 4: \
+                     java_ad {ad_total:.0} ops/s vs worse fixed {worse_total:.0} ops/s"
+                );
+                assert!(
+                    ad_total >= worse_total,
+                    "KVStore: java_ad throughput {ad_total:.0} ops/s fell below the worse \
+                     fixed protocol's {worse_total:.0} ops/s aggregated over 4 rounds"
+                );
+            }
+            BenchmarkName::PageRank => {
+                // Irregular traffic must not make the adaptive protocol
+                // thrash: its page loads stay within 25% of the java_pf
+                // reference (plus a small absolute slack for tiny sweeps).
+                let bound = pf.stats.page_loads + pf.stats.page_loads / 4 + 16;
+                assert!(
+                    ad.stats.page_loads <= bound,
+                    "PageRank: java_ad loaded {} pages, above the bound {} derived from \
+                     java_pf's {}",
+                    ad.stats.page_loads,
+                    bound,
+                    pf.stats.page_loads
+                );
+            }
+            other => panic!("unexpected serving app {other}"),
+        }
+    }
+
+    // Hint economics under Zipf traffic: the KV store under the
+    // prefetch-directory transport must hold figure 8's cluster-wide
+    // hint-waste bound (wasted hints within 1/8 of hints sent, floor of 16
+    // so a near-hintless run cannot fail on a single unlucky conversion).
+    let dir = serving_directory_point(BenchmarkName::KvStore, Scale::Quick);
+    let plain = run_point(
+        BenchmarkName::KvStore,
+        Scale::Quick,
+        &myrinet_200(),
+        ProtocolKind::JavaPf,
+        ADAPTIVE_NODES,
+    );
+    assert_same_digest(&plain, &dir);
+    let (sent, wasted) = (dir.stats.hints_sent, dir.stats.hinted_fetches_wasted);
+    assert!(
+        wasted * 8 <= sent.max(16),
+        "KVStore under directory transport: hint waste {wasted} exceeds 1/8 of {sent} hints sent"
+    );
+    println!("  KVStore+dir hint waste: {wasted}/{sent} sent (bound: 1/8)");
+    println!();
+}
+
+criterion_group!(benches, bench_fig9, verify_serving_invariants);
+criterion_main!(benches);

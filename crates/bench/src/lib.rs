@@ -18,6 +18,9 @@
 //! * **Figure 6 (extension)** — [`sweep_adaptive`] compares `java_ic`,
 //!   `java_pf` and the adaptive `java_ad` across all five apps, and
 //!   [`threshold_ablation`] sweeps the adaptive switching threshold.
+//! * **Figure 9 (extension)** — [`sweep_serving`] runs the serving-workload
+//!   family (Zipf-skewed KV store, PageRank) under all three protocols and
+//!   reports throughput plus modeled p99 per operation.
 //! * **CI gate** — [`report`] turns a sweep into `BENCH_<run>.json` and
 //!   compares it against the committed `bench/baseline.json`.
 //!
@@ -32,7 +35,7 @@ pub mod report;
 use hyperion::prelude::*;
 use hyperion::{FaultSpec, StatsSnapshot, WireServiceSnapshot};
 use hyperion_apps::common::{protocols_under_test, Benchmark, BenchmarkName};
-use hyperion_apps::{asp, barnes, jacobi, pi, tsp};
+use hyperion_apps::{asp, barnes, graph, jacobi, kvstore, pi, tsp};
 
 /// Problem-size scale of a sweep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,6 +88,12 @@ pub fn benchmark_at(name: BenchmarkName, scale: Scale) -> Box<dyn Benchmark> {
         (BenchmarkName::Asp, Scale::Quick) => Box::new(asp::AspParams::quick()),
         (BenchmarkName::Asp, Scale::Harness) => Box::new(asp::AspParams::harness()),
         (BenchmarkName::Asp, Scale::Paper) => Box::new(asp::AspParams::paper()),
+        (BenchmarkName::KvStore, Scale::Quick) => Box::new(kvstore::KvStoreParams::quick()),
+        (BenchmarkName::KvStore, Scale::Harness) => Box::new(kvstore::KvStoreParams::harness()),
+        (BenchmarkName::KvStore, Scale::Paper) => Box::new(kvstore::KvStoreParams::paper()),
+        (BenchmarkName::PageRank, Scale::Quick) => Box::new(graph::PageRankParams::quick()),
+        (BenchmarkName::PageRank, Scale::Harness) => Box::new(graph::PageRankParams::harness()),
+        (BenchmarkName::PageRank, Scale::Paper) => Box::new(graph::PageRankParams::paper()),
     }
 }
 
@@ -138,12 +147,27 @@ pub struct FigureRow {
     /// byte counts and wall-clock round-trip times that the
     /// modeled-vs-measured report compares against the cost model.
     pub wire: Vec<(String, WireServiceSnapshot)>,
+    /// Modeled p99 latency of one serving-style operation, in microseconds
+    /// of virtual time (0 for the paper's batch kernels, which record no
+    /// serving operations).
+    pub serving_p99_us: f64,
 }
 
 impl FigureRow {
     /// Protocol plus transport-variant label (`java_pf+ov`, `java_ad`...).
     pub fn protocol_label(&self) -> String {
         format!("{}{}", self.protocol.name(), self.variant)
+    }
+
+    /// Serving-style throughput: operations completed per virtual second
+    /// (0 for the paper's batch kernels, which record no serving
+    /// operations).
+    pub fn serving_ops_per_s(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.stats.serving_ops as f64 / self.seconds
+        }
     }
 }
 
@@ -153,13 +177,14 @@ impl FigureRow {
         "figure,app,cluster,protocol,nodes,exec_seconds,digest,locality_checks,page_faults,\
          mprotect_calls,page_loads,diff_messages,bytes_moved,remote_monitor_acquires,\
          barrier_waits,batched_fetches,pages_prefetched,protocol_switches,batched_flushes,\
-         pages_migrated,fetch_overlap_cycles_hidden"
+         pages_migrated,fetch_overlap_cycles_hidden,serving_ops,serving_ops_per_s,\
+         serving_p99_us"
     }
 
     /// Serialise as one CSV line.
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3}",
             self.figure,
             self.app,
             self.cluster,
@@ -181,6 +206,9 @@ impl FigureRow {
             self.stats.batched_flushes,
             self.stats.pages_migrated,
             self.stats.fetch_overlap_cycles_hidden,
+            self.stats.serving_ops,
+            self.serving_ops_per_s(),
+            self.serving_p99_us,
         )
     }
 }
@@ -290,6 +318,7 @@ fn run_figure_point(
         stats: report.total_stats(),
         transport: report.transport,
         wire: report.wire,
+        serving_p99_us: report.serving_p99.as_ps() as f64 / 1e6,
     }
 }
 
@@ -440,7 +469,7 @@ pub fn transport_pair(app: BenchmarkName, scale: Scale) -> Option<TransportPair>
                 }),
             })
         }
-        BenchmarkName::Pi => None,
+        BenchmarkName::Pi | BenchmarkName::KvStore | BenchmarkName::PageRank => None,
     }
 }
 
@@ -568,8 +597,10 @@ pub fn deferred_pair(app: BenchmarkName, scale: Scale) -> DirectoryPair {
 /// The CI-tracked sweep behind `BENCH_<run>.json`: all five apps under all
 /// three protocols on the Myrinet cluster at [`ADAPTIVE_NODES`] nodes, plus
 /// the figure-7 transport-variant rows (overlapped fetches on Jacobi/ASP,
-/// home migration on TSP/Barnes) and the figure-8 directory/deferred rows,
-/// so their deltas are tracked by the baseline gate too.
+/// home migration on TSP/Barnes), the figure-8 directory/deferred rows and
+/// the figure-9 serving rows (KV store and PageRank under all three
+/// protocols, with throughput and modeled p99), so their deltas are tracked
+/// by the baseline gate too.
 pub fn bench_report_rows(scale: Scale) -> Vec<FigureRow> {
     let cluster = myrinet_200();
     let mut rows = Vec::new();
@@ -590,12 +621,65 @@ pub fn bench_report_rows(scale: Scale) -> Vec<FigureRow> {
     for pair in sweep_directory(scale) {
         rows.push(pair.enabled);
     }
+    rows.extend(sweep_serving(scale));
     rows
+}
+
+/// The figure number used for the serving-workload comparison (the
+/// Zipf-skewed KV store and the PageRank kernel under all three protocols,
+/// reported as throughput and modeled p99 per operation).
+pub const SERVING_FIGURE: usize = 9;
+
+/// Figure 9 (extension): the serving-workload family — the sharded KV store
+/// and the PageRank kernel — under `java_ic`, `java_pf` and `java_ad` on
+/// the Myrinet cluster at [`ADAPTIVE_NODES`] nodes, plus one KV point under
+/// the prefetch-directory transport of figure 8 so the hint economics of
+/// Zipf-skewed traffic are tracked next to the strided kernels.  Serving
+/// rows carry throughput ([`FigureRow::serving_ops_per_s`]) and modeled p99
+/// per operation ([`FigureRow::serving_p99_us`]) on top of the usual event
+/// counters.
+pub fn sweep_serving(scale: Scale) -> Vec<FigureRow> {
+    let cluster = myrinet_200();
+    let mut rows = Vec::new();
+    for name in BenchmarkName::serving() {
+        for protocol in protocols_under_test() {
+            let mut row = run_point(name, scale, &cluster, protocol, ADAPTIVE_NODES);
+            row.figure = SERVING_FIGURE;
+            rows.push(row);
+        }
+    }
+    rows.push(serving_directory_point(BenchmarkName::KvStore, scale));
+    rows
+}
+
+/// One serving app under the prefetch-directory transport
+/// ([`hyperion::TransportConfig::directory`]) — the point the figure-9
+/// hint-waste gate inspects.  Zipf-skewed traffic is the adversarial input
+/// for a successor-pair predictor (hot keys recur, but in no stable order),
+/// so the cluster-wide hint-waste bound must hold here and not just on the
+/// strided kernels of figure 8.  Runs unpaced like the other statically
+/// divided directory points.
+pub fn serving_directory_point(name: BenchmarkName, scale: Scale) -> FigureRow {
+    let cluster = myrinet_200();
+    let directory = TransportConfig::directory();
+    let mut row = run_figure_point(
+        name,
+        scale,
+        &cluster,
+        ProtocolKind::JavaPf,
+        ADAPTIVE_NODES,
+        &AdaptiveParams::default(),
+        &directory,
+        plus(directory.predictor_spec().name()),
+        true,
+    );
+    row.figure = SERVING_FIGURE;
+    row
 }
 
 /// The figure number used for the modeled-vs-measured transport report
 /// (modeled virtual-time RPC cost next to wall-clock socket round trips).
-pub const WIRE_FIGURE: usize = 9;
+pub const WIRE_FIGURE: usize = 11;
 
 /// The modeled-vs-measured sweep behind `figures --transport socket`: all
 /// five apps under all three protocols on the Myrinet cluster at
@@ -998,6 +1082,39 @@ mod tests {
             assert_eq!(row.protocol, ProtocolKind::JavaAd);
             assert!((row.digest - std::f64::consts::PI).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn serving_rows_carry_throughput_and_p99() {
+        let row = run_point(
+            BenchmarkName::KvStore,
+            Scale::Quick,
+            &myrinet_200(),
+            ProtocolKind::JavaAd,
+            2,
+        );
+        assert_eq!(row.figure, SERVING_FIGURE);
+        assert!(row.stats.serving_ops > 0);
+        assert!(row.serving_ops_per_s() > 0.0);
+        assert!(row.serving_p99_us > 0.0);
+        // The serving columns ride at the end of the CSV row.
+        assert_eq!(
+            row.to_csv().matches(',').count(),
+            FigureRow::csv_header().matches(',').count()
+        );
+        assert!(FigureRow::csv_header().ends_with("serving_p99_us"));
+
+        // Batch kernels record no serving operations.
+        let pi = run_point(
+            BenchmarkName::Pi,
+            Scale::Quick,
+            &myrinet_200(),
+            ProtocolKind::JavaPf,
+            2,
+        );
+        assert_eq!(pi.stats.serving_ops, 0);
+        assert_eq!(pi.serving_ops_per_s(), 0.0);
+        assert_eq!(pi.serving_p99_us, 0.0);
     }
 
     #[test]

@@ -9,16 +9,18 @@
 //!
 //! * `--fig N`     regenerate figure N (1–5 from the paper, 6 for the
 //!   ic/pf/ad adaptive comparison, 7 for the split-transaction transport,
-//!   8 for the prefetch directory & deferred release); may be repeated.
-//!   Default: all of 1–5.
+//!   8 for the prefetch directory & deferred release, 9 for the serving
+//!   workloads: Zipf-skewed KV store and PageRank with throughput and
+//!   modeled p99 per operation); may be repeated.  Default: all of 1–5.
 //! * `--tables`    print Table 1 (module inventory) and Table 2 (primitives).
 //! * `--claims`    print the derived `java_ic` → `java_pf` improvements that
 //!   correspond to the quantitative claims of §4.3.
 //! * `--scale`     problem-size scale (default `harness`).
 //! * `--quick`     shorthand for `--scale quick` (the CI invocation).
-//! * `--json`      run the CI-tracked sweep (five apps × three protocols)
-//!   and write it to `BENCH_<run>.json` (`<run>` is `$GITHUB_RUN_ID`, or
-//!   `local`).
+//! * `--json`      run the CI-tracked sweep (five apps × three protocols,
+//!   the figure 7–8 transport variants and the figure-9 serving rows with
+//!   their throughput/p99 fields) and write it to `BENCH_<run>.json`
+//!   (`<run>` is `$GITHUB_RUN_ID`, or `local`).
 //! * `--baseline PATH` compare the CI-tracked sweep against a committed
 //!   baseline report and exit non-zero if a tracked metric (modeled wall
 //!   time, page loads, invalidated pages) regressed more than 10%; the
@@ -49,8 +51,9 @@ use hyperion::FaultSpec;
 use hyperion_apps::common::BenchmarkName;
 use hyperion_bench::{
     bench_report_rows, improvement_summary, report, sweep_adaptive, sweep_chaos, sweep_directory,
-    sweep_figure, sweep_modeled_vs_measured, sweep_transport, table1_modules, table2_primitives,
-    threshold_ablation, FigureRow, Scale, ADAPTIVE_FIGURE, DIRECTORY_FIGURE, TRANSPORT_FIGURE,
+    sweep_figure, sweep_modeled_vs_measured, sweep_serving, sweep_transport, table1_modules,
+    table2_primitives, threshold_ablation, FigureRow, Scale, ADAPTIVE_FIGURE, DIRECTORY_FIGURE,
+    SERVING_FIGURE, TRANSPORT_FIGURE,
 };
 
 struct Options {
@@ -87,9 +90,9 @@ fn parse_args() -> Options {
                 let n: usize = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--fig needs a number between 1 and 8"));
-                if !(1..=DIRECTORY_FIGURE).contains(&n) {
-                    die("--fig needs a number between 1 and 8");
+                    .unwrap_or_else(|| die("--fig needs a number between 1 and 9"));
+                if !(1..=SERVING_FIGURE).contains(&n) {
+                    die("--fig needs a number between 1 and 9");
                 }
                 opts.figures.push(n);
                 any_selector = true;
@@ -308,6 +311,36 @@ fn print_directory_figure(scale: Scale) -> Vec<FigureRow> {
     rows
 }
 
+/// Figure 9: the serving-workload family — the Zipf-skewed sharded KV store
+/// and the PageRank kernel — under all three protocols, reported as
+/// throughput and modeled p99 per operation next to the usual counters.
+fn print_serving_figure(scale: Scale) -> Vec<FigureRow> {
+    let rows = sweep_serving(scale);
+    println!(
+        "== Figure 9 (extension): serving workloads (Zipf KV store, PageRank), {} nodes ==",
+        hyperion_bench::ADAPTIVE_NODES
+    );
+    println!(
+        "{:<10} {:<14} {:>12} {:>12} {:>12} {:>12} {:>7} {:>8}",
+        "App", "variant", "exec (s)", "ops", "ops/s", "p99 (us)", "hints", "wasted"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:<14} {:>12.4} {:>12} {:>12.0} {:>12.1} {:>7} {:>8}",
+            r.app.to_string(),
+            r.protocol_label(),
+            r.seconds,
+            r.stats.serving_ops,
+            r.serving_ops_per_s(),
+            r.serving_p99_us,
+            r.stats.hints_sent,
+            r.stats.hinted_fetches_wasted,
+        );
+    }
+    println!();
+    rows
+}
+
 /// The `--json` / `--baseline` path: run the CI-tracked sweep, optionally
 /// write `BENCH_<run>.json`, optionally gate against a committed baseline.
 /// Returns `true` if the baseline gate failed.
@@ -499,7 +532,9 @@ fn print_claims(all_rows: &[FigureRow]) {
 
 fn write_csv(dir: &str, rows: &[FigureRow]) {
     let fig = rows.first().map(|r| r.figure).unwrap_or(0);
-    let app = if fig == DIRECTORY_FIGURE {
+    let app = if fig == SERVING_FIGURE {
+        "serving".to_string()
+    } else if fig == DIRECTORY_FIGURE {
         "directory".to_string()
     } else if fig == TRANSPORT_FIGURE {
         "transport".to_string()
@@ -533,7 +568,9 @@ fn main() {
 
     let mut all_rows = Vec::new();
     for &fig in &opts.figures {
-        let rows = if fig == DIRECTORY_FIGURE {
+        let rows = if fig == SERVING_FIGURE {
+            print_serving_figure(opts.scale)
+        } else if fig == DIRECTORY_FIGURE {
             print_directory_figure(opts.scale)
         } else if fig == TRANSPORT_FIGURE {
             print_transport_figure(opts.scale)

@@ -94,6 +94,16 @@ pub struct ReportRow {
     pub deferred_flushes: u64,
     /// Informational: flush latency cycles hidden by deferred release.
     pub flush_overlap_cycles_hidden: u64,
+    /// Serving-style operations completed (0 for the batch kernels); when
+    /// non-zero, the throughput floor and p99 ceiling below are gated.
+    pub serving_ops: u64,
+    /// Serving throughput in operations per virtual second.  Tracked
+    /// higher-is-better: the gate flags a run *below* the baseline floor,
+    /// and envelopes fold it as the *minimum* across runs.
+    pub serving_ops_per_s: f64,
+    /// Modeled p99 latency of one serving operation in microseconds.
+    /// Tracked lower-is-better like the other time metrics.
+    pub serving_p99_us: f64,
 }
 
 /// Loads (or similar counters) per epoch, with an epoch-free run counting
@@ -141,6 +151,9 @@ impl From<&FigureRow> for ReportRow {
             hinted_fetches_wasted: row.stats.hinted_fetches_wasted,
             deferred_flushes: row.stats.deferred_flushes,
             flush_overlap_cycles_hidden: row.stats.flush_overlap_cycles_hidden,
+            serving_ops: row.stats.serving_ops,
+            serving_ops_per_s: row.serving_ops_per_s(),
+            serving_p99_us: row.serving_p99_us,
         }
     }
 }
@@ -192,6 +205,11 @@ pub fn envelope(runs: &[Vec<FigureRow>]) -> Vec<ReportRow> {
             acc.flush_overlap_cycles_hidden = acc
                 .flush_overlap_cycles_hidden
                 .max(next.flush_overlap_cycles_hidden);
+            acc.serving_ops = acc.serving_ops.max(next.serving_ops);
+            // Throughput is higher-is-better, so the worst-case envelope
+            // keeps the *minimum* observed rate (the floor the gate holds).
+            acc.serving_ops_per_s = acc.serving_ops_per_s.min(next.serving_ops_per_s);
+            acc.serving_p99_us = acc.serving_p99_us.max(next.serving_p99_us);
         }
     }
     out
@@ -216,7 +234,8 @@ pub fn report_to_json(run: &str, scale: &str, rows: &[ReportRow]) -> String {
              \"fetch_overlap_cycles_hidden\": {}, \"hints_sent\": {}, \
              \"hinted_fetches_issued\": {}, \"hinted_fetches_completed\": {}, \
              \"hinted_fetches_wasted\": {}, \"deferred_flushes\": {}, \
-             \"flush_overlap_cycles_hidden\": {}}}{}\n",
+             \"flush_overlap_cycles_hidden\": {}, \"serving_ops\": {}, \
+             \"serving_ops_per_s\": {:.3}, \"serving_p99_us\": {:.3}}}{}\n",
             quote(&r.app),
             quote(&r.protocol),
             quote(&r.cluster),
@@ -243,6 +262,9 @@ pub fn report_to_json(run: &str, scale: &str, rows: &[ReportRow]) -> String {
             r.hinted_fetches_wasted,
             r.deferred_flushes,
             r.flush_overlap_cycles_hidden,
+            r.serving_ops,
+            r.serving_ops_per_s,
+            r.serving_p99_us,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -331,6 +353,15 @@ pub fn parse_report(json: &str) -> Result<Vec<ReportRow>, String> {
                 hinted_fetches_wasted: counter("hinted_fetches_wasted").unwrap_or(0),
                 deferred_flushes: counter("deferred_flushes").unwrap_or(0),
                 flush_overlap_cycles_hidden: counter("flush_overlap_cycles_hidden").unwrap_or(0),
+                serving_ops: counter("serving_ops").unwrap_or(0),
+                serving_ops_per_s: row
+                    .get("serving_ops_per_s")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
+                serving_p99_us: row
+                    .get("serving_p99_us")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
             })
         })
         .collect()
@@ -424,6 +455,36 @@ pub fn compare_to_baseline(
                 base.exec_seconds * (1.0 + tolerance),
             );
         }
+        if base.serving_ops > 0 {
+            // Serving rows additionally gate the two serving headline
+            // metrics.  p99 is lower-is-better, but it is a tail statistic —
+            // the 10th-worst op of a kilo-op quick run — and sits right at
+            // the adaptive protocol's fault-vs-check boundary, so between
+            // runs it flips modes by several-fold.  The gate therefore holds
+            // an 8x blow-up ceiling (plus 1 µs for tiny baselines): mode
+            // flips pass, a runaway tail (retry storms, flapping pages)
+            // still fails.  Throughput is higher-is-better, so the
+            // regression direction flips — the gate holds a *floor* under
+            // the measured rate.
+            flag(
+                "serving_p99_us",
+                base.serving_p99_us,
+                now.serving_p99_us,
+                base.serving_p99_us * 8.0 + 1.0,
+            );
+            let floor = base.serving_ops_per_s * (1.0 - tolerance);
+            if now.serving_ops_per_s < floor {
+                regressions.push(format!(
+                    "{}/{} @ {} nodes: serving_ops_per_s regressed {:.1} -> {:.1} (floor {:.1})",
+                    base.app,
+                    base.protocol,
+                    base.nodes,
+                    base.serving_ops_per_s,
+                    now.serving_ops_per_s,
+                    floor
+                ));
+            }
+        }
     }
     regressions
 }
@@ -463,9 +524,33 @@ pub fn markdown_summary(
         baseline.len(),
         regressions.len()
     ));
+    // Serving rows (KV store, PageRank) additionally show their headline
+    // throughput and modeled p99; the batch kernels show "—".
+    let serving = |row: &ReportRow, b: Option<&&ReportRow>| -> (String, String) {
+        if row.serving_ops == 0 {
+            return ("—".to_string(), "—".to_string());
+        }
+        let ops = match b.filter(|b| b.serving_ops > 0) {
+            Some(b) => format!(
+                "{:.0} ({})",
+                row.serving_ops_per_s,
+                delta(b.serving_ops_per_s, row.serving_ops_per_s)
+            ),
+            None => format!("{:.0}", row.serving_ops_per_s),
+        };
+        let p99 = match b.filter(|b| b.serving_ops > 0) {
+            Some(b) => format!(
+                "{:.1} ({})",
+                row.serving_p99_us,
+                delta(b.serving_p99_us, row.serving_p99_us)
+            ),
+            None => format!("{:.1}", row.serving_p99_us),
+        };
+        (ops, p99)
+    };
     out.push_str(
-        "| app | protocol | nodes | exec (s) | Δ exec | page loads | Δ loads | Δ loads/epoch | status |\n\
-         |---|---|---|---|---|---|---|---|---|\n",
+        "| app | protocol | nodes | exec (s) | Δ exec | page loads | Δ loads | Δ loads/epoch | ops/s | p99 (µs) | status |\n\
+         |---|---|---|---|---|---|---|---|---|---|---|\n",
     );
     for row in current {
         let key = row.key();
@@ -481,9 +566,10 @@ pub fn markdown_summary(
         } else {
             "🆕 no baseline"
         };
+        let (ops_cell, p99_cell) = serving(row, base.get(&key));
         match base.get(&key) {
             Some(b) => out.push_str(&format!(
-                "| {} | {} | {} | {:.4} | {} | {} | {} | {} | {} |\n",
+                "| {} | {} | {} | {:.4} | {} | {} | {} | {} | {} | {} | {} |\n",
                 row.app,
                 row.protocol,
                 row.nodes,
@@ -492,11 +578,20 @@ pub fn markdown_summary(
                 row.page_loads,
                 delta(b.page_loads as f64, row.page_loads as f64),
                 delta(b.loads_per_epoch, row.loads_per_epoch),
+                ops_cell,
+                p99_cell,
                 status
             )),
             None => out.push_str(&format!(
-                "| {} | {} | {} | {:.4} | — | {} | — | — | {} |\n",
-                row.app, row.protocol, row.nodes, row.exec_seconds, row.page_loads, status
+                "| {} | {} | {} | {:.4} | — | {} | — | — | {} | {} | {} |\n",
+                row.app,
+                row.protocol,
+                row.nodes,
+                row.exec_seconds,
+                row.page_loads,
+                ops_cell,
+                p99_cell,
+                status
             )),
         }
     }
@@ -982,6 +1077,9 @@ mod tests {
             hinted_fetches_wasted: 0,
             deferred_flushes: 0,
             flush_overlap_cycles_hidden: 0,
+            serving_ops: 0,
+            serving_ops_per_s: 0.0,
+            serving_p99_us: 0.0,
         });
         let findings = compare_to_baseline(&rows, &baseline, DEFAULT_TOLERANCE);
         assert!(findings.iter().any(|f| f.contains("not measured")));
@@ -991,6 +1089,71 @@ mod tests {
             row.page_loads = row.page_loads.saturating_sub(2);
         }
         assert!(compare_to_baseline(&rows, &noisy, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn serving_gate_tracks_throughput_floor_and_p99_ceiling() {
+        let row = run_point(
+            BenchmarkName::KvStore,
+            Scale::Quick,
+            &sci_450(),
+            ProtocolKind::JavaAd,
+            2,
+        );
+        let current = vec![ReportRow::from(&row)];
+        assert!(current[0].serving_ops > 0);
+        assert!(current[0].serving_ops_per_s > 0.0);
+        // A KV op that misses a page pays a remote fetch, so the tail is
+        // well above the 1 µs absolute slack of the gate.
+        assert!(current[0].serving_p99_us > 1.0);
+
+        // The serving fields round-trip through the JSON report and a fresh
+        // report never regresses against itself.
+        let parsed = parse_report(&report_to_json("x", "quick", &current)).unwrap();
+        assert_eq!(parsed[0].serving_ops, current[0].serving_ops);
+        assert!((parsed[0].serving_ops_per_s - current[0].serving_ops_per_s).abs() < 1e-2);
+        assert!((parsed[0].serving_p99_us - current[0].serving_p99_us).abs() < 1e-2);
+        assert!(compare_to_baseline(&current, &parsed, DEFAULT_TOLERANCE).is_empty());
+
+        // A baseline with twice the throughput flags the measured drop
+        // (higher-is-better: the gate holds a floor)...
+        let mut fast = parsed.clone();
+        fast[0].serving_ops_per_s = current[0].serving_ops_per_s * 2.0;
+        let findings = compare_to_baseline(&current, &fast, DEFAULT_TOLERANCE);
+        assert!(
+            findings.iter().any(|f| f.contains("serving_ops_per_s")),
+            "{findings:?}"
+        );
+        // ...and a baseline whose tail the measurement blows past the 8x
+        // mode-flip ceiling flags the p99 growth.
+        let mut tight = parsed.clone();
+        tight[0].serving_p99_us = (current[0].serving_p99_us / 16.0 - 1.0).max(0.0);
+        let findings = compare_to_baseline(&current, &tight, DEFAULT_TOLERANCE);
+        assert!(
+            findings.iter().any(|f| f.contains("serving_p99_us")),
+            "{findings:?}"
+        );
+
+        // The envelope keeps the *worst* serving numbers: minimum
+        // throughput, maximum p99.
+        let mut slow = row.clone();
+        slow.seconds *= 2.0;
+        slow.serving_p99_us *= 2.0;
+        let env = envelope(&[vec![row.clone()], vec![slow.clone()]]);
+        let slow_row = ReportRow::from(&slow);
+        assert!((env[0].serving_ops_per_s - slow_row.serving_ops_per_s).abs() < 1e-9);
+        assert!((env[0].serving_p99_us - slow_row.serving_p99_us).abs() < 1e-9);
+
+        // Batch kernels gate nothing extra: their serving fields are zero.
+        let pi = ReportRow::from(&run_point(
+            BenchmarkName::Pi,
+            Scale::Quick,
+            &sci_450(),
+            ProtocolKind::JavaPf,
+            2,
+        ));
+        assert_eq!(pi.serving_ops, 0);
+        assert_eq!(pi.serving_ops_per_s, 0.0);
     }
 
     #[test]

@@ -174,6 +174,17 @@ pub struct PageFrame {
     /// Prefetch directory: sequence number at which that successor pair was
     /// last observed.
     dir_next_seq: AtomicU64,
+    /// Prefetch directory: how many times in a row the *same* successor has
+    /// been observed (reset to 1 when the candidate is replaced).
+    dir_next_hits: AtomicU64,
+    /// Prefetch directory: sequence number at which the successor slot was
+    /// last *replaced* by a different non-empty pair (0 = never).  Random
+    /// traffic (e.g. Zipf-skewed key lookups) overwrites the slot on almost
+    /// every fetch, so a recent replacement marks the slot as churning —
+    /// its candidate is indistinguishable from noise until the same pair
+    /// repeats.  First-time learning and stable re-fetch sequences never
+    /// trip this, so the strided apps keep hinting from their first epoch.
+    dir_next_flip_seq: AtomicU64,
     /// Home migration (home frames only): Boyer–Moore majority candidate for
     /// the dominant diff writer, stored as `writer + 1` (0 = none).
     mig_candidate: AtomicU64,
@@ -214,6 +225,8 @@ impl PageFrame {
             dir_prev_req: AtomicU64::new(0),
             dir_next_page: AtomicU64::new(0),
             dir_next_seq: AtomicU64::new(0),
+            dir_next_hits: AtomicU64::new(0),
+            dir_next_flip_seq: AtomicU64::new(0),
             mig_candidate: AtomicU64::new(0),
             mig_count: AtomicU64::new(0),
             mig_required: AtomicU64::new(0),
@@ -473,17 +486,39 @@ impl PageFrame {
     /// after fetching this page (a successor pair learned at sequence
     /// `seq`).
     pub fn dir_record_next(&self, next: u64, seq: u64) {
-        self.dir_next_page.store(next + 1, Ordering::Relaxed);
+        let tagged = next + 1;
+        let prev = self.dir_next_page.swap(tagged, Ordering::Relaxed);
+        if prev == tagged {
+            self.dir_next_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.dir_next_hits.store(1, Ordering::Relaxed);
+            if prev != 0 {
+                // Replacing one learned pair with a different one: the
+                // churn signature of random fetch sequences.
+                self.dir_next_flip_seq.store(seq, Ordering::Relaxed);
+            }
+        }
         self.dir_next_seq.store(seq, Ordering::Relaxed);
     }
 
     /// The page id some requester followed this page with, if that
     /// observation is within the last `window` home-fetch events before
-    /// `now_seq`.
+    /// `now_seq` and the slot is not *churning*: a pair that was recently
+    /// replaced by a different one and has not been re-confirmed since is
+    /// noise (random traffic overwrites the slot on almost every fetch),
+    /// while a freshly learned or stably repeating pair hints immediately.
     pub fn dir_recent_next(&self, now_seq: u64, window: u64) -> Option<u64> {
         let next = self.dir_next_page.load(Ordering::Relaxed);
         let seq = self.dir_next_seq.load(Ordering::Relaxed);
-        if next != 0 && seq != 0 && now_seq.saturating_sub(seq) <= window {
+        let flip = self.dir_next_flip_seq.load(Ordering::Relaxed);
+        // Re-confirmation depth 3: under skewed random traffic the popular
+        // successors repeat by coincidence often enough that one repeat is
+        // weak evidence, but two consecutive repeats are quadratically
+        // rarer.  Stable pairs never flip, so they are exempt.
+        let churning = flip != 0
+            && now_seq.saturating_sub(flip) <= window
+            && self.dir_next_hits.load(Ordering::Relaxed) < 3;
+        if next != 0 && seq != 0 && !churning && now_seq.saturating_sub(seq) <= window {
             Some(next - 1)
         } else {
             None

@@ -236,8 +236,10 @@ impl Predictor for DirectoryPredictor {
             // Learn the successor pair: the caller followed its previous
             // page from this home with this span.  This is what lets the
             // directory predict non-contiguous re-fetch sequences (e.g.
-            // the two pages a boundary row spans) from the second epoch
-            // on.
+            // the two pages a boundary row spans).  The frame tracks slot
+            // churn so that random (Zipf-skewed) traffic — which replaces
+            // the candidate on almost every fetch — stays silent while
+            // freshly learned and stably repeating pairs hint immediately.
             store.with_frame(store.home_of(PageId(prev - 1)), PageId(prev - 1), |f| {
                 f.dir_record_next(first.0, seq)
             });

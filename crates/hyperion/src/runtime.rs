@@ -453,6 +453,10 @@ pub(crate) struct RuntimeShared {
     pub(crate) finish: TimeWatermark,
     pub(crate) active_children: AtomicUsize,
     pub(crate) progress: ProgressTable,
+    /// Modeled per-operation latencies (picoseconds) recorded by
+    /// [`ThreadCtx::record_serving_op`]; folded into the report's tail
+    /// percentiles when the run ends.
+    pub(crate) serving_latencies: parking_lot::Mutex<Vec<u64>>,
 }
 
 /// The distributed JVM image for one experiment run.
@@ -496,6 +500,7 @@ impl HyperionRuntime {
                 finish: TimeWatermark::new(),
                 active_children: AtomicUsize::new(0),
                 progress: ProgressTable::default(),
+                serving_latencies: parking_lot::Mutex::new(Vec::new()),
             }),
         })
     }
@@ -579,6 +584,19 @@ impl HyperionRuntime {
                 (name.to_string(), snap)
             })
             .collect();
+        // Exact tail percentile over every serving operation the program
+        // recorded: sort once at run end rather than maintaining a digest
+        // structure — op counts are bounded by the workload parameters.
+        let serving_p99 = {
+            let mut latencies = shared.serving_latencies.lock();
+            if latencies.is_empty() {
+                VTime::ZERO
+            } else {
+                latencies.sort_unstable();
+                let rank = (latencies.len() as f64 * 0.99).ceil() as usize;
+                VTime::from_ps(latencies[rank.clamp(1, latencies.len()) - 1])
+            }
+        };
         let report = RunReport {
             protocol: shared.config.protocol,
             cluster_label: shared.config.cluster.label().to_string(),
@@ -589,6 +607,7 @@ impl HyperionRuntime {
             node_stats,
             transport: shared.cluster.transport().name(),
             wire,
+            serving_p99,
         };
         RunOutcome { result, report }
     }
@@ -638,6 +657,10 @@ pub struct RunReport {
     /// by socket backends with real byte counts and wall-clock round-trip
     /// times next to the modeled virtual-time spans.
     pub wire: Vec<(String, WireServiceSnapshot)>,
+    /// Modeled 99th-percentile latency over every serving operation the
+    /// program recorded via [`ThreadCtx::record_serving_op`]
+    /// ([`VTime::ZERO`] when the program recorded none).
+    pub serving_p99: VTime,
 }
 
 impl RunReport {
@@ -649,6 +672,22 @@ impl RunReport {
     /// Execution time in virtual seconds (the unit of the paper's figures).
     pub fn seconds(&self) -> f64 {
         self.execution_time.as_secs_f64()
+    }
+
+    /// Serving operations completed cluster-wide (zero unless the program
+    /// recorded operations via [`ThreadCtx::record_serving_op`]).
+    pub fn serving_ops(&self) -> u64 {
+        self.total_stats().serving_ops
+    }
+
+    /// Serving throughput in operations per modeled second.
+    pub fn serving_ops_per_sec(&self) -> f64 {
+        let secs = self.seconds();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.serving_ops() as f64 / secs
+        }
     }
 
     /// A short multi-line human-readable summary.
@@ -855,6 +894,20 @@ impl ThreadCtx {
     /// cluster's CPU.
     pub fn estimate(&self, mix: &OpCounts) -> WorkEstimate {
         self.shared.cluster.machine().cpu.estimate(mix)
+    }
+
+    /// Record one completed serving-style operation (a KV request, a vertex
+    /// update) whose modeled latency was `latency` — the span of this
+    /// thread's virtual clock across the operation.
+    ///
+    /// The counters feed the serving-throughput report rows; the raw
+    /// latencies are kept until run end and folded into the exact
+    /// 99th-percentile of [`RunReport::serving_p99`].
+    pub fn record_serving_op(&mut self, latency: VTime) {
+        let stats = &self.shared.cluster.node(self.node).stats;
+        NodeStats::bump(&stats.serving_ops);
+        NodeStats::bump_by(&stats.serving_op_ps_total, latency.as_ps());
+        self.shared.serving_latencies.lock().push(latency.as_ps());
     }
 
     // ----- raw DSM access (Table 2 primitives) ------------------------------

@@ -143,6 +143,10 @@ define_stats! {
     nodes_failed,
     /// Pages re-homed and re-synced onto a survivor after their home failed.
     pages_resynced,
+    /// Serving-style operations completed by threads of this node (KV requests, vertex updates).
+    serving_ops,
+    /// Total modeled latency of the serving operations, in picoseconds (divide by `serving_ops` for the mean).
+    serving_op_ps_total,
 }
 
 impl NodeStats {
@@ -370,7 +374,7 @@ mod tests {
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
-        assert_eq!(names.len(), 43);
+        assert_eq!(names.len(), 45);
         for added in [
             "batched_flushes",
             "rpc_retries",
@@ -388,6 +392,8 @@ mod tests {
             "hinted_fetches_reissued",
             "deferred_flushes",
             "flush_overlap_cycles_hidden",
+            "serving_ops",
+            "serving_op_ps_total",
         ] {
             assert!(names.contains(&added), "missing {added}");
         }

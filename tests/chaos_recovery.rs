@@ -17,7 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use hyperion_workspace::apps::common::Benchmark;
-use hyperion_workspace::apps::{asp, barnes, jacobi, pi, tsp};
+use hyperion_workspace::apps::{asp, barnes, jacobi, kvstore, pi, tsp};
 use hyperion_workspace::dsm::{AdaptiveParams, DsmStore, DsmSystem};
 use hyperion_workspace::model::{myrinet_200, ThreadClock, VTime};
 use hyperion_workspace::pm2::{
@@ -137,6 +137,44 @@ fn seeded_fault_schedules_preserve_all_digests() {
             });
         }
     }
+}
+
+/// The serving tentpole's chaos property: a Zipf-skewed KV serving run with
+/// a node kill in the middle of its request stream still completes every
+/// operation and computes the same digest.  Unlike the digest sweep above,
+/// the kill here is unconditional and aimed inside the serving window, and
+/// the op count is checked exactly: recovery may re-route and retry, but it
+/// may neither drop nor double-count a serving operation.
+#[test]
+fn kv_store_kill_schedules_preserve_digest_and_op_count() {
+    let bench = kvstore::KvStoreParams::quick();
+    let (reference, clean) = execute(&bench, ProtocolKind::JavaAd, &TransportConfig::default());
+    let expected_ops = clean.total_stats().serving_ops;
+    assert!(expected_ops > 0, "quick KV run recorded no serving ops");
+    property(3, |seed, rng| {
+        let mut spec = random_spec(rng);
+        spec.kill = Some(FaultKill {
+            node: rng.gen_range(0..NODES as u32),
+            at: VTime::from_us(rng.gen_range(100..2_000)),
+        });
+        let transport = TransportConfig {
+            fault: Some(spec),
+            replication: Some((2, 2)),
+            ..TransportConfig::default()
+        };
+        let (digest, report) = execute(&bench, ProtocolKind::JavaAd, &transport);
+        assert!(
+            (digest - reference).abs() <= reference.abs().max(1.0) * 1e-9,
+            "KVStore diverged with seed {seed} / spec `{spec}`: \
+             fault-free {reference} vs faulted {digest}",
+        );
+        let total = report.total_stats();
+        assert_eq!(
+            total.serving_ops, expected_ops,
+            "seed {seed}: serving ops dropped or double-counted under faults"
+        );
+        assert!(total.nodes_failed <= 1, "seed {seed}: two nodes failed");
+    });
 }
 
 /// Replaying the same spec must reproduce the fault counters exactly — the
