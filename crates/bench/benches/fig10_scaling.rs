@@ -1,0 +1,110 @@
+//! Figure 10 (extension): the 4 → 64 node scaling curve of the two-level
+//! home hierarchy.
+//!
+//! Besides the Criterion-style wall-clock measurements this bench performs
+//! a verification pass over the modeled results; a violation panics, so
+//! `cargo bench` doubles as a gate:
+//!
+//! * **Digests**: every point of the sweep must compute the same answer
+//!   grouped as flat — relaying through a group leader may change what an
+//!   exchange costs, never what it moves.
+//! * **Combining is live at 64 nodes**: the leaders' fetch and diff
+//!   combining counters must both be non-zero on the Jacobi barrier
+//!   exchange and on the Zipf-skewed KV store — a hierarchy that never
+//!   coalesces anything is dead weight.
+//! * **Hot-home flattening**: at 64 nodes the busiest node of the grouped
+//!   run serves at most 3/4 of the flat run's hot-home RPC arrivals, for
+//!   both apps (measured ratios are near 1/2; the slack absorbs
+//!   problem-size tweaks).
+//! * **Sub-linear growth**: growing the cluster 4 → 64 nodes must inflate
+//!   the grouped hot home's arrivals by a strictly smaller factor than it
+//!   inflates the flat hot home's — the scaling claim of the hierarchy
+//!   itself, not of one operating point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperion_apps::common::BenchmarkName;
+use hyperion_bench::{sweep_scaling, Scale, ScalingPair};
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function(BenchmarkId::new("sweep", "quick"), |b| {
+        b.iter(|| sweep_scaling(Scale::Quick).len())
+    });
+    group.finish();
+}
+
+/// The pair at `nodes` nodes for `app`, which the sweep is known to emit.
+fn pair_at(pairs: &[ScalingPair], app: BenchmarkName, nodes: usize) -> &ScalingPair {
+    pairs
+        .iter()
+        .find(|p| p.flat.app == app && p.flat.nodes == nodes)
+        .expect("sweep emits every (app, node count) pair")
+}
+
+fn verify_scaling_invariants(_c: &mut Criterion) {
+    println!();
+    println!("== fig10 verification: two-level home hierarchy, quick scale, 4 -> 64 nodes ==");
+    let pairs = sweep_scaling(Scale::Quick);
+
+    for pair in &pairs {
+        println!(
+            "{:<10} {:>5} nodes (groups of {}): peak served {:>6} flat vs {:>6} grouped, \
+             {:>5} fetches + {:>5} diff batches combined",
+            pair.flat.app.to_string(),
+            pair.flat.nodes,
+            pair.group_size,
+            pair.flat.peak_rpc_served,
+            pair.grouped.peak_rpc_served,
+            pair.grouped.stats.combined_fetches,
+            pair.grouped.stats.combined_diff_batches,
+        );
+        assert!(
+            pair.digests_match(),
+            "{} @ {} nodes: grouped digest {} diverged from flat digest {}",
+            pair.flat.app,
+            pair.flat.nodes,
+            pair.grouped.digest,
+            pair.flat.digest
+        );
+    }
+
+    for app in [BenchmarkName::Jacobi, BenchmarkName::KvStore] {
+        let far = pair_at(&pairs, app, 64);
+        assert!(
+            far.grouped.stats.combined_fetches > 0,
+            "{app}: no page fetch was ever served from a leader's unchanged-version window"
+        );
+        assert!(
+            far.grouped.stats.combined_diff_batches > 0,
+            "{app}: no diff batch was ever combined at the leaders"
+        );
+        assert!(
+            4 * far.grouped.peak_rpc_served <= 3 * far.flat.peak_rpc_served,
+            "{app}: grouped hot home still serves {} of the flat run's {} arrivals \
+             (bound: 3/4)",
+            far.grouped.peak_rpc_served,
+            far.flat.peak_rpc_served,
+        );
+
+        // Sub-linearity: hot-home arrival growth 4 -> 64 nodes, grouped vs
+        // flat, compared as cross products to stay in integers.
+        let near = pair_at(&pairs, app, 4);
+        let grouped_growth = (far.grouped.peak_rpc_served, near.grouped.peak_rpc_served);
+        let flat_growth = (far.flat.peak_rpc_served, near.flat.peak_rpc_served);
+        assert!(
+            grouped_growth.0 * flat_growth.1 < flat_growth.0 * grouped_growth.1,
+            "{app}: grouped hot-home arrivals grew {}/{} from 4 to 64 nodes, no slower \
+             than flat's {}/{}",
+            grouped_growth.0,
+            grouped_growth.1,
+            flat_growth.0,
+            flat_growth.1,
+        );
+    }
+    println!();
+}
+
+criterion_group!(benches, bench_fig10, verify_scaling_invariants);
+criterion_main!(benches);

@@ -7,9 +7,11 @@
 //! typed surface and [`TransportConfig::policy_spec`] for the bridge).
 
 use hyperion_model::VTime;
-use hyperion_pm2::{FaultSpec, RetryPolicy, TransportBackend};
+use hyperion_pm2::{FaultSpec, NodeId, RetryPolicy, TransportBackend};
 
-use crate::policy::{FlushSpec, MigrationSpec, PolicySpec, PredictorSpec, ReplicationSpec};
+use crate::policy::{
+    FlushSpec, MigrationSpec, PolicySpec, PredictorSpec, ReplicationSpec, TopologySpec,
+};
 
 /// Which access-detection technique a run uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -172,6 +174,14 @@ pub struct TransportConfig {
     /// [`crate::policy::ReplicationSpec::Quorum`].  `None` (default) is the
     /// Noop policy: no replicas, byte-identical behaviour.
     pub replication: Option<(usize, usize)>,
+    /// Nodes per group of the two-level home hierarchy, i.e. the legacy
+    /// flag form of [`crate::policy::TopologySpec::Grouped`].  `1` (default)
+    /// is the flat topology: every node is its own self-led group, no relay
+    /// or combining ever happens, and behaviour is byte-identical to the
+    /// pre-topology engine.  With `group_size >= 2` (must divide the node
+    /// count) each group's leader coalesces its members' cross-group
+    /// fetch/diff traffic into upstream relay RPCs (see `dsm::combine`).
+    pub group_size: usize,
 }
 
 impl Default for TransportConfig {
@@ -188,6 +198,7 @@ impl Default for TransportConfig {
             retry: RetryPolicy::default(),
             fault: None,
             replication: None,
+            group_size: 1,
         }
     }
 }
@@ -274,6 +285,17 @@ impl TransportConfig {
         }
     }
 
+    /// The [`TopologySpec`] these flags describe.
+    pub fn topology_spec(&self) -> TopologySpec {
+        if self.group_size > 1 {
+            TopologySpec::Grouped {
+                group_size: self.group_size,
+            }
+        } else {
+            TopologySpec::Flat
+        }
+    }
+
     /// The [`ReplicationSpec`] these flags describe.
     pub fn replication_spec(&self) -> ReplicationSpec {
         match self.replication {
@@ -293,11 +315,30 @@ impl TransportConfig {
     }
 }
 
-/// The record a deferred release flush leaves behind: the virtual instant
-/// the flush RPCs were issued and the instant the last of them completes.
-/// The monitor that performed the release stores it and merges `completion`
-/// into the next acquirer's clock (see [`TransportConfig::deferred_flush`]).
+/// One home's contribution to a deferred release flush: when its flush RPC
+/// was issued and when it completes.  Keeping the record *per home* is what
+/// lets the monitor layer account hidden overlap per home instead of
+/// parking every flush behind the single slowest completion (the per-home
+/// watermark follow-on of the deferred-flush PR).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HomeFlushMark {
+    /// The home node the diff batch was flushed to.
+    pub home: NodeId,
+    /// Virtual time at which this home's flush RPC left the releaser.
+    pub issue: VTime,
+    /// Virtual time at which this home's flush RPC completes.
+    pub completion: VTime,
+}
+
+/// The record a deferred release flush leaves behind: the virtual instant
+/// the flush RPCs were issued and the instant the last of them completes,
+/// plus one [`HomeFlushMark`] per home flushed.  The monitor that performed
+/// the release stores it and merges every home's `completion` into the next
+/// acquirer's clock (see [`TransportConfig::deferred_flush`]) — merging all
+/// homes equals merging the max, so the JMM edge is unchanged, but the
+/// per-home issue stamps let hidden-overlap accounting credit each home's
+/// flush window individually.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DeferredFlush {
     /// Virtual time at which the releasing thread finished issuing the
     /// flush RPCs (everything before this was charged at the release).
@@ -305,6 +346,26 @@ pub struct DeferredFlush {
     /// Virtual time at which the last flush RPC completes; the next acquire
     /// of the same monitor can not happen before this.
     pub completion: VTime,
+    /// Per-home issue/completion watermarks (empty only for legacy
+    /// constructors; [`DeferredFlush::aggregate`] synthesises one mark).
+    pub homes: Vec<HomeFlushMark>,
+}
+
+impl DeferredFlush {
+    /// A single-watermark record (one synthetic mark covering every home) —
+    /// the pre-per-home behaviour, kept for call sites that have no
+    /// per-home breakdown.
+    pub fn aggregate(issue: VTime, completion: VTime) -> DeferredFlush {
+        DeferredFlush {
+            issue,
+            completion,
+            homes: vec![HomeFlushMark {
+                home: NodeId(0),
+                issue,
+                completion,
+            }],
+        }
+    }
 }
 
 /// Where the page behind an address currently lives, relative to an

@@ -40,7 +40,7 @@
 
 use std::sync::Arc;
 
-use hyperion_model::{NodeStats, ThreadClock, VTime};
+use hyperion_model::{NodeStats, ThreadClock};
 use hyperion_pm2::{Cluster, GlobalAddr, Node, NodeId, PageId, ServiceId, SLOTS_PER_PAGE};
 
 use crate::config::{AdaptiveParams, DeferredFlush, Locality, ProtocolKind, TransportConfig};
@@ -63,6 +63,7 @@ pub struct DsmSystem {
     pub(crate) transport: TransportConfig,
     pub(crate) page_fetch: ServiceId,
     pub(crate) diff_apply: ServiceId,
+    pub(crate) group_relay: ServiceId,
 }
 
 impl DsmSystem {
@@ -131,6 +132,12 @@ impl DsmSystem {
             migration: Arc::clone(&policies.migration),
             replication: Arc::clone(&policies.replication),
         }));
+        // Registered unconditionally so the service table is identical under
+        // every topology; under the flat default `relay_route` never selects
+        // it, keeping the 4-node behaviour byte-identical.
+        let group_relay = cluster.register_service(Arc::new(
+            crate::combine::GroupRelayService::new(Arc::clone(&store), &cluster, &policies),
+        ));
         Arc::new(DsmSystem {
             cluster,
             store,
@@ -140,6 +147,7 @@ impl DsmSystem {
             transport: transport.clone(),
             page_fetch,
             diff_apply,
+            group_relay,
         })
     }
 
@@ -536,11 +544,7 @@ impl DsmSystem {
         let node_ref = self.cluster.node(node);
         let dirty = self.collect_dirty(node);
         let flushed = self.flush_frames_inner(node, node_ref, clock, &dirty, true);
-        let completion = self.unwrap_rpc(flushed)?;
-        Some(DeferredFlush {
-            issue: clock.now(),
-            completion,
-        })
+        self.unwrap_rpc(flushed)
     }
 
     /// True if `node` currently holds an accessible copy of `page`.
@@ -617,9 +621,9 @@ impl DsmSystem {
 
     /// [`DsmSystem::flush_frames`] with an explicit completion mode: with
     /// `deferred` set, each diff RPC is issued as a split transaction (only
-    /// the issue path is charged to `clock`) and the watermark of the batch
-    /// completion times is returned; blocking mode merges each completion on
-    /// the spot and returns `None`.
+    /// the issue path is charged to `clock`) and the per-home completion
+    /// watermarks are returned as a [`DeferredFlush`]; blocking mode merges
+    /// each completion on the spot and returns `None`.
     fn flush_frames_inner(
         &self,
         node: NodeId,
@@ -627,10 +631,10 @@ impl DsmSystem {
         clock: &mut ThreadClock,
         dirty: &[(PageId, Arc<PageFrame>)],
         deferred: bool,
-    ) -> Result<Option<VTime>, crate::recover::RpcFailure> {
+    ) -> Result<Option<DeferredFlush>, crate::recover::RpcFailure> {
         let machine = self.cluster.machine();
         let max_batch = self.policies.flush.max_batch_pages().max(1);
-        let mut watermark: Option<VTime> = None;
+        let mut marks: Vec<crate::config::HomeFlushMark> = Vec::new();
         let mut i = 0usize;
         while i < dirty.len() {
             let (first, _) = dirty[i];
@@ -675,9 +679,22 @@ impl DsmSystem {
             if deferred {
                 // Hand the transaction to the deferred queue: the caller
                 // stores the completion watermark on the releasing monitor
-                // and the next acquire of that monitor merges it.
+                // and the next acquire of that monitor merges it.  Marks
+                // are kept per home so one slow home's completion does not
+                // park every other home's flush behind it.
                 NodeStats::bump(&node_ref.stats.deferred_flushes);
-                watermark = Some(watermark.map_or(completion, |w| w.max(completion)));
+                let issue = clock.now();
+                match marks.iter_mut().find(|m| m.home == home) {
+                    Some(m) => {
+                        m.issue = m.issue.max(issue);
+                        m.completion = m.completion.max(completion);
+                    }
+                    None => marks.push(crate::config::HomeFlushMark {
+                        home,
+                        issue,
+                        completion,
+                    }),
+                }
             } else {
                 clock.merge(completion);
             }
@@ -688,7 +705,19 @@ impl DsmSystem {
             }
             i = j;
         }
-        Ok(watermark)
+        if marks.is_empty() {
+            return Ok(None);
+        }
+        let completion = marks
+            .iter()
+            .map(|m| m.completion)
+            .max()
+            .expect("non-empty marks");
+        Ok(Some(DeferredFlush {
+            issue: clock.now(),
+            completion,
+            homes: marks,
+        }))
     }
 }
 

@@ -33,11 +33,16 @@
 //! * [`recover`] — the fault plane's DSM side: bounded retry with
 //!   exponential backoff on the RPC path and node-failure recovery
 //!   (re-electing homes for a dead node's pages from the replication
-//!   directory).
+//!   directory);
+//! * `combine` — the two-level home hierarchy's relay layer: under a
+//!   grouped [`policy::TopologySpec`] each group's leader coalesces its
+//!   members' cross-group page fetches and diff batches into upstream
+//!   relay RPCs (inert under the flat default).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod combine;
 pub mod config;
 pub mod diff;
 pub mod engine;
@@ -48,13 +53,15 @@ pub mod recover;
 mod services;
 pub mod table;
 
-pub use config::{AdaptiveParams, DeferredFlush, Locality, ProtocolKind, TransportConfig};
+pub use config::{
+    AdaptiveParams, DeferredFlush, HomeFlushMark, Locality, ProtocolKind, TransportConfig,
+};
 pub use engine::DsmSystem;
 pub use hyperion_pm2::TransportBackend;
 pub use page::{AdMode, PageData, PageFrame};
 // `policy` is deliberately not wildcard re-exported at the crate root: the
 // deferred-flush *policy* (`policy::DeferredFlush`) would collide with the
 // deferred-flush *record* (`DeferredFlush`) above.  Use `policy::...` paths.
-pub use policy::{PolicyError, PolicySet, PolicySpec};
+pub use policy::{PolicyError, PolicySet, PolicySpec, TopologySpec};
 pub use recover::RpcFailure;
 pub use table::DsmStore;

@@ -20,6 +20,13 @@
 //! policy objects the engine holds.  [`PolicySpec::validate`] rejects
 //! illegal combinations with a typed [`PolicyError`] before any cluster
 //! state exists.
+//!
+//! Alongside the five trait slots, [`PolicySpec`] carries a
+//! [`TopologySpec`]: the node-group shape of the two-level home hierarchy.
+//! It is not a trait — it builds a plain [`hyperion_pm2::Topology`] value
+//! the page table and the `dsm::combine` relay layer consult — but it is
+//! selected, validated and defaulted exactly like the policy slots
+//! (flat = `Noop`-equivalent, byte-identical behaviour).
 
 mod detection;
 mod flush;
@@ -30,6 +37,7 @@ mod replication;
 use std::sync::Arc;
 
 use hyperion_model::MachineModel;
+use hyperion_pm2::{FaultSpec, Topology};
 
 pub(crate) use detection::resolve_marks;
 pub use detection::{
@@ -243,6 +251,80 @@ impl ReplicationSpec {
     }
 }
 
+/// Data-level choice of node-group topology (the two-level home hierarchy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// Every node is its own self-led group: no relay, no combining,
+    /// byte-identical to the pre-topology engine.
+    Flat,
+    /// Consecutive groups of `group_size` nodes, each led by its
+    /// lowest-numbered member, which coalesces the group's cross-group
+    /// fetch/diff traffic into upstream relay RPCs.
+    Grouped {
+        /// Nodes per group (at least 2; must divide the node count).
+        group_size: usize,
+    },
+}
+
+impl TopologySpec {
+    /// The name reported in labels and diagnostics (`"flat"` / `"groups"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TopologySpec::Flat => "flat",
+            TopologySpec::Grouped { .. } => "groups",
+        }
+    }
+
+    /// The group size this spec describes (1 when flat).
+    pub fn group_size(&self) -> usize {
+        match *self {
+            TopologySpec::Flat => 1,
+            TopologySpec::Grouped { group_size } => group_size,
+        }
+    }
+
+    /// Reject illegal shapes for a cluster of `nodes` nodes, and — when a
+    /// fault schedule is armed — shapes the schedule could leave leaderless
+    /// (a group whose every member is killed has nobody left to route or
+    /// recover through).
+    pub fn validate(&self, nodes: usize, fault: Option<&FaultSpec>) -> Result<(), PolicyError> {
+        let group_size = match *self {
+            TopologySpec::Flat => return Ok(()),
+            TopologySpec::Grouped { group_size } => group_size,
+        };
+        if group_size < 2 {
+            return Err(PolicyError::ZeroGroupSize);
+        }
+        if nodes == 0 || nodes % group_size != 0 {
+            return Err(PolicyError::GroupSizeMismatch { group_size, nodes });
+        }
+        if let Some(spec) = fault {
+            let topo = Topology::grouped(nodes, group_size).expect("validated above");
+            for group in 0..topo.num_groups() {
+                let all_killed = topo
+                    .members(group)
+                    .all(|m| spec.kill.is_some_and(|k| k.node == m.0));
+                if all_killed {
+                    return Err(PolicyError::LeaderlessGroup { group });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Build the [`Topology`] this spec describes for a cluster of `nodes`
+    /// nodes.  Call [`TopologySpec::validate`] first; an invalid grouped
+    /// shape falls back to flat rather than panicking.
+    pub fn build(&self, nodes: usize) -> Topology {
+        match *self {
+            TopologySpec::Flat => Topology::flat(nodes),
+            TopologySpec::Grouped { group_size } => {
+                Topology::grouped(nodes, group_size).unwrap_or_else(|| Topology::flat(nodes))
+            }
+        }
+    }
+}
+
 /// The full data-level policy selection of one run: what configs carry and
 /// builders construct, turned into live objects by [`PolicySpec::build`].
 #[derive(Clone, Debug, PartialEq)]
@@ -257,6 +339,8 @@ pub struct PolicySpec {
     pub flush: FlushSpec,
     /// Replication choice.
     pub replication: ReplicationSpec,
+    /// Node-group topology choice (the two-level home hierarchy).
+    pub topology: TopologySpec,
 }
 
 impl PolicySpec {
@@ -280,6 +364,7 @@ impl PolicySpec {
             migration: transport.migration_spec(),
             flush: transport.flush_spec(),
             replication: transport.replication_spec(),
+            topology: transport.topology_spec(),
         }
     }
 
@@ -344,6 +429,15 @@ impl PolicySpec {
                 return Err(PolicyError::InvalidWriteQuorum);
             }
         }
+        if let TopologySpec::Grouped { group_size } = self.topology {
+            // The node-count and fault-schedule checks need the cluster
+            // shape and run in `TopologySpec::validate` (called with the
+            // node count by the config layer); the shape-free part is
+            // checked here so a standalone spec still fails fast.
+            if group_size < 2 {
+                return Err(PolicyError::ZeroGroupSize);
+            }
+        }
         Ok(())
     }
 }
@@ -392,6 +486,22 @@ pub enum PolicyError {
     /// The write quorum must name at least the home and at most the home
     /// plus every read replica (`1 <= w <= r + 1`).
     InvalidWriteQuorum,
+    /// A grouped topology needs groups of at least 2 nodes (1-node groups
+    /// are the flat topology; 0-node groups are nothing at all).
+    ZeroGroupSize,
+    /// The group size must divide the node count so every group is whole.
+    GroupSizeMismatch {
+        /// The requested nodes-per-group.
+        group_size: usize,
+        /// The cluster's node count it fails to divide.
+        nodes: usize,
+    },
+    /// The armed fault schedule kills every member of one group, leaving
+    /// nobody to route its traffic or recover its pages through.
+    LeaderlessGroup {
+        /// Index of the group the schedule empties.
+        group: usize,
+    },
 }
 
 impl std::fmt::Display for PolicyError {
@@ -415,6 +525,22 @@ impl std::fmt::Display for PolicyError {
             PolicyError::ZeroReadReplicas => "quorum replication needs at least one read replica",
             PolicyError::InvalidWriteQuorum => {
                 "write quorum must satisfy 1 <= w <= read_replicas + 1"
+            }
+            PolicyError::ZeroGroupSize => {
+                "a grouped topology needs groups of at least 2 nodes (use flat for 1)"
+            }
+            PolicyError::GroupSizeMismatch { group_size, nodes } => {
+                return write!(
+                    f,
+                    "group size {group_size} must divide the node count {nodes}"
+                );
+            }
+            PolicyError::LeaderlessGroup { group } => {
+                return write!(
+                    f,
+                    "the fault schedule kills every member of group {group}; \
+                     no live node remains to route or recover through"
+                );
             }
         };
         f.write_str(msg)

@@ -14,11 +14,145 @@ use hyperion_model::{CpuModel, DsmCostModel, NodeStats};
 use hyperion_pm2::{Node, NodeId, PageId, RpcHandler, RpcReply, SLOTS_PER_PAGE};
 
 use crate::diff::{decode_diff_message, decode_page_fetch_request, encode_migration_grant};
-use crate::policy::{MigrationPolicy, Predictor, ReplicationPolicy};
+use crate::policy::{FetchObservation, MigrationPolicy, Predictor, ReplicationPolicy};
 use crate::table::DsmStore;
 
 /// Bytes of one page on the wire.
 pub(crate) const PAGE_BYTES: usize = SLOTS_PER_PAGE * 8;
+
+/// Copy the span `[first, first + count)` out of the authoritative home
+/// frames, running the predictor's per-page bookkeeping and the
+/// replication policy's read-replica registration exactly as the direct
+/// fetch path does.  Shared between [`PageFetchService`] and the group
+/// relay so a fetch served through a leader is byte-identical to one
+/// served directly.
+pub(crate) fn copy_home_pages(
+    store: &DsmStore,
+    predictor: &dyn Predictor,
+    replication: &dyn ReplicationPolicy,
+    home: NodeId,
+    caller: NodeId,
+    first: PageId,
+    count: u32,
+) -> (Vec<u8>, Option<FetchObservation>) {
+    let mut bytes = Vec::with_capacity(PAGE_BYTES * count as usize);
+    // Directory bookkeeping exists only when the predictor opts in: a
+    // `NoopPredictor` declines the observation, and the fetch handler
+    // does exactly what the plain split-transaction transport did (no
+    // stamps, no history writes).
+    let obs = predictor.observe_fetch(store, home, caller, first, count);
+    for k in 0..count as u64 {
+        let page = PageId(first.0 + k);
+        // Serve the *current* home's copy: normally that is the node the
+        // request was addressed to, but a concurrent home migration may
+        // have moved the page after the caller looked its home up, in
+        // which case the old home forwards the authoritative frame (the
+        // shared store gives the modelled handler direct access to it).
+        let home_now = store.home_of(page);
+        debug_assert!(
+            home_now == home || store.page_migrated(page),
+            "page fetch sent to a node that is not the page's home"
+        );
+        bytes.extend_from_slice(&store.with_frame(home_now, page, |f| {
+            if let Some(o) = &obs {
+                predictor.record_served_page(f, caller, o);
+            }
+            f.data().snapshot_bytes()
+        }));
+        if replication.replicates() {
+            // The served copy doubles as a read replica: the caller is
+            // now a candidate home should this node fail.
+            replication.on_page_served(store, page, caller);
+        }
+    }
+    (bytes, obs)
+}
+
+/// What applying one diff message to the home frames produced: the slot
+/// counts that price the service time and the at-most-one migration grant.
+pub(crate) struct DiffOutcome {
+    /// Diff slots applied across all pages of the message.
+    pub(crate) slots: usize,
+    /// Extra (holder, slot) pairs shipped by quorum replica writes.
+    pub(crate) quorum_slots: usize,
+    /// Number of per-page diff batches in the message.
+    pub(crate) batches: usize,
+    /// Home hand-over granted to the writer, with the page snapshot the
+    /// grant reply ships.
+    pub(crate) grant: Option<(PageId, Vec<u8>)>,
+}
+
+/// Apply one encoded diff message to the authoritative home frames on
+/// behalf of `caller`, consulting the migration policy for a home
+/// hand-over and the replication policy for quorum writes.  Shared
+/// between [`DiffApplyService`] and the group relay: a diff batch routed
+/// through a leader mutates memory exactly once, identically to the
+/// direct path (the relay only re-prices the RPC fan-in).
+pub(crate) fn apply_diff_message(
+    store: &DsmStore,
+    migration: &dyn MigrationPolicy,
+    replication: &dyn ReplicationPolicy,
+    nominal_home: NodeId,
+    caller: NodeId,
+    payload: &[u8],
+) -> DiffOutcome {
+    let diffs = decode_diff_message(payload);
+    let mut out = DiffOutcome {
+        slots: 0,
+        quorum_slots: 0,
+        batches: diffs.len(),
+        grant: None,
+    };
+    for (page, entries) in &diffs {
+        out.slots += entries.len();
+        // Apply to the *current* home frame (see `copy_home_pages` on why
+        // this may differ from the addressed node under concurrent
+        // migration).
+        let home_now = store.home_of(*page);
+        debug_assert!(
+            home_now == nominal_home || store.page_migrated(*page),
+            "diff sent to a node that is not the page's home"
+        );
+        let migrate = store.with_frame(home_now, *page, |f| {
+            debug_assert!(f.is_home() || store.page_migrated(*page));
+            for &(slot, value) in entries {
+                f.apply_diff_slot(slot as usize, value);
+            }
+            // Migration decision: one grant per message at most (the
+            // `grant.is_none()` guard runs first so a policy's vote
+            // state is untouched once this message granted).
+            out.grant.is_none() && migration.should_migrate(f, caller, home_now)
+        });
+        // The page's bytes changed: stale leader-cached copies must not be
+        // treated as current by the fetch-combining version check.
+        store.note_page_changed(*page);
+        if migrate {
+            // Execute the hand-over while still inside the handler so no
+            // fetch can observe a half-migrated page: promote the
+            // writer's frame from the authoritative snapshot (keeping
+            // any newer local writes it has pending), then re-route the
+            // home and demote the old home to an ordinary cached copy.
+            let (snapshot, back_off) = store.with_frame(home_now, *page, |f| {
+                (f.data().snapshot_bytes(), f.mig_required())
+            });
+            store.with_frame(caller, *page, |f| {
+                f.promote_to_home(&snapshot);
+                f.mig_inherit_required(back_off);
+            });
+            store.set_home(*page, caller);
+            store.with_frame(home_now, *page, |f| f.demote_from_home());
+            out.grant = Some((*page, snapshot));
+        }
+        if replication.replicates() {
+            // Quorum write: advance the page's replica version and ship
+            // the applied slots to the stamped holders.  The shipping is
+            // charged as extra apply work per (holder, slot) pair.
+            let members = replication.on_diff_applied(store, *page);
+            out.quorum_slots += members * entries.len();
+        }
+    }
+    out
+}
 
 /// RPC service: ship a copy of a home page to a requesting node and, when
 /// the predictor asks for it, piggyback "a neighbour also fetched p..p+k"
@@ -34,39 +168,16 @@ pub(crate) struct PageFetchService {
 impl RpcHandler for PageFetchService {
     fn handle(&self, target: &Node, caller: NodeId, payload: &[u8]) -> RpcReply {
         let (first, count, hints_ok) = decode_page_fetch_request(payload);
-        let mut bytes = Vec::with_capacity(PAGE_BYTES * count as usize);
         let home = target.id();
-        // Directory bookkeeping exists only when the predictor opts in: a
-        // `NoopPredictor` declines the observation, and the fetch handler
-        // does exactly what the plain split-transaction transport did (no
-        // stamps, no history writes).
-        let obs = self
-            .predictor
-            .observe_fetch(&self.store, home, caller, first, count);
-        for k in 0..count as u64 {
-            let page = PageId(first.0 + k);
-            // Serve the *current* home's copy: normally that is `target`,
-            // but a concurrent home migration may have moved the page after
-            // the caller looked its home up, in which case the old home
-            // forwards the authoritative frame (the shared store gives the
-            // modelled handler direct access to it).
-            let home_now = self.store.home_of(page);
-            debug_assert!(
-                home_now == target.id() || self.store.page_migrated(page),
-                "page fetch sent to a node that is not the page's home"
-            );
-            bytes.extend_from_slice(&self.store.with_frame(home_now, page, |f| {
-                if let Some(o) = &obs {
-                    self.predictor.record_served_page(f, caller, o);
-                }
-                f.data().snapshot_bytes()
-            }));
-            if self.replication.replicates() {
-                // The served copy doubles as a read replica: the caller is
-                // now a candidate home should this node fail.
-                self.replication.on_page_served(&self.store, page, caller);
-            }
-        }
+        let (mut bytes, obs) = copy_home_pages(
+            &self.store,
+            self.predictor.as_ref(),
+            self.replication.as_ref(),
+            home,
+            caller,
+            first,
+            count,
+        );
         let mut hint_entries = 0u16;
         if hints_ok {
             if let Some(o) = &obs {
@@ -106,60 +217,19 @@ pub(crate) struct DiffApplyService {
 
 impl RpcHandler for DiffApplyService {
     fn handle(&self, target: &Node, caller: NodeId, payload: &[u8]) -> RpcReply {
-        let diffs = decode_diff_message(payload);
-        let mut slots = 0usize;
-        let mut quorum_slots = 0usize;
-        let mut grant: Option<(PageId, Vec<u8>)> = None;
-        for (page, entries) in &diffs {
-            slots += entries.len();
-            // Apply to the *current* home frame (see `PageFetchService` on
-            // why this may differ from `target` under concurrent migration).
-            let home_now = self.store.home_of(*page);
-            debug_assert!(
-                home_now == target.id() || self.store.page_migrated(*page),
-                "diff sent to a node that is not the page's home"
-            );
-            let migrate = self.store.with_frame(home_now, *page, |f| {
-                debug_assert!(f.is_home() || self.store.page_migrated(*page));
-                for &(slot, value) in entries {
-                    f.apply_diff_slot(slot as usize, value);
-                }
-                // Migration decision: one grant per message at most (the
-                // `grant.is_none()` guard runs first so a policy's vote
-                // state is untouched once this message granted).
-                grant.is_none() && self.migration.should_migrate(f, caller, home_now)
-            });
-            if migrate {
-                // Execute the hand-over while still inside the handler so no
-                // fetch can observe a half-migrated page: promote the
-                // writer's frame from the authoritative snapshot (keeping
-                // any newer local writes it has pending), then re-route the
-                // home and demote the old home to an ordinary cached copy.
-                let (snapshot, back_off) = self.store.with_frame(home_now, *page, |f| {
-                    (f.data().snapshot_bytes(), f.mig_required())
-                });
-                self.store.with_frame(caller, *page, |f| {
-                    f.promote_to_home(&snapshot);
-                    f.mig_inherit_required(back_off);
-                });
-                self.store.set_home(*page, caller);
-                self.store
-                    .with_frame(home_now, *page, |f| f.demote_from_home());
-                grant = Some((*page, snapshot));
-            }
-            if self.replication.replicates() {
-                // Quorum write: advance the page's replica version and ship
-                // the applied slots to the stamped holders.  The shipping is
-                // charged below as extra apply work per (holder, slot) pair.
-                let members = self.replication.on_diff_applied(&self.store, *page);
-                quorum_slots += members * entries.len();
-            }
-        }
-        let service = self.cpu.cycles(
-            self.dsm.diff_apply_cycles_per_slot * (slots + quorum_slots) as f64
-                + self.dsm.batch_flush_cycles * (diffs.len() - 1) as f64,
+        let out = apply_diff_message(
+            &self.store,
+            self.migration.as_ref(),
+            self.replication.as_ref(),
+            target.id(),
+            caller,
+            payload,
         );
-        match grant {
+        let service = self.cpu.cycles(
+            self.dsm.diff_apply_cycles_per_slot * (out.slots + out.quorum_slots) as f64
+                + self.dsm.batch_flush_cycles * (out.batches - 1) as f64,
+        );
+        match out.grant {
             // The grant reply carries the page snapshot so shipping the
             // authoritative copy to the new home is charged on the wire.
             Some((page, snapshot)) => {

@@ -81,14 +81,15 @@ pub use thread::{HThreadHandle, LoadBalancer};
 // Re-export the pieces of the lower layers that appear in this crate's API.
 pub use hyperion_dsm::policy;
 pub use hyperion_dsm::{
-    AdaptiveParams, DeferredFlush, Locality, PolicyError, PolicySpec, ProtocolKind, TransportConfig,
+    AdaptiveParams, DeferredFlush, HomeFlushMark, Locality, PolicyError, PolicySpec, ProtocolKind,
+    TransportConfig,
 };
 pub use hyperion_model::{
-    myrinet_200, sci_450, ClusterSpec, MachineModel, Op, OpCounts, StatsSnapshot, VTime,
-    WireServiceSnapshot, WorkEstimate,
+    myrinet_200, scaled_cluster, sci_450, ClusterSpec, MachineModel, Op, OpCounts, StatsSnapshot,
+    VTime, WireServiceSnapshot, WorkEstimate,
 };
 pub use hyperion_pm2::{
-    FaultKill, FaultSpec, GlobalAddr, NodeId, RetryPolicy, ThreadId, TransportBackend,
+    FaultKill, FaultSpec, GlobalAddr, NodeId, RetryPolicy, ThreadId, Topology, TransportBackend,
 };
 
 /// Everything an application kernel typically imports.
@@ -106,7 +107,7 @@ pub mod prelude {
         AdaptiveParams, DeferredFlush, Locality, ProtocolKind, TransportConfig,
     };
     pub use hyperion_model::{
-        myrinet_200, sci_450, ClusterSpec, Op, OpCounts, VTime, WorkEstimate,
+        myrinet_200, scaled_cluster, sci_450, ClusterSpec, Op, OpCounts, VTime, WorkEstimate,
     };
-    pub use hyperion_pm2::{NodeId, TransportBackend};
+    pub use hyperion_pm2::{NodeId, Topology, TransportBackend};
 }

@@ -35,45 +35,54 @@ struct MonitorState {
     last_release: VTime,
     notify_epoch: u64,
     notify_time: VTime,
-    /// Deferred release flushing: virtual completion watermark of flush
-    /// RPCs handed off by previous releases of this monitor and not yet
-    /// absorbed by an acquire.  [`VTime::ZERO`] means nothing is pending.
-    deferred_completion: VTime,
-    /// Virtual instant the latest pending deferred flush was issued (used
-    /// to account how much of the round trip compute managed to hide).
-    deferred_issue: VTime,
+    /// Deferred release flushing: per-home `(issue, completion)` watermarks
+    /// of flush RPCs handed off by previous releases of this monitor and
+    /// not yet absorbed by an acquire.  Kept per home so one slow home's
+    /// completion does not mask how much of every *other* home's round
+    /// trip the overlap hid.  Empty means nothing is pending.
+    deferred: Vec<hyperion_dsm::HomeFlushMark>,
 }
 
 impl MonitorState {
-    /// Take the pending deferred-flush record, leaving none behind.  The
-    /// caller (an acquiring thread) must merge the completion into its
+    /// Take the pending deferred-flush marks, leaving none behind.  The
+    /// caller (an acquiring thread) must merge every completion into its
     /// clock — this is the hand-off where the residual latency is charged.
-    fn take_deferred(&mut self) -> (VTime, VTime) {
-        let taken = (self.deferred_issue, self.deferred_completion);
-        self.deferred_issue = VTime::ZERO;
-        self.deferred_completion = VTime::ZERO;
-        taken
+    fn take_deferred(&mut self) -> Vec<hyperion_dsm::HomeFlushMark> {
+        std::mem::take(&mut self.deferred)
     }
 
-    /// Stack one more deferred flush onto the pending record.
+    /// Stack one more deferred flush onto the pending record, merging its
+    /// per-home marks into any already parked for the same homes.
     fn push_deferred(&mut self, d: hyperion_dsm::DeferredFlush) {
-        self.deferred_completion = self.deferred_completion.max(d.completion);
-        self.deferred_issue = self.deferred_issue.max(d.issue);
+        for mark in d.homes {
+            match self.deferred.iter_mut().find(|m| m.home == mark.home) {
+                Some(m) => {
+                    m.issue = m.issue.max(mark.issue);
+                    m.completion = m.completion.max(mark.completion);
+                }
+                None => self.deferred.push(mark),
+            }
+        }
     }
 }
 
-/// Merge a pending deferred-flush completion into the acquiring thread's
-/// clock, crediting the cycles the overlap hid (the part of the flush round
-/// trip that elapsed before the hand-off).
-fn absorb_deferred(ctx: &mut ThreadCtx, issue: VTime, completion: VTime) {
-    if completion == VTime::ZERO {
+/// Merge the pending deferred-flush completions into the acquiring thread's
+/// clock, crediting per home the cycles the overlap hid (the part of each
+/// home's flush round trip that elapsed before the hand-off).
+fn absorb_deferred(ctx: &mut ThreadCtx, marks: Vec<hyperion_dsm::HomeFlushMark>) {
+    if marks.is_empty() {
         return;
     }
-    let hidden_ps = ctx
-        .now()
-        .as_ps()
-        .min(completion.as_ps())
-        .saturating_sub(issue.as_ps());
+    let now = ctx.now();
+    let mut hidden_ps = 0u64;
+    let mut completion = VTime::ZERO;
+    for m in &marks {
+        hidden_ps += now
+            .as_ps()
+            .min(m.completion.as_ps())
+            .saturating_sub(m.issue.as_ps());
+        completion = completion.max(m.completion);
+    }
     if hidden_ps > 0 {
         let cycles = hidden_ps as f64 / ctx.cpu().ps_per_cycle();
         let node_ref = ctx.shared.cluster.node(ctx.node());
@@ -111,8 +120,7 @@ impl HMonitor {
                     last_release: VTime::ZERO,
                     notify_epoch: 0,
                     notify_time: VTime::ZERO,
-                    deferred_completion: VTime::ZERO,
-                    deferred_issue: VTime::ZERO,
+                    deferred: Vec::new(),
                 }),
                 cv: Condvar::new(),
             }),
@@ -154,11 +162,11 @@ impl HMonitor {
             let release = st.last_release;
             // Deferred release flushing: a flush handed off by a previous
             // release of *this* monitor must complete no later than this
-            // acquire — merge its completion here, charging the residual.
-            let (issue, completion) = st.take_deferred();
+            // acquire — merge its completions here, charging the residual.
+            let pending = st.take_deferred();
             drop(st);
             ctx.clock_mut().merge(release);
-            absorb_deferred(ctx, issue, completion);
+            absorb_deferred(ctx, pending);
         }
         ctx.charge(machine.cpu.cycles(machine.dsm.monitor_local_cycles));
 
@@ -242,7 +250,7 @@ impl HMonitor {
         };
         ctx.clock_mut().merge(release_seen);
         ctx.clock_mut().merge(notify_seen);
-        absorb_deferred(ctx, pending.0, pending.1);
+        absorb_deferred(ctx, pending);
         ctx.charge(machine.cpu.cycles(machine.dsm.monitor_local_cycles));
         ctx.publish_progress();
 

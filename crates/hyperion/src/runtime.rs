@@ -192,12 +192,31 @@ impl HyperionConfig {
                 });
             }
         }
-        self.policy_spec()
-            .validate(self.transport.overlapped_fetches)?;
-        if self.transport.backend != TransportBackend::Sim && self.nodes > 64 {
-            return Err(ConfigError::InvalidTransport(
-                "socket backends keep an O(nodes²) connection pool; use at most 64 nodes",
-            ));
+        let spec = self.policy_spec();
+        spec.validate(self.transport.overlapped_fetches)?;
+        // Topology shape checks need the node count and the fault schedule,
+        // which the policy spec itself does not carry.
+        spec.topology
+            .validate(self.nodes, self.transport.fault.as_ref())?;
+        if self.transport.backend != TransportBackend::Sim {
+            // Socket backends keep a connection per peer a node talks to.
+            // Under the flat topology every node talks to every other node;
+            // a grouped topology routes members through their leader, so a
+            // node's fan-in is bounded by its group size (members) or the
+            // group count (a leader talking to other homes) — whichever is
+            // larger.
+            let topology = spec.topology.build(self.nodes);
+            let fan_in = if topology.is_grouped() {
+                topology.group_size().max(topology.num_groups())
+            } else {
+                self.nodes
+            };
+            if fan_in > SOCKET_FAN_IN_BOUND {
+                return Err(ConfigError::SocketFanIn {
+                    degree: fan_in,
+                    bound: SOCKET_FAN_IN_BOUND,
+                });
+            }
         }
         self.transport
             .retry
@@ -346,7 +365,22 @@ pub enum ConfigError {
     },
     /// The transport parameters are out of range.
     InvalidTransport(&'static str),
+    /// A socket backend whose per-node connection fan-in exceeds the bound
+    /// (flat topologies keep one connection per peer; group the topology
+    /// via [`TransportConfig::group_size`] to shrink the fan-in).
+    SocketFanIn {
+        /// Connections one node would have to keep open.
+        degree: usize,
+        /// The backend's per-node connection bound.
+        bound: usize,
+    },
 }
+
+/// Largest per-node connection fan-in the socket backends accept.  The old
+/// rule capped socket clusters at 64 *nodes* outright; leader-routed
+/// grouped topologies keep every node's fan-in at `max(group_size,
+/// num_groups)`, so e.g. 256 nodes in groups of 16 are fine.
+const SOCKET_FAN_IN_BOUND: usize = 64;
 
 impl From<PolicyError> for ConfigError {
     fn from(err: PolicyError) -> Self {
@@ -383,6 +417,12 @@ impl std::fmt::Display for ConfigError {
             ConfigError::InvalidTransport(reason) => {
                 write!(f, "invalid transport parameters: {reason}")
             }
+            ConfigError::SocketFanIn { degree, bound } => write!(
+                f,
+                "socket backends bound the per-node connection fan-in: this topology needs \
+                 {degree} connections per node but at most {bound} are supported; set \
+                 `TransportConfig::group_size` to route through group leaders"
+            ),
         }
     }
 }
@@ -475,11 +515,15 @@ impl HyperionRuntime {
             config.transport.fault,
         );
         let allocator = Arc::new(IsoAllocator::new(config.nodes));
-        let store = DsmStore::new(Arc::clone(&allocator), config.nodes);
         // Build through the effective policy spec: identical to the legacy
         // `with_config` path when `config.policies` is `None`, and the typed
-        // override when it is `Some`.
-        let policies = config.policy_spec().build(cluster.machine(), config.nodes);
+        // override when it is `Some`.  The spec's topology shapes the store
+        // (directory keying, version tracking) — `validate` above has
+        // already rejected non-dividing group sizes.
+        let spec = config.policy_spec();
+        let store =
+            DsmStore::with_topology(Arc::clone(&allocator), spec.topology.build(config.nodes));
+        let policies = spec.build(cluster.machine(), config.nodes);
         let dsm = DsmSystem::with_policies(
             Arc::clone(&cluster),
             store,
@@ -1342,7 +1386,7 @@ mod tests {
     #[test]
     fn explicit_policies_flow_from_builder_to_the_engine() {
         use hyperion_dsm::policy::{
-            DetectionSpec, FlushSpec, MigrationSpec, PredictorSpec, ReplicationSpec,
+            DetectionSpec, FlushSpec, MigrationSpec, PredictorSpec, ReplicationSpec, TopologySpec,
         };
         let spec = PolicySpec {
             detection: DetectionSpec::PageProtect,
@@ -1350,6 +1394,7 @@ mod tests {
             migration: MigrationSpec::MajorityVote { streak: 2 },
             flush: FlushSpec::Batched { max_pages: 4 },
             replication: ReplicationSpec::Noop,
+            topology: TopologySpec::Flat,
         };
         let built = HyperionConfig::builder()
             .cluster(myrinet_200())

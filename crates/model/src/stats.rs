@@ -147,6 +147,12 @@ define_stats! {
     serving_ops,
     /// Total modeled latency of the serving operations, in picoseconds (divide by `serving_ops` for the mean).
     serving_op_ps_total,
+    /// Group-member page fetches this node (as group leader) served from its relay cache instead of forwarding upstream to the home.
+    combined_fetches,
+    /// Group-member diff batches this node (as group leader) coalesced into an already-open upstream relay cycle instead of a fresh home RPC.
+    combined_diff_batches,
+    /// Fresh upstream relay cycles this node (as group leader) opened towards homes on behalf of its group members.
+    group_relay_cycles,
 }
 
 impl NodeStats {
@@ -374,7 +380,7 @@ mod tests {
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
-        assert_eq!(names.len(), 45);
+        assert_eq!(names.len(), 48);
         for added in [
             "batched_flushes",
             "rpc_retries",
@@ -394,6 +400,9 @@ mod tests {
             "flush_overlap_cycles_hidden",
             "serving_ops",
             "serving_op_ps_total",
+            "combined_fetches",
+            "combined_diff_batches",
+            "group_relay_cycles",
         ] {
             assert!(names.contains(&added), "missing {added}");
         }

@@ -1,0 +1,144 @@
+//! Node-group topology: the two-level cluster shape behind hierarchical
+//! home routing.
+//!
+//! The paper's cluster is four nodes and every layer of the original
+//! reproduction assumed that scale: a flat per-page home map, per-node
+//! directory state, and every fetch/diff RPC travelling directly to the
+//! page's home.  At 64 nodes a barrier exchange or pivot-row broadcast
+//! serialises all arrivals on one home node.  [`Topology`] introduces the
+//! structural fix: nodes are partitioned into equal-size **groups**, each
+//! with a **leader** (its lowest-numbered member) that can coalesce its
+//! members' same-home traffic into one upstream RPC (see `dsm::combine`).
+//!
+//! The default is **flat**: `group_size == 1`, every node is its own group
+//! and its own leader.  In that shape `group_of(n) == n` and no relay ever
+//! happens, so existing 4-node behaviour is byte-identical by construction
+//! — the grouped code paths are only reachable when `group_size >= 2`.
+
+use crate::node::NodeId;
+
+/// The cluster's node-group shape: `nodes` nodes partitioned into
+/// consecutive groups of `group_size` (which must divide `nodes`).
+///
+/// Group `g` contains nodes `g*group_size .. (g+1)*group_size`; its leader
+/// is the lowest-numbered member.  With `group_size == 1` (the flat
+/// default) every node is its own self-led group, group indices coincide
+/// with node indices, and the topology is inert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Topology {
+    nodes: usize,
+    group_size: usize,
+}
+
+impl Topology {
+    /// The flat single-node-groups topology (the inert default).
+    pub fn flat(nodes: usize) -> Topology {
+        Topology {
+            nodes,
+            group_size: 1,
+        }
+    }
+
+    /// A grouped topology: `nodes` partitioned into consecutive groups of
+    /// `group_size`.  Returns `None` unless `group_size` is nonzero and
+    /// divides `nodes` — validation layers map that to a typed error.
+    pub fn grouped(nodes: usize, group_size: usize) -> Option<Topology> {
+        if group_size == 0 || nodes == 0 || nodes % group_size != 0 {
+            return None;
+        }
+        Some(Topology { nodes, group_size })
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Nodes per group (1 in the flat topology).
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.nodes / self.group_size
+    }
+
+    /// True when the topology actually groups nodes (`group_size >= 2`);
+    /// all relay/combining paths are gated on this.
+    pub fn is_grouped(&self) -> bool {
+        self.group_size > 1
+    }
+
+    /// The group a node belongs to.
+    pub fn group_of(&self, node: NodeId) -> usize {
+        node.index() / self.group_size
+    }
+
+    /// The leader (lowest-numbered member) of a group.
+    pub fn leader_of(&self, group: usize) -> NodeId {
+        NodeId((group * self.group_size) as u32)
+    }
+
+    /// True when `node` leads its own group (always true when flat).
+    pub fn is_leader(&self, node: NodeId) -> bool {
+        self.leader_of(self.group_of(node)) == node
+    }
+
+    /// The members of a group, in node order.
+    pub fn members(&self, group: usize) -> impl Iterator<Item = NodeId> {
+        let first = group * self.group_size;
+        (first..first + self.group_size).map(|n| NodeId(n as u32))
+    }
+
+    /// True when two nodes share a group (a member reaches such homes
+    /// directly; only cross-group traffic is relayed via the leader).
+    pub fn same_group(&self, a: NodeId, b: NodeId) -> bool {
+        self.group_of(a) == self.group_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_topology_is_identity() {
+        let t = Topology::flat(4);
+        assert!(!t.is_grouped());
+        assert_eq!(t.num_groups(), 4);
+        for n in 0..4u32 {
+            assert_eq!(t.group_of(NodeId(n)), n as usize);
+            assert_eq!(t.leader_of(n as usize), NodeId(n));
+            assert!(t.is_leader(NodeId(n)));
+        }
+        assert_eq!(t.members(2).collect::<Vec<_>>(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn grouped_topology_partitions_consecutively() {
+        let t = Topology::grouped(8, 4).unwrap();
+        assert!(t.is_grouped());
+        assert_eq!(t.num_groups(), 2);
+        assert_eq!(t.group_of(NodeId(3)), 0);
+        assert_eq!(t.group_of(NodeId(4)), 1);
+        assert_eq!(t.leader_of(1), NodeId(4));
+        assert!(t.is_leader(NodeId(0)));
+        assert!(t.is_leader(NodeId(4)));
+        assert!(!t.is_leader(NodeId(5)));
+        assert!(t.same_group(NodeId(5), NodeId(7)));
+        assert!(!t.same_group(NodeId(3), NodeId(4)));
+        assert_eq!(
+            t.members(1).collect::<Vec<_>>(),
+            vec![NodeId(4), NodeId(5), NodeId(6), NodeId(7)]
+        );
+    }
+
+    #[test]
+    fn grouped_rejects_non_dividing_sizes() {
+        assert!(Topology::grouped(8, 0).is_none());
+        assert!(Topology::grouped(8, 3).is_none());
+        assert!(Topology::grouped(0, 2).is_none());
+        assert!(Topology::grouped(64, 8).is_some());
+    }
+}

@@ -23,6 +23,7 @@ use hyperion_workspace::apps::common::Benchmark;
 use hyperion_workspace::apps::{asp, barnes, graph, jacobi, kvstore, pi, tsp};
 use hyperion_workspace::dsm::policy::{
     DetectionSpec, FlushSpec, MigrationSpec, PolicySpec, PredictorSpec, ReplicationSpec,
+    TopologySpec,
 };
 use hyperion_workspace::dsm::AdaptiveParams;
 use hyperion_workspace::prelude::*;
@@ -551,6 +552,7 @@ fn noop_spec(protocol: ProtocolKind) -> PolicySpec {
         migration: MigrationSpec::Noop,
         flush: FlushSpec::Batched { max_pages: 1 },
         replication: ReplicationSpec::Noop,
+        topology: TopologySpec::Flat,
     }
 }
 
